@@ -1,0 +1,136 @@
+// Command ldcbench regenerates the paper's tables and figures on this
+// repository's store and SSD simulator.
+//
+// Usage:
+//
+//	ldcbench [flags] <experiment>...
+//
+// Experiments: table1 fig1 fig7 fig8 fig9 fig10a fig10b fig10c fig11
+// fig12a fig12b fig12c fig13 fig14 fig15, or "all".
+//
+// Flags scale the run; defaults regenerate every shape in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(harness.Config, io.Writer) error
+}
+
+func wrap[T interface{ Print(io.Writer) }](f func(harness.Config) (T, error)) func(harness.Config, io.Writer) error {
+	return func(cfg harness.Config, out io.Writer) error {
+		r, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		return nil
+	}
+}
+
+var experiments = []experiment{
+	{"table1", "time breakdown of an insert-only run (paper Table I)", wrap(harness.RunTable1)},
+	{"fig1", "latency fluctuation of the UDC baseline (paper Fig 1)", wrap(harness.RunFig1)},
+	{"fig7", "fan-out tuning alone does not help UDC (paper Fig 7)", wrap(harness.RunFig7)},
+	{"fig8", "P90-P99.99 tail latency, UDC vs LDC (paper Fig 8)", wrap(harness.RunFig8)},
+	{"fig9", "average latency per workload (paper Fig 9)", wrap(harness.RunFig9)},
+	{"fig10a", "throughput, GET workloads (paper Fig 10a)", wrap(harness.RunFig10a)},
+	{"fig10b", "throughput, SCAN workloads (paper Fig 10b)", wrap(harness.RunFig10b)},
+	{"fig10c", "compaction I/O volume (paper Fig 10c)", wrap(harness.RunFig10c)},
+	{"fig11", "uniform vs Zipf distributions (paper Fig 11)", wrap(harness.RunFig11)},
+	{"fig12a", "SliceLink threshold sweep (paper Fig 12a,d)", wrap(harness.RunFig12a)},
+	{"fig12b", "fan-out sweep, both policies (paper Fig 12b,e)", wrap(harness.RunFig12b)},
+	{"fig12c", "Bloom filter size sweep (paper Fig 12c,f)", wrap(harness.RunFig12c)},
+	{"fig13", "Bloom bits/key vs data-block reads (paper Fig 13)", wrap(harness.RunFig13)},
+	{"fig14", "scalability with request count (paper Fig 14)", wrap(harness.RunFig14)},
+	{"fig15", "space efficiency (paper Fig 15)", wrap(harness.RunFig15)},
+}
+
+func main() {
+	var (
+		ops      = flag.Int64("ops", 0, "measured requests per run (0 = preset)")
+		keySpace = flag.Int64("keyspace", 0, "distinct keys (0 = preset)")
+		fanout   = flag.Int("fanout", 0, "LSM-tree fan-out k (0 = preset)")
+		scale    = flag.Float64("devscale", -1, "SSD latency scale (0 disables, <0 = preset)")
+		quick    = flag.Bool("quick", false, "use the sub-second smoke preset")
+		adaptive = flag.Bool("adaptive", false, "enable the self-adaptive SliceLink threshold")
+		seed     = flag.Int64("seed", 0, "workload seed (0 = preset)")
+		clients  = flag.Int("clients", 0, "concurrent workload clients (0 = preset)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ldcbench [flags] <experiment>...\n\nexperiments:\n")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s run every experiment\n\nflags:\n", "all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := harness.Default()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+	if *keySpace > 0 {
+		cfg.KeySpace = *keySpace
+	}
+	if *fanout > 0 {
+		cfg.Fanout = *fanout
+		cfg.SliceThreshold = *fanout
+	}
+	if *scale >= 0 {
+		cfg.Device.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	cfg.AdaptiveThreshold = *adaptive
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+	}
+	for _, name := range names {
+		var found *experiment
+		for i := range experiments {
+			if experiments[i].name == name {
+				found = &experiments[i]
+				break
+			}
+		}
+		if found == nil {
+			fmt.Fprintf(os.Stderr, "ldcbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s ==\n", found.name, found.desc)
+		start := time.Now()
+		if err := found.run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ldcbench: %s: %v\n", found.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", found.name, time.Since(start).Round(time.Millisecond))
+	}
+}

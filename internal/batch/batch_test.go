@@ -1,0 +1,171 @@
+package batch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+type op struct {
+	kind  keys.Kind
+	key   string
+	value string
+}
+
+func ops(b *Batch, t *testing.T) []op {
+	t.Helper()
+	var out []op
+	err := b.Each(func(kind keys.Kind, key, value []byte) error {
+		out = append(out, op{kind, string(key), string(value)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Each: %v", err)
+	}
+	return out
+}
+
+func TestSetDeleteEach(t *testing.T) {
+	b := New()
+	b.Set([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Set([]byte("k3"), nil)
+
+	if b.Count() != 3 || b.Empty() {
+		t.Errorf("Count = %d Empty = %v", b.Count(), b.Empty())
+	}
+	got := ops(b, t)
+	want := []op{
+		{keys.KindSet, "k1", "v1"},
+		{keys.KindDelete, "k2", ""},
+		{keys.KindSet, "k3", ""},
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestSequenceStamp(t *testing.T) {
+	b := New()
+	b.Set([]byte("k"), []byte("v"))
+	b.SetSequence(12345)
+	if b.Sequence() != 12345 {
+		t.Errorf("Sequence = %d", b.Sequence())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := New()
+	b.Set([]byte("alpha"), []byte("1"))
+	b.Delete([]byte("beta"))
+	b.SetSequence(99)
+	enc := b.Encode()
+
+	d, err := Decode(append([]byte(nil), enc...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 2 || d.Sequence() != 99 {
+		t.Errorf("decoded Count=%d Seq=%d", d.Count(), d.Sequence())
+	}
+	if fmt.Sprint(ops(d, t)) != fmt.Sprint(ops(b, t)) {
+		t.Error("decoded ops differ")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"short":     {1, 2, 3},
+		"bad kind":  append(make([]byte, 12), 0x7f),
+		"trunc key": append(make([]byte, 12), byte(keys.KindSet), 200),
+		"wrong count": func() []byte {
+			b := New()
+			b.Set([]byte("k"), []byte("v"))
+			e := append([]byte(nil), b.Encode()...)
+			e[8] = 9
+			return e
+		}(),
+		"trunc value": append(make([]byte, 12), byte(keys.KindSet), 1, 'k', 200),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New()
+	b.Set([]byte("k"), []byte("v"))
+	b.Reset()
+	if !b.Empty() || b.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+	b.Set([]byte("x"), []byte("y"))
+	got := ops(b, t)
+	if len(got) != 1 || got[0].key != "x" {
+		t.Errorf("after reset: %v", got)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := New()
+	a.Set([]byte("a"), []byte("1"))
+	b := New()
+	b.Delete([]byte("b"))
+	b.Set([]byte("c"), []byte("3"))
+	a.Append(b)
+	if a.Count() != 3 {
+		t.Errorf("Count after Append = %d", a.Count())
+	}
+	got := ops(a, t)
+	if got[2].key != "c" || got[1].kind != keys.KindDelete {
+		t.Errorf("appended ops wrong: %v", got)
+	}
+}
+
+func TestZeroValueBatchUsable(t *testing.T) {
+	var b Batch
+	b.Set([]byte("k"), []byte("v"))
+	if b.Count() != 1 {
+		t.Error("zero-value batch broken")
+	}
+	if len(ops(&b, t)) != 1 {
+		t.Error("zero-value batch Each broken")
+	}
+}
+
+func TestEachStopsOnError(t *testing.T) {
+	b := New()
+	b.Set([]byte("1"), nil)
+	b.Set([]byte("2"), nil)
+	n := 0
+	sentinel := errors.New("stop")
+	err := b.Each(func(kind keys.Kind, key, value []byte) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Errorf("Each: n=%d err=%v", n, err)
+	}
+}
+
+func TestBinaryKeysAndValues(t *testing.T) {
+	b := New()
+	key := []byte{0, 1, 2, 255, 254}
+	val := bytes.Repeat([]byte{0}, 1000)
+	b.Set(key, val)
+	d, err := Decode(append([]byte(nil), b.Encode()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Each(func(kind keys.Kind, k, v []byte) error {
+		if !bytes.Equal(k, key) || !bytes.Equal(v, val) {
+			t.Error("binary payload mangled")
+		}
+		return nil
+	})
+}

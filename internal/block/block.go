@@ -1,0 +1,282 @@
+// Package block implements the SSTable block format, following LevelDB:
+// entries store keys with shared-prefix compression relative to the previous
+// entry, a restart point (full key) is emitted every Interval entries, and
+// the block ends with the array of restart offsets plus its count:
+//
+//	entry:   varint(shared) varint(unshared) varint(valueLen)
+//	         unshared-key-bytes value-bytes
+//	trailer: fixed32 × numRestarts, fixed32 numRestarts
+//
+// Iterators binary-search the restart array, then scan forward. Blocks are
+// the unit of reading, caching, and filter granularity for the store.
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/iterator"
+)
+
+// DefaultInterval is the restart interval used by Writer when none is set.
+const DefaultInterval = 16
+
+// Writer accumulates sorted key/value entries into an encoded block.
+// Keys must be appended in strictly increasing order.
+type Writer struct {
+	// Interval is the number of entries between restart points.
+	Interval int
+
+	buf      []byte
+	restarts []uint32
+	counter  int
+	lastKey  []byte
+	n        int
+}
+
+func (w *Writer) interval() int {
+	if w.Interval <= 0 {
+		return DefaultInterval
+	}
+	return w.Interval
+}
+
+// Add appends an entry. key must be greater than every previously added key.
+func (w *Writer) Add(key, value []byte) {
+	shared := 0
+	if w.counter < w.interval() && len(w.restarts) > 0 {
+		n := len(w.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && key[shared] == w.lastKey[shared] {
+			shared++
+		}
+	} else {
+		w.restarts = append(w.restarts, uint32(len(w.buf)))
+		w.counter = 0
+	}
+	w.buf = encoding.PutUvarint(w.buf, uint64(shared))
+	w.buf = encoding.PutUvarint(w.buf, uint64(len(key)-shared))
+	w.buf = encoding.PutUvarint(w.buf, uint64(len(value)))
+	w.buf = append(w.buf, key[shared:]...)
+	w.buf = append(w.buf, value...)
+	w.lastKey = append(w.lastKey[:0], key...)
+	w.counter++
+	w.n++
+}
+
+// Count reports the number of entries added.
+func (w *Writer) Count() int { return w.n }
+
+// EstimatedSize reports the encoded size if Finish were called now.
+func (w *Writer) EstimatedSize() int {
+	return len(w.buf) + 4*len(w.restarts) + 4
+}
+
+// Empty reports whether no entries were added.
+func (w *Writer) Empty() bool { return w.n == 0 }
+
+// Finish seals and returns the encoded block. The Writer can be reused after
+// Reset.
+func (w *Writer) Finish() []byte {
+	if len(w.restarts) == 0 {
+		w.restarts = append(w.restarts, 0)
+	}
+	for _, r := range w.restarts {
+		w.buf = encoding.PutFixed32(w.buf, r)
+	}
+	w.buf = encoding.PutFixed32(w.buf, uint32(len(w.restarts)))
+	return w.buf
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.restarts = w.restarts[:0]
+	w.counter = 0
+	w.lastKey = w.lastKey[:0]
+	w.n = 0
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+// Reader decodes an encoded block. The data slice is retained.
+type Reader struct {
+	cmp         iterator.CompareFunc
+	data        []byte // entry region only
+	restarts    []byte // restart array region
+	numRestarts int
+}
+
+// NewReader validates the trailer and returns a reader.
+func NewReader(cmp iterator.CompareFunc, data []byte) (*Reader, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("block: too short (%d bytes)", len(data))
+	}
+	n := int(encoding.Fixed32(data[len(data)-4:]))
+	end := len(data) - 4 - 4*n
+	if n < 1 || end < 0 {
+		return nil, fmt.Errorf("block: bad restart count %d", n)
+	}
+	return &Reader{
+		cmp:         cmp,
+		data:        data[:end],
+		restarts:    data[end : len(data)-4],
+		numRestarts: n,
+	}, nil
+}
+
+func (r *Reader) restartOffset(i int) int {
+	return int(encoding.Fixed32(r.restarts[4*i:]))
+}
+
+// Iter returns an iterator over the block.
+func (r *Reader) Iter() iterator.Iterator {
+	return &blockIter{r: r, offset: -1}
+}
+
+type blockIter struct {
+	r      *Reader
+	offset int // offset of current entry in r.data; -1 = invalid
+	next   int // offset just past current entry
+	key    []byte
+	value  []byte
+	err    error
+}
+
+// decodeAt decodes the entry at off, using it.key as the prefix carrier.
+// Returns the offset past the entry, or -1 on corruption.
+func (it *blockIter) decodeAt(off int) int {
+	d := it.r.data[off:]
+	shared, n1 := encoding.Uvarint(d)
+	if n1 == 0 {
+		it.corrupt(off)
+		return -1
+	}
+	unshared, n2 := encoding.Uvarint(d[n1:])
+	if n2 == 0 {
+		it.corrupt(off)
+		return -1
+	}
+	vlen, n3 := encoding.Uvarint(d[n1+n2:])
+	if n3 == 0 {
+		it.corrupt(off)
+		return -1
+	}
+	h := n1 + n2 + n3
+	if uint64(len(d)-h) < unshared+vlen || uint64(len(it.key)) < shared {
+		it.corrupt(off)
+		return -1
+	}
+	it.key = append(it.key[:shared], d[h:h+int(unshared)]...)
+	it.value = d[h+int(unshared) : h+int(unshared)+int(vlen)]
+	return off + h + int(unshared) + int(vlen)
+}
+
+func (it *blockIter) corrupt(off int) {
+	it.err = fmt.Errorf("block: corrupt entry at offset %d", off)
+	it.offset = -1
+}
+
+func (it *blockIter) Valid() bool { return it.err == nil && it.offset >= 0 }
+
+// seekRestart positions at restart point i.
+func (it *blockIter) seekRestart(i int) {
+	it.key = it.key[:0]
+	it.offset = it.r.restartOffset(i)
+	it.next = it.decodeAt(it.offset)
+}
+
+func (it *blockIter) SeekGE(target []byte) {
+	if it.err != nil {
+		return
+	}
+	// Binary search: last restart whose key <= target.
+	lo, hi := 0, it.r.numRestarts-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		it.seekRestart(mid)
+		if it.err != nil {
+			return
+		}
+		if it.r.cmp(it.key, target) <= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.seekRestart(lo)
+	for it.Valid() && it.r.cmp(it.key, target) < 0 {
+		it.Next()
+	}
+}
+
+func (it *blockIter) SeekToFirst() {
+	if it.err != nil {
+		return
+	}
+	if len(it.r.data) == 0 {
+		it.offset = -1
+		return
+	}
+	it.seekRestart(0)
+}
+
+func (it *blockIter) SeekToLast() {
+	if it.err != nil {
+		return
+	}
+	if len(it.r.data) == 0 {
+		it.offset = -1
+		return
+	}
+	it.seekRestart(it.r.numRestarts - 1)
+	for it.err == nil && it.next < len(it.r.data) {
+		it.offset = it.next
+		it.next = it.decodeAt(it.next)
+	}
+}
+
+func (it *blockIter) Next() {
+	if !it.Valid() {
+		return
+	}
+	if it.next >= len(it.r.data) {
+		it.offset = -1
+		return
+	}
+	it.offset = it.next
+	it.next = it.decodeAt(it.next)
+}
+
+// Prev re-scans from the preceding restart point, as in LevelDB.
+func (it *blockIter) Prev() {
+	if !it.Valid() {
+		return
+	}
+	target := it.offset
+	if target == 0 {
+		it.offset = -1
+		return
+	}
+	// Find the last restart strictly before the current entry.
+	ri := 0
+	for i := it.r.numRestarts - 1; i >= 0; i-- {
+		if it.r.restartOffset(i) < target {
+			ri = i
+			break
+		}
+	}
+	it.seekRestart(ri)
+	for it.err == nil && it.next < target {
+		it.offset = it.next
+		it.next = it.decodeAt(it.next)
+	}
+}
+
+func (it *blockIter) Key() []byte   { return it.key }
+func (it *blockIter) Value() []byte { return it.value }
+func (it *blockIter) Error() error  { return it.err }
+func (it *blockIter) Close() error  { return it.err }

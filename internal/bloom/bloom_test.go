@@ -1,0 +1,145 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func key(i int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(nil, 10)
+	if f.MayContain([]byte("anything")) {
+		t.Error("empty filter claims membership")
+	}
+	if Filter(nil).MayContain([]byte("x")) {
+		t.Error("nil filter claims membership")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		keysList := make([][]byte, n)
+		for i := range keysList {
+			keysList[i] = key(i)
+		}
+		f := New(keysList, 10)
+		for i := range keysList {
+			if !f.MayContain(keysList[i]) {
+				t.Fatalf("n=%d: false negative for key %d", n, i)
+			}
+		}
+	}
+}
+
+func falsePositiveRate(t *testing.T, bitsPerKey int) float64 {
+	t.Helper()
+	const n = 10000
+	keysList := make([][]byte, n)
+	for i := range keysList {
+		keysList[i] = key(i)
+	}
+	f := New(keysList, bitsPerKey)
+	fp := 0
+	for i := 0; i < n; i++ {
+		if f.MayContain(key(i + 1000000000)) {
+			fp++
+		}
+	}
+	return float64(fp) / n
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	if r := falsePositiveRate(t, 10); r > 0.02 {
+		t.Errorf("10 bits/key FP rate = %.4f, want < 2%%", r)
+	}
+}
+
+// The paper's Fig 13: beyond ~16 bits/key, accuracy gains saturate. Verify
+// monotone improvement up to that point.
+func TestFalsePositiveRateImprovesWithBits(t *testing.T) {
+	r4 := falsePositiveRate(t, 4)
+	r8 := falsePositiveRate(t, 8)
+	r16 := falsePositiveRate(t, 16)
+	if !(r4 > r8 && r8 >= r16) {
+		t.Errorf("FP rates not improving: 4b=%.4f 8b=%.4f 16b=%.4f", r4, r8, r16)
+	}
+	if r16 > 0.005 {
+		t.Errorf("16 bits/key FP rate = %.4f, want < 0.5%%", r16)
+	}
+}
+
+func TestFilterSizeScalesWithBitsPerKey(t *testing.T) {
+	keysList := make([][]byte, 1000)
+	for i := range keysList {
+		keysList[i] = key(i)
+	}
+	prev := 0
+	for _, b := range []int{8, 16, 32, 64, 128} {
+		size := len(New(keysList, b))
+		if size <= prev {
+			t.Errorf("filter size with %d bits/key = %d, not larger than previous %d", b, size, prev)
+		}
+		prev = size
+	}
+}
+
+func TestSmallFilterMinimumSize(t *testing.T) {
+	f := New([][]byte{[]byte("one")}, 10)
+	// 64-bit minimum plus probe-count byte.
+	if len(f) != 9 {
+		t.Errorf("tiny filter length = %d, want 9", len(f))
+	}
+}
+
+func TestClampBitsPerKey(t *testing.T) {
+	f := New([][]byte{[]byte("k")}, 0) // clamped to 1
+	if !f.MayContain([]byte("k")) {
+		t.Error("clamped filter lost its key")
+	}
+}
+
+func TestHashDistinct(t *testing.T) {
+	seen := map[uint32]string{}
+	collisions := 0
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		h := Hash([]byte(k))
+		if _, dup := seen[h]; dup {
+			collisions++
+		}
+		seen[h] = k
+	}
+	// ~100k keys in a 32-bit space: expected ≈ 1-2 collisions.
+	if collisions > 20 {
+		t.Errorf("%d hash collisions in 100k keys", collisions)
+	}
+}
+
+func BenchmarkBuild10BitsPerKey(b *testing.B) {
+	keysList := make([][]byte, 2048)
+	for i := range keysList {
+		keysList[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(keysList, 10)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keysList := make([][]byte, 2048)
+	for i := range keysList {
+		keysList[i] = key(i)
+	}
+	f := New(keysList, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key(i % 4096))
+	}
+}

@@ -1,0 +1,131 @@
+// Package cache provides the LRU cache used for SSTable data blocks, index
+// blocks, and Bloom filters. The paper's read-path analysis assumes indexes
+// and filters of hot SSTables stay resident in memory (§II-B, §III-C); this
+// cache is that residency.
+//
+// Entries are keyed by (file number, offset) and weighed by their byte size.
+// The cache is safe for concurrent use.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies a cached entry.
+type Key struct {
+	FileNum uint64
+	Offset  uint64
+}
+
+// Cache is a size-bounded LRU map.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[Key]*list.Element
+
+	hits, misses int64
+}
+
+type entry struct {
+	key    Key
+	value  interface{}
+	charge int64
+}
+
+// New returns a cache bounded at capacity bytes. A non-positive capacity
+// yields a cache that stores nothing (but never fails).
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, if present.
+func (c *Cache) Get(k Key) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Set inserts or replaces the value for k with the given byte charge,
+// evicting least-recently-used entries as needed.
+func (c *Cache) Set(k Key, v interface{}, charge int64) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		old := el.Value.(*entry)
+		c.used += charge - old.charge
+		old.value, old.charge = v, charge
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: k, value: v, charge: charge})
+		c.items[k] = el
+		c.used += charge
+	}
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.charge
+}
+
+// EvictFile drops every entry belonging to the given file, called when an
+// SSTable is deleted.
+func (c *Cache) EvictFile(fileNum uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.FileNum == fileNum {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.used -= e.charge
+		}
+		el = next
+	}
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Used reports resident bytes.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats reports hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

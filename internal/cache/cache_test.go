@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetSet(t *testing.T) {
+	c := New(1000)
+	k := Key{FileNum: 1, Offset: 0}
+	if _, ok := c.Get(k); ok {
+		t.Error("empty cache hit")
+	}
+	c.Set(k, "v1", 10)
+	v, ok := c.Get(k)
+	if !ok || v != "v1" {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestReplaceUpdatesCharge(t *testing.T) {
+	c := New(100)
+	k := Key{FileNum: 1}
+	c.Set(k, "small", 10)
+	c.Set(k, "large", 60)
+	if c.Used() != 60 {
+		t.Errorf("Used = %d, want 60", c.Used())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get(k)
+	if v != "large" {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	c := New(30)
+	for i := 0; i < 3; i++ {
+		c.Set(Key{FileNum: uint64(i)}, i, 10)
+	}
+	// Touch 0 so it becomes most recent; inserting a new entry evicts 1.
+	c.Get(Key{FileNum: 0})
+	c.Set(Key{FileNum: 9}, 9, 10)
+	if _, ok := c.Get(Key{FileNum: 1}); ok {
+		t.Error("LRU entry not evicted")
+	}
+	for _, f := range []uint64{0, 2, 9} {
+		if _, ok := c.Get(Key{FileNum: f}); !ok {
+			t.Errorf("entry %d wrongly evicted", f)
+		}
+	}
+}
+
+func TestEvictionByWeight(t *testing.T) {
+	c := New(100)
+	c.Set(Key{FileNum: 1}, "a", 90)
+	c.Set(Key{FileNum: 2}, "b", 90) // must evict 1
+	if _, ok := c.Get(Key{FileNum: 1}); ok {
+		t.Error("overweight entry kept")
+	}
+	if c.Used() > 100 {
+		t.Errorf("Used = %d exceeds capacity", c.Used())
+	}
+}
+
+func TestOversizeEntryEvictsEverything(t *testing.T) {
+	c := New(50)
+	c.Set(Key{FileNum: 1}, "a", 10)
+	c.Set(Key{FileNum: 2}, "big", 500)
+	// Cache cannot hold it; it must not leak accounting.
+	if c.Used() > 50 && c.Len() > 0 {
+		t.Errorf("Used=%d Len=%d after oversize insert", c.Used(), c.Len())
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Set(Key{FileNum: 1}, "x", 1)
+	if _, ok := c.Get(Key{FileNum: 1}); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestEvictFile(t *testing.T) {
+	c := New(1000)
+	for off := uint64(0); off < 5; off++ {
+		c.Set(Key{FileNum: 7, Offset: off}, off, 10)
+		c.Set(Key{FileNum: 8, Offset: off}, off, 10)
+	}
+	c.EvictFile(7)
+	for off := uint64(0); off < 5; off++ {
+		if _, ok := c.Get(Key{FileNum: 7, Offset: off}); ok {
+			t.Errorf("file 7 offset %d survived EvictFile", off)
+		}
+		if _, ok := c.Get(Key{FileNum: 8, Offset: off}); !ok {
+			t.Errorf("file 8 offset %d wrongly evicted", off)
+		}
+	}
+	if c.Used() != 50 {
+		t.Errorf("Used = %d, want 50", c.Used())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(100)
+	c.Set(Key{FileNum: 1}, "v", 1)
+	c.Get(Key{FileNum: 1})
+	c.Get(Key{FileNum: 2})
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("Stats = %d hits, %d misses", h, m)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(10000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := Key{FileNum: uint64(i % 50), Offset: uint64(g)}
+				c.Set(k, fmt.Sprintf("%d-%d", g, i), 5)
+				c.Get(k)
+				if i%100 == 0 {
+					c.EvictFile(uint64(i % 50))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 10000 {
+		t.Errorf("Used = %d exceeds capacity after concurrent load", c.Used())
+	}
+}

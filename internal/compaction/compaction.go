@@ -1,0 +1,512 @@
+// Package compaction holds the pure decision logic of the three compaction
+// policies the repository implements:
+//
+//   - UDC — the traditional upper-level driven compaction of LevelDB: the
+//     file picked in level L immediately drags every overlapping file in
+//     level L+1 into one merge (the paper's baseline).
+//   - LDC — the paper's contribution: picking a file triggers a metadata-only
+//     *link* (freeze the file, slice it across the overlapping lower files);
+//     real I/O happens only as a *merge* driven by a lower-level file that
+//     has accumulated SliceThreshold slices (paper Algorithm 1).
+//   - Tiered — a size-tiered lazy policy (Cassandra-style) used to
+//     demonstrate the motivation that lazy schemes enlarge compaction
+//     granularity and tail latency.
+//
+// The package decides *what* to do (a Pick); the executing store performs
+// the I/O. Keeping the policy pure makes it unit-testable against synthetic
+// versions.
+package compaction
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/version"
+)
+
+// Policy selects the compaction algorithm.
+type Policy int
+
+// Available policies.
+const (
+	// UDC is upper-level driven compaction (LevelDB default).
+	UDC Policy = iota
+	// LDC is the paper's lower-level driven compaction.
+	LDC
+	// Tiered is a size-tiered lazy baseline.
+	Tiered
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case UDC:
+		return "UDC"
+	case LDC:
+		return "LDC"
+	case Tiered:
+		return "Tiered"
+	default:
+		return "unknown"
+	}
+}
+
+// Params are the sizing knobs of the tree, mirroring the paper's symbols:
+// Fanout is k, SSTableSize is b, SliceThreshold is T_s.
+type Params struct {
+	// Fanout is the capacity ratio between adjacent levels (k).
+	Fanout int
+	// SSTableSize is the target output file size (b).
+	SSTableSize int64
+	// BaseLevelBytes caps level 1; deeper levels grow by Fanout. When zero
+	// it defaults to Fanout × SSTableSize.
+	BaseLevelBytes int64
+	// L0Trigger is the L0 file count that triggers an L0→L1 compaction.
+	L0Trigger int
+	// SliceThreshold is LDC's T_s: the slice count on a lower-level file
+	// that triggers its merge. When zero it defaults to Fanout.
+	SliceThreshold int
+	// FrozenFraction caps the frozen region relative to total table bytes;
+	// above it the most-linked file is force-merged. Defaults to 0.25 (the
+	// paper's worst-case space bound, §III-D).
+	FrozenFraction float64
+	// TieredTrigger is the per-tier file count for the Tiered policy.
+	// When zero it defaults to Fanout.
+	TieredTrigger int
+	// DisableTrivialMove forces a rewrite even when a file could move down
+	// by metadata only (ablation benchmarks).
+	DisableTrivialMove bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Fanout <= 1 {
+		p.Fanout = 10
+	}
+	if p.SSTableSize <= 0 {
+		p.SSTableSize = 2 << 20
+	}
+	if p.BaseLevelBytes <= 0 {
+		p.BaseLevelBytes = int64(p.Fanout) * p.SSTableSize
+	}
+	if p.L0Trigger <= 0 {
+		p.L0Trigger = 4
+	}
+	if p.SliceThreshold <= 0 {
+		p.SliceThreshold = p.Fanout
+	}
+	if p.FrozenFraction <= 0 {
+		p.FrozenFraction = 0.25
+	}
+	if p.TieredTrigger <= 0 {
+		p.TieredTrigger = p.Fanout
+	}
+	return p
+}
+
+// MaxBytesForLevel returns the capacity target of a level (levels >= 1).
+func (p Params) MaxBytesForLevel(level int) int64 {
+	n := p.BaseLevelBytes
+	for l := 1; l < level; l++ {
+		n *= int64(p.Fanout)
+	}
+	return n
+}
+
+// Kind discriminates what a Pick asks the store to do.
+type Kind int
+
+// Pick kinds.
+const (
+	// PickNone: nothing to do.
+	PickNone Kind = iota
+	// PickCompact: conventional merge of Inputs (level Level) with
+	// Overlaps (level Level+1); outputs land in Level+1. Used by UDC at
+	// all levels, by LDC for L0→L1, and by Tiered within tiers.
+	PickCompact
+	// PickTrivialMove: Inputs[0] can move to Level+1 by metadata only.
+	PickTrivialMove
+	// PickLink: LDC link phase: freeze Inputs[0] (level Level) and attach
+	// one slice per file in Overlaps (level Level+1). Metadata only.
+	PickLink
+	// PickMerge: LDC merge phase: rewrite Target (level Level) together
+	// with its accumulated slices; outputs land in Level (same level).
+	PickMerge
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case PickNone:
+		return "none"
+	case PickCompact:
+		return "compact"
+	case PickTrivialMove:
+		return "trivial-move"
+	case PickLink:
+		return "link"
+	case PickMerge:
+		return "merge"
+	default:
+		return "unknown"
+	}
+}
+
+// Pick describes one unit of compaction work.
+type Pick struct {
+	Kind Kind
+	// Level is the input level (for PickMerge: the level of Target).
+	Level int
+	// Inputs are upper-level input files.
+	Inputs []*version.FileMeta
+	// Overlaps are the lower-level files involved (merge inputs for
+	// PickCompact, link targets for PickLink).
+	Overlaps []*version.FileMeta
+	// Target is the lower-level file whose slices a PickMerge consumes.
+	Target *version.FileMeta
+	// Score is the pressure that triggered the pick (diagnostics).
+	Score float64
+}
+
+// Picker chooses compaction work from a version. It is not safe for
+// concurrent use; the store calls it under its own mutex.
+type Picker struct {
+	policy Policy
+	params Params
+	icmp   keys.InternalComparer
+	// pointers are the per-level round-robin cursors (largest key of the
+	// last compacted file), as in LevelDB.
+	pointers [version.NumLevels]keys.InternalKey
+	// threshold supplies T_s dynamically (self-adaptive mode); nil means
+	// use params.SliceThreshold.
+	threshold func() int
+}
+
+// NewPicker returns a picker for the given policy.
+func NewPicker(policy Policy, params Params, icmp keys.InternalComparer) *Picker {
+	return &Picker{policy: policy, params: params.withDefaults(), icmp: icmp}
+}
+
+// SetThresholdFunc installs a dynamic SliceThreshold source (the adaptive
+// controller). Passing nil reverts to the static parameter.
+func (p *Picker) SetThresholdFunc(fn func() int) { p.threshold = fn }
+
+// SetPointer restores a round-robin cursor (from the MANIFEST on recovery).
+func (p *Picker) SetPointer(level int, key keys.InternalKey) { p.pointers[level] = key }
+
+// Pointer reads a cursor (persisted into version edits by the store).
+func (p *Picker) Pointer(level int) keys.InternalKey { return p.pointers[level] }
+
+// Params returns the effective parameters.
+func (p *Picker) Params() Params { return p.params }
+
+// SliceThreshold returns the current T_s.
+func (p *Picker) SliceThreshold() int {
+	if p.threshold != nil {
+		if t := p.threshold(); t > 0 {
+			return t
+		}
+	}
+	return p.params.SliceThreshold
+}
+
+// Score reports the compaction pressure of a level: >= 1 means the level
+// needs compaction. L0 scores by file count, deeper levels by byte size
+// relative to the level target. Under LDC, bytes pending in slices count
+// toward the level that will absorb them.
+func (p *Picker) Score(v *version.Version, level int) float64 {
+	if level == 0 {
+		return float64(v.NumFiles(0)) / float64(p.params.L0Trigger)
+	}
+	bytes := v.LevelBytes(level)
+	if p.policy == LDC {
+		for _, f := range v.Sliced[level] {
+			bytes += f.SliceBytes()
+		}
+	}
+	return float64(bytes) / float64(p.MaxBytesForLevel(level))
+}
+
+// MaxBytesForLevel exposes the level target for stats.
+func (p *Picker) MaxBytesForLevel(level int) int64 { return p.params.MaxBytesForLevel(level) }
+
+// Pick returns the next unit of work, or a PickNone.
+func (p *Picker) Pick(v *version.Version) Pick {
+	switch p.policy {
+	case Tiered:
+		return p.pickTiered(v)
+	case LDC:
+		return p.pickLDC(v)
+	default:
+		return p.pickUDC(v)
+	}
+}
+
+// pickLevel returns the level with the highest score >= 1, or -1.
+func (p *Picker) pickLevel(v *version.Version) (int, float64) {
+	best, bestScore := -1, 1.0
+	for level := 0; level < version.NumLevels-1; level++ {
+		if s := p.Score(v, level); s >= bestScore {
+			best, bestScore = level, s
+		}
+	}
+	return best, bestScore
+}
+
+// pickFileRoundRobin returns the first file after the level's cursor for
+// which ok returns true, wrapping around; nil if none qualifies.
+func (p *Picker) pickFileRoundRobin(v *version.Version, level int, ok func(*version.FileMeta) bool) *version.FileMeta {
+	files := v.Levels[level]
+	if len(files) == 0 {
+		return nil
+	}
+	ptr := p.pointers[level]
+	start := 0
+	if ptr != nil {
+		for i, f := range files {
+			if p.icmp.Compare(f.Largest, ptr) > 0 {
+				start = i
+				break
+			}
+		}
+	}
+	for i := 0; i < len(files); i++ {
+		f := files[(start+i)%len(files)]
+		if ok == nil || ok(f) {
+			return f
+		}
+	}
+	return nil
+}
+
+// expandL0 grows an L0 input set to the transitive closure of overlapping
+// L0 files (they may mutually overlap).
+func (p *Picker) expandL0(v *version.Version, seed *version.FileMeta) []*version.FileMeta {
+	ucmp := p.icmp.User
+	r := seed.UserRange()
+	inputs := []*version.FileMeta{seed}
+	for grew := true; grew; {
+		grew = false
+		for _, f := range v.Levels[0] {
+			already := false
+			for _, in := range inputs {
+				if in.Num == f.Num {
+					already = true
+					break
+				}
+			}
+			if already || !f.UserRange().Overlaps(ucmp, r) {
+				continue
+			}
+			inputs = append(inputs, f)
+			if ucmp.Compare(f.Smallest.UserKey(), r.Lo) < 0 {
+				r.Lo = f.Smallest.UserKey()
+			}
+			if ucmp.Compare(f.Largest.UserKey(), r.Hi) > 0 {
+				r.Hi = f.Largest.UserKey()
+			}
+			grew = true
+		}
+	}
+	return inputs
+}
+
+func inputsRange(ucmp keys.Comparer, files []*version.FileMeta) keys.KeyRange {
+	r := files[0].UserRange()
+	for _, f := range files[1:] {
+		if ucmp.Compare(f.Smallest.UserKey(), r.Lo) < 0 {
+			r.Lo = f.Smallest.UserKey()
+		}
+		if ucmp.Compare(f.Largest.UserKey(), r.Hi) > 0 {
+			r.Hi = f.Largest.UserKey()
+		}
+	}
+	return r
+}
+
+// pickUDC implements the LevelDB-style upper-level driven pick.
+func (p *Picker) pickUDC(v *version.Version) Pick {
+	level, score := p.pickLevel(v)
+	if level < 0 {
+		return Pick{Kind: PickNone}
+	}
+	var inputs []*version.FileMeta
+	if level == 0 {
+		inputs = p.expandL0(v, v.Levels[0][0])
+	} else {
+		f := p.pickFileRoundRobin(v, level, nil)
+		if f == nil {
+			return Pick{Kind: PickNone}
+		}
+		inputs = []*version.FileMeta{f}
+	}
+	r := inputsRange(p.icmp.User, inputs)
+	overlaps := v.Overlaps(level+1, r)
+	if len(overlaps) == 0 && len(inputs) == 1 && !p.params.DisableTrivialMove {
+		return Pick{Kind: PickTrivialMove, Level: level, Inputs: inputs, Score: score}
+	}
+	return Pick{Kind: PickCompact, Level: level, Inputs: inputs, Overlaps: overlaps, Score: score}
+}
+
+// pickLDC implements the paper's Algorithm 1 scheduling:
+//  1. any lower-level file at or past T_s slices merges first;
+//  2. a frozen region past its space bound forces the most-linked file to
+//     merge;
+//  3. otherwise the most pressured level links (L0 compacts conventionally).
+func (p *Picker) pickLDC(v *version.Version) Pick {
+	ts := p.SliceThreshold()
+
+	// 1. Merge any file that accumulated enough upper-level data: either
+	// SliceThreshold slices (Algorithm 1's trigger) or slice bytes matching
+	// its own size ("nearly the same amount of data as itself", §III-A),
+	// scaled with T_s when the threshold is self-adapted away from fan-out.
+	byteTrigger := func(f *version.FileMeta) int64 {
+		return f.Size * int64(ts) / int64(p.params.Fanout)
+	}
+	for level := 1; level < version.NumLevels; level++ {
+		for _, f := range v.Sliced[level] {
+			if len(f.Slices) >= ts || f.SliceBytes() >= byteTrigger(f) {
+				return Pick{Kind: PickMerge, Level: level, Target: f,
+					Score: float64(len(f.Slices)) / float64(ts)}
+			}
+		}
+	}
+
+	// 2. Space backpressure: only *duplicated* frozen bytes (already-merged
+	// slice portions, the paper's gray slices) are true overhead; force the
+	// most-linked file to merge when they exceed the bound.
+	if dup := v.DuplicatedFrozenBytes(); dup > 0 {
+		var total int64
+		for l := 0; l < version.NumLevels; l++ {
+			total += v.LevelBytes(l)
+		}
+		if float64(dup) > p.params.FrozenFraction*float64(total+dup) {
+			var best *version.FileMeta
+			bestLevel := -1
+			var bestBytes int64
+			for level := 1; level < version.NumLevels; level++ {
+				for _, f := range v.Sliced[level] {
+					if sb := f.SliceBytes(); sb > bestBytes {
+						best, bestLevel, bestBytes = f, level, sb
+					}
+				}
+			}
+			if best != nil {
+				return Pick{Kind: PickMerge, Level: bestLevel, Target: best, Score: 1}
+			}
+		}
+	}
+
+	// 3. Pressure-driven link (or conventional L0 compaction).
+	level, score := p.pickLevel(v)
+	if level < 0 {
+		return Pick{Kind: PickNone}
+	}
+	if level == 0 {
+		inputs := p.expandL0(v, v.Levels[0][0])
+		r := inputsRange(p.icmp.User, inputs)
+		overlaps := v.EffectiveOverlaps(1, r)
+		if len(overlaps) == 0 && len(inputs) == 1 && !p.params.DisableTrivialMove {
+			return Pick{Kind: PickTrivialMove, Level: 0, Inputs: inputs, Score: score}
+		}
+		return Pick{Kind: PickCompact, Level: 0, Inputs: inputs, Overlaps: overlaps, Score: score}
+	}
+
+	// A file already carrying slices cannot be frozen (paper §III-D); if the
+	// round-robin cursor lands on one, merge it instead so the level can
+	// progress next round.
+	f := p.pickFileRoundRobin(v, level, func(f *version.FileMeta) bool {
+		return len(f.Slices) == 0
+	})
+	if f == nil {
+		// Every file carries slices: merge the fullest one.
+		var best *version.FileMeta
+		for _, c := range v.Sliced[level] {
+			if best == nil || len(c.Slices) > len(best.Slices) {
+				best = c
+			}
+		}
+		if best == nil {
+			return Pick{Kind: PickNone}
+		}
+		return Pick{Kind: PickMerge, Level: level, Target: best, Score: score}
+	}
+
+	overlaps := v.EffectiveOverlaps(level+1, EffectiveRangeOf(p.icmp.User, f))
+	if len(overlaps) == 0 {
+		if p.params.DisableTrivialMove {
+			return Pick{Kind: PickCompact, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
+		}
+		return Pick{Kind: PickTrivialMove, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
+	}
+	return Pick{Kind: PickLink, Level: level, Inputs: []*version.FileMeta{f},
+		Overlaps: overlaps, Score: score}
+}
+
+// EffectiveRangeOf is re-exported here for executor convenience.
+func EffectiveRangeOf(ucmp keys.Comparer, f *version.FileMeta) keys.KeyRange {
+	return version.EffectiveRange(ucmp, f)
+}
+
+// pickTiered merges a whole tier into the next when it accumulates
+// TieredTrigger files. Levels hold mutually overlapping runs, so the
+// store must be in overlap-tolerant mode.
+func (p *Picker) pickTiered(v *version.Version) Pick {
+	for level := 0; level < version.NumLevels-1; level++ {
+		files := v.Levels[level]
+		if len(files) >= p.params.TieredTrigger {
+			inputs := append([]*version.FileMeta(nil), files...)
+			return Pick{
+				Kind:   PickCompact,
+				Level:  level,
+				Inputs: inputs,
+				Score:  float64(len(files)) / float64(p.params.TieredTrigger),
+			}
+		}
+	}
+	return Pick{Kind: PickNone}
+}
+
+// SliceWindows computes the per-target slice key windows for a link of
+// upper file su across the lower-level overlap set (paper Example 3.2):
+// the first target's window starts at su's smallest key, each subsequent
+// window starts just after the previous target's responsibility boundary,
+// and the last window extends to su's largest key. Responsibility
+// boundaries use each target's *effective* largest key (own range union
+// existing slice windows) so repeated links stay consistent, and windows
+// are clamped to be contiguous and non-inverted, guaranteeing every key of
+// su lands in exactly one slice. SliceWindows sorts overlaps in place by
+// effective lower bound and returns windows in that order. Windows are
+// inclusive; "just after" appends a zero byte, the successor under the
+// bytewise comparer.
+func SliceWindows(ucmp keys.Comparer, su *version.FileMeta, overlaps []*version.FileMeta) []keys.KeyRange {
+	sortByEffectiveLo(ucmp, overlaps)
+	windows := make([]keys.KeyRange, len(overlaps))
+	lo := su.Smallest.UserKey()
+	for i, sl := range overlaps {
+		hi := version.EffectiveRange(ucmp, sl).Hi
+		if ucmp.Compare(hi, lo) < 0 {
+			hi = lo // degenerate target entirely below the remaining range
+		}
+		if i == len(overlaps)-1 && ucmp.Compare(su.Largest.UserKey(), hi) > 0 {
+			hi = su.Largest.UserKey()
+		}
+		windows[i] = keys.KeyRange{Lo: lo, Hi: hi}
+		lo = successor(hi)
+	}
+	return windows
+}
+
+func sortByEffectiveLo(ucmp keys.Comparer, files []*version.FileMeta) {
+	sort.Slice(files, func(i, j int) bool {
+		return ucmp.Compare(version.EffectiveRange(ucmp, files[i]).Lo,
+			version.EffectiveRange(ucmp, files[j]).Lo) < 0
+	})
+}
+
+// successor returns the smallest byte string strictly greater than k under
+// bytewise ordering.
+func successor(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	return out
+}

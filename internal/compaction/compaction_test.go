@@ -1,0 +1,367 @@
+package compaction
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/version"
+)
+
+var icmp = keys.InternalComparer{User: keys.BytewiseComparer{}}
+
+func ik(u string, seq keys.Seq) keys.InternalKey {
+	return keys.MakeInternalKey(nil, []byte(u), seq, keys.KindSet)
+}
+
+func fm(num uint64, lo, hi string, size int64) *version.FileMeta {
+	return &version.FileMeta{Num: num, Size: size, Smallest: ik(lo, 2), Largest: ik(hi, 1)}
+}
+
+// buildV assembles a version from per-level file lists via the public edit
+// path so Sliced etc. are derived.
+func buildV(t *testing.T, edit func(e *version.Edit)) *version.Version {
+	t.Helper()
+	e := &version.Edit{}
+	edit(e)
+	v, err := version.BuildForTest(icmp, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func testParams() Params {
+	return Params{Fanout: 10, SSTableSize: 1000, L0Trigger: 4}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Fanout != 10 || p.SliceThreshold != 10 || p.L0Trigger != 4 ||
+		p.BaseLevelBytes != int64(p.Fanout)*p.SSTableSize || p.TieredTrigger != 10 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestMaxBytesForLevel(t *testing.T) {
+	p := Params{Fanout: 10, SSTableSize: 1000}.withDefaults()
+	if p.MaxBytesForLevel(1) != 10000 {
+		t.Errorf("L1 = %d", p.MaxBytesForLevel(1))
+	}
+	if p.MaxBytesForLevel(3) != 1000000 {
+		t.Errorf("L3 = %d", p.MaxBytesForLevel(3))
+	}
+}
+
+func TestScoreL0ByFileCount(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(0, fm(1, "a", "z", 100))
+		e.AddFile(0, fm(2, "a", "z", 100))
+	})
+	if got := pk.Score(v, 0); got != 0.5 {
+		t.Errorf("L0 score = %v", got)
+	}
+}
+
+func TestScoreDeepLevelByBytes(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "c", 5000))
+		e.AddFile(1, fm(2, "d", "f", 15000))
+	})
+	if got := pk.Score(v, 1); got != 2.0 { // 20000 / (10*1000)
+		t.Errorf("L1 score = %v", got)
+	}
+}
+
+func TestPickNoneWhenBalanced(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "c", 1000))
+	})
+	if got := pk.Pick(v); got.Kind != PickNone {
+		t.Errorf("Pick = %v", got.Kind)
+	}
+}
+
+func TestUDCPicksL0WithClosure(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		// Four mutually chained L0 files.
+		e.AddFile(0, fm(1, "a", "f", 100))
+		e.AddFile(0, fm(2, "e", "k", 100))
+		e.AddFile(0, fm(3, "j", "p", 100))
+		e.AddFile(0, fm(4, "x", "z", 100)) // disjoint from the chain
+		e.AddFile(1, fm(5, "c", "m", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickCompact || got.Level != 0 {
+		t.Fatalf("Pick = %v level %d", got.Kind, got.Level)
+	}
+	if len(got.Inputs) != 3 {
+		t.Errorf("L0 closure picked %d files, want 3 (chain)", len(got.Inputs))
+	}
+	if len(got.Overlaps) != 1 || got.Overlaps[0].Num != 5 {
+		t.Errorf("overlaps = %v", got.Overlaps)
+	}
+}
+
+func TestUDCTrivialMove(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "c", 20000)) // over target
+		e.AddFile(2, fm(2, "m", "z", 100))   // no overlap with (a,c)
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickTrivialMove || got.Inputs[0].Num != 1 {
+		t.Errorf("Pick = %v inputs=%v", got.Kind, got.Inputs)
+	}
+}
+
+func TestUDCCompactWithOverlaps(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "m", 20000))
+		e.AddFile(2, fm(2, "a", "f", 100))
+		e.AddFile(2, fm(3, "g", "p", 100))
+		e.AddFile(2, fm(4, "q", "z", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickCompact || got.Level != 1 {
+		t.Fatalf("Pick = %v", got.Kind)
+	}
+	if len(got.Overlaps) != 2 {
+		t.Errorf("overlaps = %d files, want 2", len(got.Overlaps))
+	}
+}
+
+func TestRoundRobinPointerAdvances(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "c", 20000))
+		e.AddFile(1, fm(2, "d", "f", 20000))
+	})
+	first := pk.Pick(v)
+	if first.Inputs[0].Num != 1 {
+		t.Fatalf("first pick = file %d", first.Inputs[0].Num)
+	}
+	// Simulate the store recording the pointer after compacting file 1.
+	pk.SetPointer(1, first.Inputs[0].Largest)
+	second := pk.Pick(v)
+	if second.Inputs[0].Num != 2 {
+		t.Errorf("second pick = file %d, want 2", second.Inputs[0].Num)
+	}
+	// Pointer past the last file wraps around.
+	pk.SetPointer(1, second.Inputs[0].Largest)
+	third := pk.Pick(v)
+	if third.Inputs[0].Num != 1 {
+		t.Errorf("wrap-around pick = file %d, want 1", third.Inputs[0].Num)
+	}
+}
+
+func TestLDCLinksInsteadOfCompacting(t *testing.T) {
+	pk := NewPicker(LDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "m", 20000))
+		e.AddFile(2, fm(2, "a", "f", 100))
+		e.AddFile(2, fm(3, "g", "p", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickLink || got.Level != 1 {
+		t.Fatalf("Pick = %v", got.Kind)
+	}
+	if len(got.Overlaps) != 2 {
+		t.Errorf("link targets = %d", len(got.Overlaps))
+	}
+}
+
+func TestLDCMergePriorityAtThreshold(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 2
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(1, fm(1, "a", "m", 20000)) // pressure exists
+		f := fm(2, "a", "f", 100)
+		e.AddFile(2, f)
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 100, Smallest: ik("a", 9), Largest: ik("f", 8)})
+		e.FreezeFile(&version.FrozenMeta{Num: 91, Size: 100, Smallest: ik("a", 9), Largest: ik("f", 8)})
+		e.AddSlice(2, 2, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 1, Bytes: 50})
+		e.AddSlice(2, 2, version.Slice{FrozenNum: 91, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 2, Bytes: 50})
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickMerge || got.Target == nil || got.Target.Num != 2 {
+		t.Fatalf("Pick = %v target=%v, want merge of file 2", got.Kind, got.Target)
+	}
+}
+
+func TestLDCSkipsSlicedFilesForLinking(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 5
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, func(e *version.Edit) {
+		// L1 over target with two files; file 1 already carries a slice.
+		f1 := fm(1, "a", "c", 15000)
+		e.AddFile(1, f1)
+		e.AddFile(1, fm(2, "d", "f", 15000))
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 10, Smallest: ik("a", 9), Largest: ik("c", 8)})
+		e.AddSlice(1, 1, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("c")}, LinkSeq: 1, Bytes: 10})
+		e.AddFile(2, fm(3, "a", "z", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickLink {
+		t.Fatalf("Pick = %v", got.Kind)
+	}
+	if got.Inputs[0].Num != 2 {
+		t.Errorf("picked file %d for linking, want slice-free file 2", got.Inputs[0].Num)
+	}
+}
+
+func TestLDCMergesWhenAllFilesSliced(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 5
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, func(e *version.Edit) {
+		f1 := fm(1, "a", "c", 25000)
+		e.AddFile(1, f1)
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 10, Smallest: ik("a", 9), Largest: ik("c", 8)})
+		e.AddSlice(1, 1, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("c")}, LinkSeq: 1, Bytes: 10})
+		e.AddFile(2, fm(3, "a", "z", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickMerge || got.Target.Num != 1 {
+		t.Errorf("Pick = %v target=%v", got.Kind, got.Target)
+	}
+}
+
+func TestLDCFrozenBackpressure(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 100 // never trigger by count
+	params.FrozenFraction = 0.10
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, func(e *version.Edit) {
+		f := fm(2, "a", "f", 100)
+		e.AddFile(2, f)
+		// Huge frozen region vs tiny resident data.
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 100000, Smallest: ik("a", 9), Largest: ik("f", 8)})
+		e.AddSlice(2, 2, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 1, Bytes: 100000})
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickMerge || got.Target.Num != 2 {
+		t.Errorf("Pick = %v, want forced merge under space backpressure", got.Kind)
+	}
+}
+
+func TestLDCL0StillCompactsConventionally(t *testing.T) {
+	pk := NewPicker(LDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		for i := 0; i < 4; i++ {
+			e.AddFile(0, fm(uint64(i+1), "a", "z", 100))
+		}
+		e.AddFile(1, fm(9, "c", "m", 100))
+	})
+	got := pk.Pick(v)
+	if got.Kind != PickCompact || got.Level != 0 {
+		t.Errorf("Pick = %v level=%d", got.Kind, got.Level)
+	}
+}
+
+func TestAdaptiveThresholdFeedsPicker(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 7
+	pk := NewPicker(LDC, params, icmp)
+	if pk.SliceThreshold() != 7 {
+		t.Fatalf("static threshold = %d", pk.SliceThreshold())
+	}
+	pk.SetThresholdFunc(func() int { return 3 })
+	if pk.SliceThreshold() != 3 {
+		t.Errorf("dynamic threshold = %d", pk.SliceThreshold())
+	}
+	pk.SetThresholdFunc(nil)
+	if pk.SliceThreshold() != 7 {
+		t.Errorf("revert threshold = %d", pk.SliceThreshold())
+	}
+}
+
+func TestTieredMergesWholeTier(t *testing.T) {
+	params := testParams()
+	params.TieredTrigger = 3
+	pk := NewPicker(Tiered, params, icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(0, fm(1, "a", "z", 100))
+		e.AddFile(0, fm(2, "a", "z", 100))
+	})
+	if got := pk.Pick(v); got.Kind != PickNone {
+		t.Fatalf("under-trigger tier picked %v", got.Kind)
+	}
+	v2 := buildV(t, func(e *version.Edit) {
+		e.AddFile(0, fm(1, "a", "z", 100))
+		e.AddFile(0, fm(2, "a", "z", 100))
+		e.AddFile(0, fm(3, "a", "z", 100))
+	})
+	got := pk.Pick(v2)
+	if got.Kind != PickCompact || len(got.Inputs) != 3 || len(got.Overlaps) != 0 {
+		t.Errorf("tiered pick = %v with %d inputs", got.Kind, len(got.Inputs))
+	}
+}
+
+func TestSliceWindowsPartitionContiguously(t *testing.T) {
+	su := fm(9, "c", "x", 1000)
+	overlaps := []*version.FileMeta{
+		fm(1, "a", "f", 100),
+		fm(2, "h", "m", 100),
+		fm(3, "p", "r", 100),
+	}
+	ucmp := keys.BytewiseComparer{}
+	ws := SliceWindows(ucmp, su, overlaps)
+	if len(ws) != 3 {
+		t.Fatalf("%d windows", len(ws))
+	}
+	// First window starts at su.Smallest; last ends at su.Largest (beyond
+	// the last overlap's own largest).
+	if string(ws[0].Lo) != "c" || string(ws[0].Hi) != "f" {
+		t.Errorf("w0 = [%q,%q]", ws[0].Lo, ws[0].Hi)
+	}
+	if string(ws[1].Lo) != "f\x00" || string(ws[1].Hi) != "m" {
+		t.Errorf("w1 = [%q,%q]", ws[1].Lo, ws[1].Hi)
+	}
+	if string(ws[2].Lo) != "m\x00" || string(ws[2].Hi) != "x" {
+		t.Errorf("w2 = [%q,%q]", ws[2].Lo, ws[2].Hi)
+	}
+	// Contiguity: every key of su falls in exactly one window.
+	for _, k := range []string{"c", "e", "f", "g", "m", "n", "q", "x"} {
+		n := 0
+		for _, w := range ws {
+			if w.Contains(ucmp, []byte(k)) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("key %q covered by %d windows", k, n)
+		}
+	}
+}
+
+func TestSliceWindowsSingleOverlap(t *testing.T) {
+	su := fm(9, "c", "x", 1000)
+	overlaps := []*version.FileMeta{fm(1, "a", "d", 100)}
+	ws := SliceWindows(keys.BytewiseComparer{}, su, overlaps)
+	if len(ws) != 1 || string(ws[0].Lo) != "c" || string(ws[0].Hi) != "x" {
+		t.Errorf("windows = %+v", ws)
+	}
+}
+
+func TestSliceWindowsUseEffectiveBounds(t *testing.T) {
+	su := fm(9, "c", "x", 1000)
+	// Overlap 1 has an existing window reaching to "k" although its own
+	// largest is "f": the new boundary must respect the window.
+	f1 := fm(1, "a", "f", 100)
+	f1.Slices = []version.Slice{{FrozenNum: 50, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("k")}, LinkSeq: 1}}
+	f2 := fm(2, "m", "q", 100)
+	ws := SliceWindows(keys.BytewiseComparer{}, su, []*version.FileMeta{f1, f2})
+	if string(ws[0].Hi) != "k" {
+		t.Errorf("w0.Hi = %q, want existing window bound k", ws[0].Hi)
+	}
+	if string(ws[1].Lo) != "k\x00" {
+		t.Errorf("w1.Lo = %q", ws[1].Lo)
+	}
+}

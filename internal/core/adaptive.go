@@ -1,0 +1,76 @@
+package core
+
+import "sync"
+
+// adaptiveThreshold implements the paper's §III-B-4 self-adaptive SliceLink
+// threshold: write-dominated workloads push T_s up (fewer, bigger merges ⇒
+// lower write amplification), read-dominated workloads pull it down (fewer
+// linked slices to probe ⇒ cheaper reads). The controller observes the
+// read/write mix over fixed-size windows of operations and nudges T_s one
+// step per window with hysteresis, bounded to [minTs, 4×fanout].
+type adaptiveThreshold struct {
+	mu     sync.Mutex
+	ts     int
+	minTs  int
+	maxTs  int
+	window int64
+
+	reads, writes int64
+}
+
+// adaptiveWindow is the number of operations between adjustments.
+const adaptiveWindow = 4096
+
+func newAdaptiveThreshold(initial, fanout int) *adaptiveThreshold {
+	a := &adaptiveThreshold{
+		ts:     initial,
+		minTs:  2,
+		maxTs:  4 * fanout,
+		window: adaptiveWindow,
+	}
+	if a.ts < a.minTs {
+		a.ts = a.minTs
+	}
+	if a.ts > a.maxTs {
+		a.ts = a.maxTs
+	}
+	return a
+}
+
+func (a *adaptiveThreshold) threshold() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ts
+}
+
+func (a *adaptiveThreshold) observeReads(n int64)  { a.observe(n, 0) }
+func (a *adaptiveThreshold) observeWrites(n int64) { a.observe(0, n) }
+
+func (a *adaptiveThreshold) observe(r, w int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reads += r
+	a.writes += w
+	total := a.reads + a.writes
+	if total < a.window {
+		return
+	}
+	ratio := float64(a.writes) / float64(total)
+	step := a.ts / 4
+	if step < 1 {
+		step = 1
+	}
+	switch {
+	case ratio > 0.55 && a.ts < a.maxTs:
+		a.ts += step
+		if a.ts > a.maxTs {
+			a.ts = a.maxTs
+		}
+	case ratio < 0.45 && a.ts > a.minTs:
+		a.ts -= step
+		if a.ts < a.minTs {
+			a.ts = a.minTs
+		}
+	}
+	a.reads, a.writes = 0, 0
+}

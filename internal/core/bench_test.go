@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// Micro-benchmarks of the store's primitive operations per policy, on the
+// in-memory filesystem with no simulated device latency (pure engine cost).
+
+func benchOpts(policy compaction.Policy) Options {
+	return Options{
+		FS:           vfs.Mem(),
+		Policy:       policy,
+		MemTableSize: 1 << 20,
+		SSTableSize:  512 << 10,
+		Fanout:       10,
+	}
+}
+
+func benchDB(b *testing.B, policy compaction.Policy) *DB {
+	b.Helper()
+	db, err := Open("/bench", benchOpts(policy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func BenchmarkPutUDC(b *testing.B) { benchmarkPut(b, compaction.UDC) }
+func BenchmarkPutLDC(b *testing.B) { benchmarkPut(b, compaction.LDC) }
+
+func benchmarkPut(b *testing.B, policy compaction.Policy) {
+	db := benchDB(b, policy)
+	val := make([]byte, 256)
+	b.SetBytes(256 + 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("bench-%012d", i%100000)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetUDC(b *testing.B) { benchmarkGet(b, compaction.UDC) }
+func BenchmarkGetLDC(b *testing.B) { benchmarkGet(b, compaction.LDC) }
+
+func benchmarkGet(b *testing.B, policy compaction.Policy) {
+	db := benchDB(b, policy)
+	val := make([]byte, 256)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val)
+	}
+	db.CompactRange()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("bench-%012d", rng.Intn(n)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan100UDC(b *testing.B) { benchmarkScan(b, compaction.UDC) }
+func BenchmarkScan100LDC(b *testing.B) { benchmarkScan(b, compaction.LDC) }
+
+func benchmarkScan(b *testing.B, policy compaction.Policy) {
+	db := benchDB(b, policy)
+	val := make([]byte, 256)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val)
+	}
+	db.CompactRange()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := []byte(fmt.Sprintf("bench-%012d", rng.Intn(n-200)))
+		if _, err := db.Scan(start, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchCommit100(b *testing.B) {
+	db := benchDB(b, compaction.LDC)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := newBenchBatch(i, val)
+		if err := db.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

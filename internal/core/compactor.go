@@ -1,0 +1,523 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/iterator"
+	"repro/internal/keys"
+	"repro/internal/sstable"
+	"repro/internal/version"
+	"repro/internal/vfs"
+)
+
+// maybeScheduleCompaction starts the single background worker if there is
+// work. Callers must hold db.mu.
+func (db *DB) maybeScheduleCompaction() {
+	if db.bgScheduled || db.closed || db.bgErr != nil || db.opts.DisableAutoCompaction {
+		return
+	}
+	if db.imm == nil {
+		v := db.set.CurrentNoRef()
+		if db.picker.Pick(v).Kind == compaction.PickNone {
+			return
+		}
+	}
+	db.bgScheduled = true
+	go db.backgroundWork()
+}
+
+// backgroundWork performs one unit of work, then reschedules itself while
+// more remains. Mirrors LevelDB's BGWork/BackgroundCall.
+func (db *DB) backgroundWork() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	start := time.Now()
+	if db.bgErr == nil && !db.closed {
+		var err error
+		if db.imm != nil {
+			err = db.flushImmLocked()
+		} else {
+			err = db.compactOneLocked()
+		}
+		if err != nil {
+			db.fatal(err)
+		}
+	}
+	db.stats.compactionNanos.Add(int64(time.Since(start)))
+	db.bgScheduled = false
+	db.maybeScheduleCompaction()
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	db.deleteObsoleteFiles()
+	db.mu.Lock()
+}
+
+// flushImmLocked writes the immutable memtable as an L0 table. db.mu is
+// held on entry and exit; it is released during file I/O.
+func (db *DB) flushImmLocked() error {
+	imm := db.imm
+	logNum := db.logNum // WAL in use *after* the switch; older logs die with the flush
+	db.mu.Unlock()
+
+	meta, err := db.buildTable(db.fsFlush, imm.NewIterator(), nil)
+
+	db.mu.Lock()
+	if err != nil {
+		return err
+	}
+	e := &version.Edit{}
+	e.SetLogNum(logNum)
+	if meta != nil {
+		e.AddFile(0, meta)
+		db.stats.flushWriteBytes.Add(meta.Size)
+	}
+	if err := db.set.LogAndApply(e); err != nil {
+		return err
+	}
+	db.imm = nil
+	db.stats.flushCount.Add(1)
+	return nil
+}
+
+// buildTable writes the entries of it (already in internal order, possibly
+// filtered by drop) into a new table file. A nil return meta means the
+// input was empty. Called without db.mu.
+func (db *DB) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.InternalKey) bool) (*version.FileMeta, error) {
+	defer it.Close()
+	num := db.set.NewFileNum()
+	name := version.TableFileName(db.dir, num)
+	raw, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f := vfs.NewBuffered(raw, 64<<10)
+	w := sstable.NewWriter(f, db.tableWriterOptions())
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik := keys.InternalKey(it.Key())
+		if drop != nil && drop(ik) {
+			continue
+		}
+		if err := w.Add(ik, it.Value()); err != nil {
+			f.Close()
+			db.fsMeta.Remove(name)
+			return nil, err
+		}
+	}
+	if err := it.Error(); err != nil {
+		f.Close()
+		db.fsMeta.Remove(name)
+		return nil, err
+	}
+	if w.Entries() == 0 {
+		f.Close()
+		db.fsMeta.Remove(name)
+		return nil, nil
+	}
+	props, err := w.Finish()
+	if err != nil {
+		f.Close()
+		db.fsMeta.Remove(name)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return &version.FileMeta{
+		Num:      num,
+		Size:     props.FileSize,
+		Smallest: props.Smallest,
+		Largest:  props.Largest,
+	}, nil
+}
+
+func (db *DB) tableWriterOptions() sstable.WriterOptions {
+	return sstable.WriterOptions{
+		Cmp:             db.icmp,
+		BlockSize:       db.opts.BlockSize,
+		BloomBitsPerKey: db.opts.BloomBitsPerKey,
+	}
+}
+
+// compactOneLocked executes one picked unit of compaction work. db.mu held
+// on entry and exit.
+func (db *DB) compactOneLocked() error {
+	v := db.set.CurrentNoRef()
+	pick := db.picker.Pick(v)
+	switch pick.Kind {
+	case compaction.PickNone:
+		return nil
+	case compaction.PickTrivialMove:
+		return db.execTrivialMove(pick)
+	case compaction.PickLink:
+		return db.execLink(pick)
+	case compaction.PickMerge:
+		return db.execMerge(v, pick)
+	default:
+		return db.execCompact(v, pick)
+	}
+}
+
+// advancePointer records the round-robin cursor for a level both in the
+// picker and in the edit (for recovery).
+func (db *DB) advancePointer(e *version.Edit, level int, inputs []*version.FileMeta) {
+	var largest keys.InternalKey
+	for _, f := range inputs {
+		if largest == nil || db.icmp.Compare(f.Largest, largest) > 0 {
+			largest = f.Largest
+		}
+	}
+	if largest == nil {
+		return
+	}
+	largest = largest.Clone()
+	db.picker.SetPointer(level, largest)
+	e.CompactPointers = append(e.CompactPointers, version.CompactPointer{Level: level, Key: largest})
+}
+
+// execTrivialMove reparents a file one level down: metadata only.
+func (db *DB) execTrivialMove(pick compaction.Pick) error {
+	f := pick.Inputs[0]
+	e := &version.Edit{}
+	e.DeleteFile(pick.Level, f.Num)
+	e.AddFile(pick.Level+1, f)
+	db.advancePointer(e, pick.Level, pick.Inputs)
+	if err := db.set.LogAndApply(e); err != nil {
+		return err
+	}
+	db.stats.trivialMoveCount.Add(1)
+	return nil
+}
+
+// execLink performs LDC's link phase (paper Algorithm 1, lines 1–9):
+// freeze the upper file and attach one slice per overlapped lower file.
+// Pure metadata — this is why LDC's per-action cost is tiny.
+func (db *DB) execLink(pick compaction.Pick) error {
+	su := pick.Inputs[0]
+	overlaps := append([]*version.FileMeta(nil), pick.Overlaps...)
+	windows := compaction.SliceWindows(db.icmp.User, su, overlaps)
+
+	e := &version.Edit{}
+	e.DeleteFile(pick.Level, su.Num)
+	e.FreezeFile(&version.FrozenMeta{
+		Num:      su.Num,
+		Size:     su.Size,
+		Smallest: su.Smallest,
+		Largest:  su.Largest,
+	})
+	linkSeq := db.set.NewLinkSeq()
+	per := su.Size / int64(len(overlaps))
+	for i, sl := range overlaps {
+		e.AddSlice(pick.Level+1, sl.Num, version.Slice{
+			FrozenNum: su.Num,
+			Range:     windows[i],
+			LinkSeq:   linkSeq,
+			Bytes:     per,
+		})
+	}
+	db.advancePointer(e, pick.Level, pick.Inputs)
+	if err := db.set.LogAndApply(e); err != nil {
+		return err
+	}
+	db.stats.linkCount.Add(1)
+	return nil
+}
+
+// compactionState carries shared drop logic across compact and merge.
+type compactionState struct {
+	db           *DB
+	v            *version.Version
+	outputLevel  int
+	smallestSnap keys.Seq
+
+	lastUserKey   []byte
+	haveLastUser  bool
+	lastSeqForKey keys.Seq
+}
+
+// drop decides whether an entry can be elided, following LevelDB's rules:
+// older versions hidden behind a newer one visible to every snapshot are
+// dropped; tombstones additionally require that no deeper level could hold
+// the key (otherwise deleted data would resurface).
+func (cs *compactionState) drop(ik keys.InternalKey) bool {
+	ucmp := cs.db.icmp.User
+	uk := ik.UserKey()
+	if !cs.haveLastUser || ucmp.Compare(uk, cs.lastUserKey) != 0 {
+		cs.lastUserKey = append(cs.lastUserKey[:0], uk...)
+		cs.haveLastUser = true
+		cs.lastSeqForKey = keys.MaxSeq
+	}
+	drop := false
+	switch {
+	case cs.lastSeqForKey <= cs.smallestSnap:
+		drop = true // shadowed by a newer version visible to all snapshots
+	case ik.Kind() == keys.KindDelete && ik.Seq() <= cs.smallestSnap && cs.isBaseLevelForKey(uk):
+		drop = true
+	}
+	cs.lastSeqForKey = ik.Seq()
+	return drop
+}
+
+func (cs *compactionState) isBaseLevelForKey(uk []byte) bool {
+	point := keys.KeyRange{Lo: uk, Hi: uk}
+	// Under the tiered policy the output level already holds older runs
+	// that are not merge inputs, so the check must include it; leveled
+	// policies rewrite every overlapping file at the output level, so the
+	// check starts below it.
+	start := cs.outputLevel + 1
+	if cs.db.opts.Policy == compaction.Tiered {
+		start = cs.outputLevel
+	}
+	for level := start; level < version.NumLevels; level++ {
+		if len(cs.v.EffectiveOverlaps(level, point)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compactionReader opens a dedicated, uncached reader for an input file so
+// its I/O is charged to the compaction-read category. Returned closers
+// release the handles.
+func (db *DB) compactionReader(num uint64) (*sstable.Reader, error) {
+	f, err := db.fsCompR.Open(version.TableFileName(db.dir, num))
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.OpenReader(f, sstable.ReaderOptions{
+		Cmp:             db.icmp,
+		FileNum:         num,
+		VerifyChecksums: *db.opts.VerifyChecksums,
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// ownedTableIter wraps a table iterator and closes its dedicated reader.
+type ownedTableIter struct {
+	iterator.Iterator
+	r *sstable.Reader
+}
+
+func (o *ownedTableIter) Close() error {
+	err := o.Iterator.Close()
+	if cerr := o.r.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// inputIterators builds compaction input iterators for a set of files,
+// including their attached slices (clamped frozen-file views).
+func (db *DB) inputIterators(files []*version.FileMeta) ([]iterator.Iterator, int64, error) {
+	var its []iterator.Iterator
+	var readBytes int64
+	fail := func(err error) ([]iterator.Iterator, int64, error) {
+		for _, it := range its {
+			it.Close()
+		}
+		return nil, 0, err
+	}
+	for _, f := range files {
+		r, err := db.compactionReader(f.Num)
+		if err != nil {
+			return fail(err)
+		}
+		its = append(its, &ownedTableIter{Iterator: r.NewIterator(), r: r})
+		readBytes += f.Size
+		for i := range f.Slices {
+			s := &f.Slices[i]
+			fr, err := db.compactionReader(s.FrozenNum)
+			if err != nil {
+				return fail(err)
+			}
+			its = append(its, &ownedTableIter{
+				Iterator: iterator.NewClamped(db.icmp.User, fr.NewIterator(), s.Range),
+				r:        fr,
+			})
+			readBytes += s.Bytes
+		}
+	}
+	return its, readBytes, nil
+}
+
+// writeOutputs streams a merged iterator into size-capped output tables.
+func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*version.FileMeta, error) {
+	defer merged.Close()
+	var outputs []*version.FileMeta
+	var w *sstable.Writer
+	var f vfs.File
+	var num uint64
+
+	finish := func() error {
+		if w == nil {
+			return nil
+		}
+		props, err := w.Finish()
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, &version.FileMeta{
+			Num:      num,
+			Size:     props.FileSize,
+			Smallest: props.Smallest,
+			Largest:  props.Largest,
+		})
+		db.stats.compactionWriteBytes.Add(props.FileSize)
+		w, f = nil, nil
+		return nil
+	}
+
+	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
+		ik := keys.InternalKey(merged.Key())
+		if cs.drop(ik) {
+			continue
+		}
+		if w == nil {
+			num = db.set.NewFileNum()
+			raw, err := db.fsCompW.Create(version.TableFileName(db.dir, num))
+			if err != nil {
+				return outputs, err
+			}
+			f = vfs.NewBuffered(raw, 64<<10)
+			w = sstable.NewWriter(f, db.tableWriterOptions())
+		}
+		if err := w.Add(ik, merged.Value()); err != nil {
+			f.Close()
+			return outputs, err
+		}
+		if w.EstimatedSize() >= db.opts.SSTableSize {
+			if err := finish(); err != nil {
+				return outputs, err
+			}
+		}
+	}
+	if err := merged.Error(); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return outputs, err
+	}
+	return outputs, finish()
+}
+
+// execCompact runs a conventional compaction (UDC at any level, LDC's
+// L0→L1, or a tiered tier-merge): merge Inputs with Overlaps, write outputs
+// one level down. Slices attached to overlapped files are consumed too.
+// db.mu held on entry/exit; released during I/O.
+func (db *DB) execCompact(v *version.Version, pick compaction.Pick) error {
+	v.Ref()
+	smallestSnap := db.smallestSnapshot()
+	db.mu.Unlock()
+
+	all := append(append([]*version.FileMeta(nil), pick.Inputs...), pick.Overlaps...)
+	its, readBytes, err := db.inputIterators(all)
+	if err != nil {
+		db.mu.Lock()
+		v.Unref()
+		return err
+	}
+	cs := &compactionState{db: db, v: v, outputLevel: pick.Level + 1, smallestSnap: smallestSnap}
+	merged := iterator.NewMerging(db.icmp.Compare, its...)
+	outputs, err := db.writeOutputs(merged, cs)
+
+	db.mu.Lock()
+	v.Unref()
+	if err != nil {
+		return err
+	}
+	db.stats.compactionReadBytes.Add(readBytes)
+
+	e := &version.Edit{}
+	for _, f := range pick.Inputs {
+		e.DeleteFile(pick.Level, f.Num)
+	}
+	for _, f := range pick.Overlaps {
+		e.DeleteFile(pick.Level+1, f.Num)
+	}
+	for _, out := range outputs {
+		e.AddFile(pick.Level+1, out)
+	}
+	db.advancePointer(e, pick.Level, pick.Inputs)
+	if err := db.set.LogAndApply(e); err != nil {
+		return err
+	}
+	db.stats.compactionCount.Add(1)
+	return nil
+}
+
+// execMerge runs LDC's merge phase (paper Algorithm 1, lines 10–22): the
+// lower-level target file plus the slice windows of its linked frozen
+// files are merge-sorted into new tables at the *same* level. Only the
+// slice ranges of the frozen files are read — this is the halved
+// compaction I/O of Fig 10(c). db.mu held on entry/exit.
+func (db *DB) execMerge(v *version.Version, pick compaction.Pick) error {
+	v.Ref()
+	smallestSnap := db.smallestSnapshot()
+	db.mu.Unlock()
+
+	its, readBytes, err := db.inputIterators([]*version.FileMeta{pick.Target})
+	if err != nil {
+		db.mu.Lock()
+		v.Unref()
+		return err
+	}
+	cs := &compactionState{db: db, v: v, outputLevel: pick.Level, smallestSnap: smallestSnap}
+	merged := iterator.NewMerging(db.icmp.Compare, its...)
+	outputs, err := db.writeOutputs(merged, cs)
+
+	db.mu.Lock()
+	v.Unref()
+	if err != nil {
+		return err
+	}
+	db.stats.compactionReadBytes.Add(readBytes)
+	db.stats.mergeReadBytes.Add(readBytes)
+	var outBytes int64
+	for _, out := range outputs {
+		outBytes += out.Size
+	}
+	db.stats.mergeWriteBytes.Add(outBytes)
+
+	e := &version.Edit{}
+	e.DeleteFile(pick.Level, pick.Target.Num)
+	for _, out := range outputs {
+		e.AddFile(pick.Level, out)
+	}
+	if err := db.set.LogAndApply(e); err != nil {
+		return err
+	}
+	db.stats.mergeCount.Add(1)
+	return nil
+}
+
+// deleteObsoleteFiles removes table files no longer referenced by any
+// version. Called without db.mu.
+func (db *DB) deleteObsoleteFiles() {
+	for _, num := range db.set.TakeObsolete() {
+		db.tables.evict(num)
+		if err := db.fsMeta.Remove(version.TableFileName(db.dir, num)); err == nil {
+			db.stats.obsoleteDeleted.Add(1)
+		}
+	}
+	// Old WALs below the covered floor.
+	names, err := db.fsMeta.List(db.dir)
+	if err != nil {
+		return
+	}
+	floor := db.set.LogNum()
+	db.mu.Lock()
+	cur := db.logNum
+	db.mu.Unlock()
+	for _, name := range names {
+		if typ, num := version.ParseFileName(name); typ == version.TypeLog && num < floor && num != cur {
+			db.fsMeta.Remove(version.LogFileName(db.dir, num))
+		}
+	}
+}

@@ -1,0 +1,699 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cache"
+	"repro/internal/compaction"
+	"repro/internal/keys"
+	"repro/internal/memtable"
+	"repro/internal/ssdsim"
+	"repro/internal/version"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("ldc: key not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("ldc: database closed")
+)
+
+// DB is the key-value store. All methods are safe for concurrent use.
+type DB struct {
+	opts Options
+	dir  string
+	icmp keys.InternalComparer
+
+	// Category-tagged filesystem views (identical when the FS is not an
+	// SSD simulator).
+	fsUser  vfs.FS // user/table reads
+	fsWAL   vfs.FS // WAL appends
+	fsFlush vfs.FS // memtable flush writes
+	fsCompR vfs.FS // compaction reads
+	fsCompW vfs.FS // compaction writes
+	fsMeta  vfs.FS // MANIFEST and housekeeping
+
+	set        *version.Set
+	picker     *compaction.Picker
+	adaptive   *adaptiveThreshold
+	tables     *tableCache
+	blockCache *cache.Cache
+
+	mu      sync.Mutex
+	bgCond  *sync.Cond
+	mem     *memtable.MemTable
+	imm     *memtable.MemTable
+	logw    *wal.Writer
+	logFile vfs.File
+	logNum  uint64
+
+	snapshots snapshotList
+
+	bgScheduled bool
+	bgErr       error
+	closed      bool
+
+	stats dbStats
+}
+
+// Open opens (creating if necessary) a database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	icmp := keys.InternalComparer{User: opts.Comparer}
+
+	db := &DB{
+		opts: opts,
+		dir:  dir,
+		icmp: icmp,
+	}
+	db.bgCond = sync.NewCond(&db.mu)
+	db.initFS(opts.FS)
+
+	if err := db.fsMeta.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+
+	db.blockCache = opts.newBlockCache()
+	db.tables = newTableCache(db.fsUser, dir, icmp, db.blockCache, *opts.VerifyChecksums)
+	db.set = version.NewSet(db.fsMeta, dir, icmp)
+	db.set.AllowOverlaps = opts.Policy == compaction.Tiered
+	db.picker = compaction.NewPicker(opts.Policy, opts.compactionParams(), icmp)
+	if opts.AdaptiveThreshold && opts.Policy == compaction.LDC {
+		db.adaptive = newAdaptiveThreshold(opts.SliceLinkThreshold, opts.Fanout)
+		db.picker.SetThresholdFunc(db.adaptive.threshold)
+	}
+
+	if db.fsMeta.Exists(version.CurrentFileName(dir)) {
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := db.set.Create(); err != nil {
+			return nil, err
+		}
+		db.mem = memtable.New(icmp)
+	}
+	for level := 0; level < version.NumLevels; level++ {
+		if k := db.set.CompactPointer(level); k != nil {
+			db.picker.SetPointer(level, k)
+		}
+	}
+
+	// Fresh WAL for new writes.
+	if err := db.newLogLocked(); err != nil {
+		return nil, err
+	}
+	// Record the WAL floor so recovery skips pre-existing logs only when a
+	// flush has covered them; here we only persist allocator state.
+	e := &version.Edit{}
+	db.mu.Lock()
+	err := db.set.LogAndApply(e)
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	db.deleteObsoleteFiles()
+	db.mu.Lock()
+	db.maybeScheduleCompaction()
+	db.mu.Unlock()
+	return db, nil
+}
+
+// initFS derives per-category filesystem views when running on the SSD
+// simulator.
+func (db *DB) initFS(fs vfs.FS) {
+	if sim, ok := fs.(*ssdsim.FS); ok {
+		db.fsUser = sim.WithCategory(ssdsim.CatUserRead)
+		db.fsWAL = sim.WithCategory(ssdsim.CatWAL)
+		db.fsFlush = sim.WithCategory(ssdsim.CatFlush)
+		db.fsCompR = sim.WithCategory(ssdsim.CatCompactionRead)
+		db.fsCompW = sim.WithCategory(ssdsim.CatCompactionWrite)
+		db.fsMeta = sim.WithCategory(ssdsim.CatOther)
+		return
+	}
+	db.fsUser, db.fsWAL, db.fsFlush, db.fsCompR, db.fsCompW, db.fsMeta = fs, fs, fs, fs, fs, fs
+}
+
+// recover loads the MANIFEST then replays WALs newer than its floor.
+func (db *DB) recover() error {
+	if err := db.set.Recover(); err != nil {
+		return err
+	}
+	db.mem = memtable.New(db.icmp)
+
+	names, err := db.fsMeta.List(db.dir)
+	if err != nil {
+		return err
+	}
+	floor := db.set.LogNum()
+	var logs []uint64
+	for _, name := range names {
+		if typ, num := version.ParseFileName(name); typ == version.TypeLog && num >= floor {
+			logs = append(logs, num)
+		}
+	}
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	for _, num := range logs {
+		if err := db.replayLog(num); err != nil {
+			return err
+		}
+	}
+	// Anything replayed lives in the new memtable; if it outgrew the limit,
+	// flush it straight away so the WAL floor can advance.
+	if db.mem.ApproximateBytes() >= db.opts.MemTableSize {
+		db.mu.Lock()
+		db.imm, db.mem = db.mem, memtable.New(db.icmp)
+		err := db.flushImmLocked()
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) replayLog(num uint64) error {
+	f, err := db.fsWAL.Open(version.LogFileName(db.dir, num))
+	if err != nil {
+		if err == vfs.ErrNotExist {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	maxSeq := db.set.LastSeq()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: records before it were applied; stop here, matching
+			// LevelDB's default of trusting the log up to the tear.
+			break
+		}
+		b, err := batch.Decode(rec)
+		if err != nil {
+			break
+		}
+		seq := b.Sequence()
+		i := keys.Seq(0)
+		b.Each(func(kind keys.Kind, key, value []byte) error {
+			db.mem.Add(seq+i, kind, key, value)
+			i++
+			return nil
+		})
+		if end := seq + keys.Seq(b.Count()) - 1; end > maxSeq {
+			maxSeq = end
+		}
+	}
+	db.set.SetLastSeq(maxSeq)
+	return nil
+}
+
+// newLogLocked switches to a fresh WAL file. Callers guarantee exclusivity
+// (Open, or write path holding mu).
+func (db *DB) newLogLocked() error {
+	num := db.set.NewFileNum()
+	raw, err := db.fsWAL.Create(version.LogFileName(db.dir, num))
+	if err != nil {
+		return err
+	}
+	// Buffer WAL appends: with Sync disabled (the LevelDB default the paper
+	// benchmarks) the OS page cache coalesces log writes; the buffer models
+	// that so the simulated device sees realistic large writes.
+	f := raw
+	if !db.opts.Sync {
+		f = vfs.NewBuffered(raw, 32<<10)
+	}
+	if db.logFile != nil {
+		db.logFile.Close()
+	}
+	db.logFile = f
+	db.logw = wal.NewWriter(f)
+	db.logNum = num
+	return nil
+}
+
+// Close flushes the memtable state to disk-safe form (the WAL already holds
+// it) and stops background work.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	for db.bgScheduled {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+
+	if db.logFile != nil {
+		db.logFile.Sync()
+		db.logFile.Close()
+		db.logFile = nil
+	}
+	db.tables.close()
+	return db.set.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// Put inserts or updates a key.
+func (db *DB) Put(key, value []byte) error {
+	b := batch.New()
+	b.Set(key, value)
+	db.stats.puts.Add(1)
+	return db.Apply(b)
+}
+
+// Delete writes a tombstone for a key.
+func (db *DB) Delete(key []byte) error {
+	b := batch.New()
+	b.Delete(key)
+	db.stats.deletes.Add(1)
+	return db.Apply(b)
+}
+
+// Apply commits a batch atomically: WAL first, then the memtable.
+func (db *DB) Apply(b *batch.Batch) error {
+	if b.Empty() {
+		return nil
+	}
+	start := time.Now()
+	defer func() { db.stats.writeNanos.Add(int64(time.Since(start))) }()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+	seq := db.set.LastSeq() + 1
+	b.SetSequence(seq)
+	enc := b.Encode()
+	if err := db.logw.AddRecord(enc); err != nil {
+		return err
+	}
+	if db.opts.Sync {
+		if err := db.logw.Sync(); err != nil {
+			return err
+		}
+	}
+	db.stats.walWriteBytes.Add(int64(len(enc)))
+	i := keys.Seq(0)
+	var userBytes int64
+	b.Each(func(kind keys.Kind, key, value []byte) error {
+		db.mem.Add(seq+i, kind, key, value)
+		userBytes += int64(len(key) + len(value))
+		i++
+		return nil
+	})
+	db.stats.userWriteBytes.Add(userBytes)
+	db.set.SetLastSeq(seq + keys.Seq(b.Count()) - 1)
+	if db.adaptive != nil {
+		db.adaptive.observeWrites(int64(b.Count()))
+	}
+	return nil
+}
+
+// makeRoomForWrite implements LevelDB's write throttling: a 1ms slowdown
+// when L0 is crowded, a memtable switch when full, and hard waits when the
+// previous memtable is still flushing or L0 hit the stop trigger. These
+// waits are precisely the paper's write tail latency.
+func (db *DB) makeRoomForWrite() error {
+	allowDelay := true
+	for {
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		v := db.set.CurrentNoRef()
+		switch {
+		case allowDelay && v.NumFiles(0) >= db.opts.L0SlowdownTrigger:
+			db.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			db.mu.Lock()
+			db.stats.slowdownCount.Add(1)
+			db.stats.stallNanos.Add(int64(time.Millisecond))
+			allowDelay = false
+		case db.mem.ApproximateBytes() < db.opts.MemTableSize:
+			return nil
+		case db.imm != nil:
+			// Previous memtable still flushing.
+			start := time.Now()
+			db.stats.stopCount.Add(1)
+			db.bgCond.Wait()
+			db.stats.stallNanos.Add(int64(time.Since(start)))
+		case v.NumFiles(0) >= db.opts.L0StopTrigger:
+			start := time.Now()
+			db.stats.stopCount.Add(1)
+			db.bgCond.Wait()
+			db.stats.stallNanos.Add(int64(time.Since(start)))
+		default:
+			// Switch to a fresh memtable + WAL; the old one flushes in the
+			// background.
+			if err := db.newLogLocked(); err != nil {
+				return err
+			}
+			db.imm, db.mem = db.mem, memtable.New(db.icmp)
+			db.maybeScheduleCompaction()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// Get returns the value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.GetAt(key, nil)
+}
+
+// GetAt reads at a snapshot (nil = latest).
+func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	start := time.Now()
+	defer func() { db.stats.readNanos.Add(int64(time.Since(start))) }()
+	db.stats.gets.Add(1)
+	if db.adaptive != nil {
+		db.adaptive.observeReads(1)
+	}
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	seq := db.set.LastSeq()
+	if snap != nil {
+		seq = snap.seq
+	}
+	mem, imm := db.mem, db.imm
+	v := db.set.CurrentNoRef()
+	v.Ref()
+	db.mu.Unlock()
+	defer v.Unref()
+
+	// Memtables.
+	if val, deleted, found := mem.Get(key, seq); found {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		return val, nil
+	}
+	if imm != nil {
+		if val, deleted, found := imm.Get(key, seq); found {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	return db.getFromVersion(v, key, seq)
+}
+
+// getFromVersion searches table files level by level.
+func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]byte, error) {
+	point := keys.KeyRange{Lo: key, Hi: key}
+	ucmp := db.icmp.User
+
+	// L0: newest file first.
+	l0 := v.Levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		f := l0[i]
+		if !f.UserRange().Contains(ucmp, key) {
+			continue
+		}
+		val, deleted, found, err := db.tableGet(f.Num, key, seq)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+
+	// Sorted levels: probe slices (newest link first) then the file; when
+	// several files' effective ranges cover the key (overlapping slice
+	// windows), pick the candidate with the highest visible sequence.
+	for level := 1; level < version.NumLevels; level++ {
+		files := v.EffectiveOverlaps(level, point)
+		if db.opts.Policy == compaction.Tiered {
+			// Tiers hold overlapping runs: check newest (highest num) first.
+			sort.Slice(files, func(i, j int) bool { return files[i].Num > files[j].Num })
+			for _, f := range files {
+				val, deleted, found, err := db.tableGet(f.Num, key, seq)
+				if err != nil {
+					return nil, err
+				}
+				if found {
+					if deleted {
+						return nil, ErrNotFound
+					}
+					return val, nil
+				}
+			}
+			continue
+		}
+		var (
+			bestSeq     keys.Seq
+			bestVal     []byte
+			bestDeleted bool
+			bestFound   bool
+		)
+		consider := func(val []byte, deleted bool, entrySeq keys.Seq) {
+			if !bestFound || entrySeq > bestSeq {
+				bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
+			}
+		}
+		for _, f := range files {
+			// Slices newest-first.
+			for i := len(f.Slices) - 1; i >= 0; i-- {
+				s := &f.Slices[i]
+				if !s.Range.Contains(ucmp, key) {
+					continue
+				}
+				val, deleted, entrySeq, found, err := db.tableGetSeq(s.FrozenNum, key, seq)
+				if err != nil {
+					return nil, err
+				}
+				if found {
+					consider(val, deleted, entrySeq)
+				}
+			}
+			if f.UserRange().Contains(ucmp, key) {
+				val, deleted, entrySeq, found, err := db.tableGetSeq(f.Num, key, seq)
+				if err != nil {
+					return nil, err
+				}
+				if found {
+					consider(val, deleted, entrySeq)
+				}
+			}
+		}
+		if bestFound {
+			if bestDeleted {
+				return nil, ErrNotFound
+			}
+			return bestVal, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (db *DB) tableGet(num uint64, key []byte, seq keys.Seq) (val []byte, deleted, found bool, err error) {
+	val, deleted, _, found, err = db.tableGetSeq(num, key, seq)
+	return val, deleted, found, err
+}
+
+// tableGetSeq additionally reports the sequence of the found entry, needed
+// to order candidates across overlapping slice windows.
+func (db *DB) tableGetSeq(num uint64, key []byte, seq keys.Seq) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+	r, err := db.tables.get(num)
+	if err != nil {
+		return nil, false, 0, false, err
+	}
+	if !r.MayContain(key) {
+		return nil, false, 0, false, nil
+	}
+	it := r.NewIterator()
+	defer it.Close()
+	it.SeekGE(keys.MakeSearchKey(nil, key, seq))
+	if !it.Valid() {
+		return nil, false, 0, false, it.Error()
+	}
+	ik := keys.InternalKey(it.Key())
+	if db.icmp.User.Compare(ik.UserKey(), key) != 0 {
+		return nil, false, 0, false, nil
+	}
+	if ik.Kind() == keys.KindDelete {
+		return nil, true, ik.Seq(), true, nil
+	}
+	return append([]byte(nil), it.Value()...), false, ik.Seq(), true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+type snapshotList struct {
+	mu   sync.Mutex
+	seqs map[keys.Seq]int
+}
+
+// Snapshot pins a point-in-time view for reads and iterators.
+type Snapshot struct {
+	db  *DB
+	seq keys.Seq
+}
+
+// NewSnapshot captures the current state; Release it when done.
+func (db *DB) NewSnapshot() *Snapshot {
+	db.snapshots.mu.Lock()
+	defer db.snapshots.mu.Unlock()
+	if db.snapshots.seqs == nil {
+		db.snapshots.seqs = map[keys.Seq]int{}
+	}
+	seq := db.set.LastSeq()
+	db.snapshots.seqs[seq]++
+	return &Snapshot{db: db, seq: seq}
+}
+
+// Release frees the snapshot.
+func (s *Snapshot) Release() {
+	s.db.snapshots.mu.Lock()
+	defer s.db.snapshots.mu.Unlock()
+	if n := s.db.snapshots.seqs[s.seq]; n <= 1 {
+		delete(s.db.snapshots.seqs, s.seq)
+	} else {
+		s.db.snapshots.seqs[s.seq] = n - 1
+	}
+}
+
+// smallestSnapshot reports the oldest sequence any snapshot still needs;
+// compactions must preserve versions visible at it.
+func (db *DB) smallestSnapshot() keys.Seq {
+	db.snapshots.mu.Lock()
+	defer db.snapshots.mu.Unlock()
+	smallest := db.set.LastSeq()
+	for seq := range db.snapshots.seqs {
+		if seq < smallest {
+			smallest = seq
+		}
+	}
+	return smallest
+}
+
+// ---------------------------------------------------------------------------
+// Misc accessors
+
+// Stats returns a snapshot of internal counters.
+func (db *DB) Stats() Stats { return db.stats.snapshot() }
+
+// LevelProfile describes one level for diagnostics and experiments.
+type LevelProfile struct {
+	Level  int
+	Files  int
+	Bytes  int64
+	Slices int
+}
+
+// Profile reports per-level shape plus LDC frozen-region state.
+type Profile struct {
+	Levels         []LevelProfile
+	FrozenFiles    int
+	FrozenBytes    int64
+	SliceThreshold int
+}
+
+// CurrentProfile captures the tree's current shape.
+func (db *DB) CurrentProfile() Profile {
+	v := db.set.Current()
+	defer v.Unref()
+	p := Profile{SliceThreshold: db.picker.SliceThreshold()}
+	for level := 0; level < version.NumLevels; level++ {
+		p.Levels = append(p.Levels, LevelProfile{
+			Level:  level,
+			Files:  v.NumFiles(level),
+			Bytes:  v.LevelBytes(level),
+			Slices: v.SliceCount(level),
+		})
+	}
+	p.FrozenFiles = len(v.Frozen)
+	p.FrozenBytes = v.FrozenBytes()
+	return p
+}
+
+// BlockReads reports cumulative data-block fetches from storage (Fig 13).
+func (db *DB) BlockReads() int64 { return db.tables.totalBlockReads() }
+
+// TableBytes reports the total size of live table files plus the frozen
+// region — the store's disk footprint (Fig 15).
+func (db *DB) TableBytes() int64 {
+	v := db.set.Current()
+	defer v.Unref()
+	var n int64
+	for level := 0; level < version.NumLevels; level++ {
+		n += v.LevelBytes(level)
+	}
+	return n + v.FrozenBytes()
+}
+
+// SliceThreshold reports the current T_s (possibly adaptive).
+func (db *DB) SliceThreshold() int { return db.picker.SliceThreshold() }
+
+// CompactRange forces compaction work until the tree is quiescent — used by
+// tests and experiments to reach a steady state.
+func (db *DB) CompactRange() error {
+	for {
+		db.mu.Lock()
+		if db.bgErr != nil {
+			err := db.bgErr
+			db.mu.Unlock()
+			return err
+		}
+		busy := db.imm != nil || db.bgScheduled
+		if !busy {
+			v := db.set.CurrentNoRef()
+			pick := db.picker.Pick(v)
+			if pick.Kind == compaction.PickNone {
+				db.mu.Unlock()
+				return nil
+			}
+			db.maybeScheduleCompaction()
+		}
+		db.bgCond.Wait()
+		db.mu.Unlock()
+	}
+}
+
+// WaitIdle blocks until no background work is scheduled or running.
+func (db *DB) WaitIdle() {
+	db.mu.Lock()
+	for db.bgScheduled || db.imm != nil {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+}
+
+func (db *DB) fatal(err error) {
+	if db.bgErr == nil {
+		db.bgErr = fmt.Errorf("ldc: background error: %w", err)
+	}
+}

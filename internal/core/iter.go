@@ -1,0 +1,423 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/compaction"
+	"repro/internal/iterator"
+	"repro/internal/keys"
+	"repro/internal/version"
+)
+
+// levelIter lazily concatenates the table iterators of one sorted level.
+// Files' own ranges are disjoint and sorted, so walking files in order
+// yields internal-key order. (Slice windows are merged separately as their
+// own children of the top-level merging iterator.)
+type levelIter struct {
+	db    *DB
+	files []*version.FileMeta
+	idx   int
+	cur   iterator.Iterator
+	err   error
+}
+
+func (db *DB) newLevelIter(files []*version.FileMeta) iterator.Iterator {
+	switch len(files) {
+	case 0:
+		return iterator.Empty(nil)
+	}
+	return &levelIter{db: db, files: files, idx: -1}
+}
+
+// open positions the iterator at file idx with no cursor placement.
+func (l *levelIter) open(idx int) bool {
+	l.cur = nil
+	l.idx = idx
+	if idx < 0 || idx >= len(l.files) {
+		return false
+	}
+	r, err := l.db.tables.get(l.files[idx].Num)
+	if err != nil {
+		l.err = err
+		return false
+	}
+	l.cur = r.NewIterator()
+	return true
+}
+
+func (l *levelIter) Valid() bool { return l.err == nil && l.cur != nil && l.cur.Valid() }
+
+func (l *levelIter) SeekGE(target []byte) {
+	if l.err != nil {
+		return
+	}
+	idx := sort.Search(len(l.files), func(i int) bool {
+		return l.db.icmp.Compare(l.files[i].Largest, target) >= 0
+	})
+	if !l.open(idx) {
+		return
+	}
+	l.cur.SeekGE(target)
+	l.skipForward()
+}
+
+func (l *levelIter) SeekToFirst() {
+	if l.err != nil {
+		return
+	}
+	if !l.open(0) {
+		return
+	}
+	l.cur.SeekToFirst()
+	l.skipForward()
+}
+
+func (l *levelIter) SeekToLast() {
+	if l.err != nil {
+		return
+	}
+	if !l.open(len(l.files) - 1) {
+		return
+	}
+	l.cur.SeekToLast()
+	l.skipBackward()
+}
+
+func (l *levelIter) Next() {
+	if !l.Valid() {
+		return
+	}
+	l.cur.Next()
+	l.skipForward()
+}
+
+func (l *levelIter) Prev() {
+	if !l.Valid() {
+		return
+	}
+	l.cur.Prev()
+	l.skipBackward()
+}
+
+func (l *levelIter) skipForward() {
+	for l.err == nil && l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if !l.open(l.idx + 1) {
+			return
+		}
+		l.cur.SeekToFirst()
+	}
+}
+
+func (l *levelIter) skipBackward() {
+	for l.err == nil && l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if !l.open(l.idx - 1) {
+			return
+		}
+		l.cur.SeekToLast()
+	}
+}
+
+func (l *levelIter) Key() []byte   { return l.cur.Key() }
+func (l *levelIter) Value() []byte { return l.cur.Value() }
+
+func (l *levelIter) Error() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.cur != nil {
+		return l.cur.Error()
+	}
+	return nil
+}
+
+func (l *levelIter) Close() error { return l.Error() }
+
+// newInternalIterator assembles the full merged view: memtables, L0 tables
+// (as independent children), one levelIter per sorted level, plus — the LDC
+// read-path modification — one clamped frozen-table iterator per slice.
+// The returned cleanup must be called when the iterator is closed.
+func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
+	db.mu.Lock()
+	mem, imm := db.mem, db.imm
+	v := db.set.CurrentNoRef()
+	v.Ref()
+	db.mu.Unlock()
+
+	var children []iterator.Iterator
+	children = append(children, mem.NewIterator())
+	if imm != nil {
+		children = append(children, imm.NewIterator())
+	}
+	fail := func(err error) (iterator.Iterator, func(), error) {
+		v.Unref()
+		return nil, nil, err
+	}
+	for i := len(v.Levels[0]) - 1; i >= 0; i-- {
+		r, err := db.tables.get(v.Levels[0][i].Num)
+		if err != nil {
+			return fail(err)
+		}
+		children = append(children, r.NewIterator())
+	}
+	for level := 1; level < version.NumLevels; level++ {
+		files := v.Levels[level]
+		if len(files) == 0 {
+			continue
+		}
+		if db.opts.Policy == compaction.Tiered {
+			// Tiers hold overlapping runs: one child per file.
+			for i := len(files) - 1; i >= 0; i-- {
+				r, err := db.tables.get(files[i].Num)
+				if err != nil {
+					return fail(err)
+				}
+				children = append(children, r.NewIterator())
+			}
+			continue
+		}
+		children = append(children, db.newLevelIter(files))
+		for _, f := range v.Sliced[level] {
+			for i := range f.Slices {
+				s := &f.Slices[i]
+				r, err := db.tables.get(s.FrozenNum)
+				if err != nil {
+					return fail(err)
+				}
+				children = append(children,
+					iterator.NewClamped(db.icmp.User, r.NewIterator(), s.Range))
+			}
+		}
+	}
+	merged := iterator.NewMerging(db.icmp.Compare, children...)
+	return merged, func() { v.Unref() }, nil
+}
+
+// ---------------------------------------------------------------------------
+// User-facing iterator
+
+// Iterator walks user keys in order, exposing the newest visible version of
+// each and skipping tombstones.
+type Iterator struct {
+	db      *DB
+	it      iterator.Iterator
+	cleanup func()
+	seq     keys.Seq
+
+	valid      bool
+	dir        int8 // 0 forward, 1 reverse
+	savedKey   []byte
+	savedValue []byte
+	err        error
+}
+
+// NewIterator returns an iterator over the snapshot (nil = latest state).
+// Close it when done.
+func (db *DB) NewIterator(snap *Snapshot) (*Iterator, error) {
+	db.stats.scans.Add(1)
+	if db.adaptive != nil {
+		db.adaptive.observeReads(1)
+	}
+	seq := db.set.LastSeq()
+	if snap != nil {
+		seq = snap.seq
+	}
+	it, cleanup, err := db.newInternalIterator()
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{db: db, it: it, cleanup: cleanup, seq: seq}, nil
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iterator) Valid() bool { return i.valid }
+
+// Error returns the first error encountered.
+func (i *Iterator) Error() error {
+	if i.err != nil {
+		return i.err
+	}
+	return i.it.Error()
+}
+
+// Close releases the iterator.
+func (i *Iterator) Close() error {
+	err := i.Error()
+	i.it.Close()
+	if i.cleanup != nil {
+		i.cleanup()
+		i.cleanup = nil
+	}
+	i.valid = false
+	return err
+}
+
+// Key returns the current user key, valid until the next positioning call.
+func (i *Iterator) Key() []byte {
+	if i.dir == 0 {
+		return keys.InternalKey(i.it.Key()).UserKey()
+	}
+	return i.savedKey
+}
+
+// Value returns the current value, valid until the next positioning call.
+func (i *Iterator) Value() []byte {
+	if i.dir == 0 {
+		return i.it.Value()
+	}
+	return i.savedValue
+}
+
+// SeekToFirst positions at the smallest key.
+func (i *Iterator) SeekToFirst() {
+	i.dir = 0
+	i.it.SeekToFirst()
+	i.findNextUserEntry(false)
+}
+
+// Seek positions at the first key >= target.
+func (i *Iterator) Seek(target []byte) {
+	i.dir = 0
+	i.it.SeekGE(keys.MakeSearchKey(nil, target, i.seq))
+	i.findNextUserEntry(false)
+}
+
+// SeekToLast positions at the largest key.
+func (i *Iterator) SeekToLast() {
+	i.dir = 1
+	i.it.SeekToLast()
+	i.findPrevUserEntry()
+}
+
+// Next advances to the following user key.
+func (i *Iterator) Next() {
+	if !i.valid {
+		return
+	}
+	if i.dir == 1 {
+		// Switch reverse→forward: position the internal iterator at the
+		// first entry past savedKey.
+		i.dir = 0
+		i.it.SeekGE(keys.MakeSearchKey(nil, i.savedKey, keys.MaxSeq))
+		for i.it.Valid() &&
+			i.db.icmp.User.Compare(keys.InternalKey(i.it.Key()).UserKey(), i.savedKey) == 0 {
+			i.it.Next()
+		}
+		i.findNextUserEntry(false)
+		return
+	}
+	i.savedKey = append(i.savedKey[:0], keys.InternalKey(i.it.Key()).UserKey()...)
+	i.it.Next()
+	i.findNextUserEntry(true)
+}
+
+// findNextUserEntry advances to the newest visible, non-deleted version of
+// the next user key; when skipping, entries for savedKey are passed over.
+func (i *Iterator) findNextUserEntry(skipping bool) {
+	ucmp := i.db.icmp.User
+	for ; i.it.Valid(); i.it.Next() {
+		ik := keys.InternalKey(i.it.Key())
+		if ik.Seq() > i.seq {
+			continue // invisible at this snapshot
+		}
+		switch ik.Kind() {
+		case keys.KindDelete:
+			i.savedKey = append(i.savedKey[:0], ik.UserKey()...)
+			skipping = true
+		case keys.KindSet:
+			if skipping && ucmp.Compare(ik.UserKey(), i.savedKey) <= 0 {
+				continue // older version or deleted key
+			}
+			i.valid = true
+			return
+		}
+	}
+	i.valid = false
+}
+
+// Prev retreats to the preceding user key.
+func (i *Iterator) Prev() {
+	if !i.valid {
+		return
+	}
+	if i.dir == 0 {
+		// Switch forward→reverse: walk back before every version of the
+		// current user key.
+		cur := append([]byte(nil), keys.InternalKey(i.it.Key()).UserKey()...)
+		i.savedKey = cur
+		for {
+			i.it.Prev()
+			if !i.it.Valid() {
+				i.valid = false
+				i.dir = 1
+				return
+			}
+			if i.db.icmp.User.Compare(keys.InternalKey(i.it.Key()).UserKey(), cur) < 0 {
+				break
+			}
+		}
+		i.dir = 1
+	}
+	i.findPrevUserEntry()
+}
+
+// findPrevUserEntry scans backwards and leaves savedKey/savedValue holding
+// the newest visible version of the nearest preceding non-deleted user key
+// (ports LevelDB's DBIter::FindPrevUserEntry).
+func (i *Iterator) findPrevUserEntry() {
+	ucmp := i.db.icmp.User
+	deleted := true
+	i.savedKey = i.savedKey[:0]
+	for i.it.Valid() {
+		ik := keys.InternalKey(i.it.Key())
+		if ik.Seq() <= i.seq {
+			if !deleted && ucmp.Compare(ik.UserKey(), i.savedKey) < 0 {
+				break // savedKey holds the answer
+			}
+			if ik.Kind() == keys.KindDelete {
+				deleted = true
+				i.savedKey = i.savedKey[:0]
+				i.savedValue = i.savedValue[:0]
+			} else {
+				deleted = false
+				i.savedKey = append(i.savedKey[:0], ik.UserKey()...)
+				i.savedValue = append(i.savedValue[:0], i.it.Value()...)
+			}
+		}
+		i.it.Prev()
+	}
+	i.valid = !deleted
+}
+
+// ---------------------------------------------------------------------------
+// Scan convenience
+
+// KV is a returned key/value pair; both slices are private copies.
+type KV struct {
+	Key, Value []byte
+}
+
+// Scan returns up to limit pairs with keys >= start, at the latest state
+// (the paper's SCAN operation, covering ~100 pairs per request).
+func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []KV
+	for it.Seek(start); it.Valid() && len(out) < limit; it.Next() {
+		out = append(out, KV{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Error()
+}

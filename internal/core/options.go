@@ -1,0 +1,133 @@
+// Package core implements the LSM-tree key-value store itself — the
+// equivalent of LevelDB's db layer, built on the repository's substrates
+// (memtable, sstable, wal, version, compaction) — with the paper's
+// Lower-level Driven Compaction available as a policy beside the
+// traditional upper-level driven baseline and a size-tiered lazy baseline.
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/compaction"
+	"repro/internal/keys"
+	"repro/internal/vfs"
+)
+
+// Options configures a DB. The zero value is usable: every field defaults
+// to the LevelDB-like settings the paper's baseline uses.
+type Options struct {
+	// FS is the filesystem (possibly an ssdsim.FS). Defaults to vfs.OS().
+	FS vfs.FS
+	// Comparer orders user keys. Defaults to keys.BytewiseComparer.
+	// LDC's slice-window arithmetic assumes bytewise successor semantics,
+	// so custom comparers must be bytewise-compatible.
+	Comparer keys.Comparer
+
+	// Policy selects the compaction algorithm (UDC, LDC, Tiered).
+	Policy compaction.Policy
+
+	// MemTableSize triggers a flush when the memtable reaches it (default 4 MiB).
+	MemTableSize int64
+	// SSTableSize is the paper's b: target table file size (default 2 MiB).
+	SSTableSize int64
+	// Fanout is the paper's k: capacity ratio between levels (default 10).
+	Fanout int
+	// BaseLevelBytes caps L1 (default Fanout × SSTableSize).
+	BaseLevelBytes int64
+	// SliceLinkThreshold is the paper's T_s (default Fanout). Ignored unless
+	// Policy == LDC.
+	SliceLinkThreshold int
+	// AdaptiveThreshold enables the paper's §III-B-4 self-tuning of T_s from
+	// the observed read/write mix.
+	AdaptiveThreshold bool
+
+	// L0CompactionTrigger starts an L0 compaction at this many files (default 4).
+	L0CompactionTrigger int
+	// L0SlowdownTrigger delays each write by 1ms at this many L0 files (default 8).
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writes entirely at this many L0 files (default 12).
+	L0StopTrigger int
+
+	// BlockSize is the SSTable data block size (default 4 KiB).
+	BlockSize int
+	// BloomBitsPerKey sizes table filters; 0 uses the default (10);
+	// negative disables filters.
+	BloomBitsPerKey int
+	// BlockCacheSize bounds the shared data-block cache (default 8 MiB).
+	BlockCacheSize int64
+
+	// Sync makes every committed write fsync the WAL (default false, like
+	// LevelDB: the OS buffers).
+	Sync bool
+	// VerifyChecksums validates block CRCs on every read (default true).
+	VerifyChecksums *bool
+
+	// DisableAutoCompaction stops the background compactor (tests).
+	DisableAutoCompaction bool
+	// DisableTrivialMove forces rewrites where a metadata-only move would
+	// do (ablation benchmarks).
+	DisableTrivialMove bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.OS()
+	}
+	if o.Comparer == nil {
+		o.Comparer = keys.BytewiseComparer{}
+	}
+	if o.MemTableSize <= 0 {
+		o.MemTableSize = 4 << 20
+	}
+	if o.SSTableSize <= 0 {
+		o.SSTableSize = 2 << 20
+	}
+	if o.Fanout <= 1 {
+		o.Fanout = 10
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = int64(o.Fanout) * o.SSTableSize
+	}
+	if o.SliceLinkThreshold <= 0 {
+		o.SliceLinkThreshold = o.Fanout
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = 8
+	}
+	if o.L0StopTrigger <= 0 {
+		o.L0StopTrigger = 12
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.BloomBitsPerKey < 0 {
+		o.BloomBitsPerKey = 0 // disabled
+	}
+	if o.BlockCacheSize <= 0 {
+		o.BlockCacheSize = 8 << 20
+	}
+	if o.VerifyChecksums == nil {
+		t := true
+		o.VerifyChecksums = &t
+	}
+	return o
+}
+
+func (o Options) compactionParams() compaction.Params {
+	return compaction.Params{
+		Fanout:             o.Fanout,
+		SSTableSize:        o.SSTableSize,
+		BaseLevelBytes:     o.BaseLevelBytes,
+		L0Trigger:          o.L0CompactionTrigger,
+		SliceThreshold:     o.SliceLinkThreshold,
+		TieredTrigger:      o.Fanout,
+		DisableTrivialMove: o.DisableTrivialMove,
+	}
+}
+
+func (o Options) newBlockCache() *cache.Cache { return cache.New(o.BlockCacheSize) }

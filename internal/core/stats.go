@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of the store's internal counters. The categories map
+// onto the paper's measurements: compaction read/write bytes (Fig 10c,
+// Fig 12d/e/f, Fig 14), time share of compaction work (Table I), and write
+// stalls (the mechanism behind Fig 1 and Fig 8 tail latencies).
+type Stats struct {
+	// I/O volumes in bytes, counted at the table-building layer.
+	FlushWriteBytes      int64
+	CompactionReadBytes  int64
+	CompactionWriteBytes int64
+	// MergeReadBytes/MergeWriteBytes are the LDC merge-phase subset of the
+	// compaction totals (diagnostics and the ablation benches).
+	MergeReadBytes  int64
+	MergeWriteBytes int64
+	UserWriteBytes  int64
+	WALWriteBytes   int64
+
+	// Operation counts.
+	FlushCount       int64
+	CompactionCount  int64 // conventional compactions (UDC, L0, tiered)
+	LinkCount        int64 // LDC link phases (metadata only)
+	MergeCount       int64 // LDC merge phases
+	TrivialMoveCount int64
+	ObsoleteDeleted  int64
+
+	// Timing (Table I's breakdown).
+	CompactionTime time.Duration // background compaction + flush work
+	WriteTime      time.Duration // user write path (DoWrite)
+	ReadTime       time.Duration // user read path
+	StallTime      time.Duration // write-path waits on compaction
+	SlowdownCount  int64         // 1ms L0 slowdowns applied
+	StopCount      int64         // hard write stops encountered
+
+	// Request counts.
+	Puts, Gets, Deletes, Scans int64
+}
+
+// WriteAmplification reports physical table writes per user byte:
+// (flush + compaction writes) / user bytes.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserWriteBytes == 0 {
+		return 0
+	}
+	return float64(s.FlushWriteBytes+s.CompactionWriteBytes) / float64(s.UserWriteBytes)
+}
+
+// CompactionIOBytes reports the paper's Fig 10(c) quantity.
+func (s Stats) CompactionIOBytes() (read, write int64) {
+	return s.CompactionReadBytes, s.CompactionWriteBytes
+}
+
+// String renders a compact summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"flushW=%dMB compR=%dMB compW=%dMB userW=%dMB wamp=%.2f flush=%d compact=%d link=%d merge=%d move=%d stall=%v slow=%d stop=%d",
+		s.FlushWriteBytes>>20, s.CompactionReadBytes>>20, s.CompactionWriteBytes>>20,
+		s.UserWriteBytes>>20, s.WriteAmplification(),
+		s.FlushCount, s.CompactionCount, s.LinkCount, s.MergeCount, s.TrivialMoveCount,
+		s.StallTime, s.SlowdownCount, s.StopCount)
+}
+
+// dbStats is the live atomic counterpart of Stats.
+type dbStats struct {
+	flushWriteBytes      atomic.Int64
+	compactionReadBytes  atomic.Int64
+	compactionWriteBytes atomic.Int64
+	mergeReadBytes       atomic.Int64
+	mergeWriteBytes      atomic.Int64
+	userWriteBytes       atomic.Int64
+	walWriteBytes        atomic.Int64
+
+	flushCount       atomic.Int64
+	compactionCount  atomic.Int64
+	linkCount        atomic.Int64
+	mergeCount       atomic.Int64
+	trivialMoveCount atomic.Int64
+	obsoleteDeleted  atomic.Int64
+
+	compactionNanos atomic.Int64
+	writeNanos      atomic.Int64
+	readNanos       atomic.Int64
+	stallNanos      atomic.Int64
+	slowdownCount   atomic.Int64
+	stopCount       atomic.Int64
+
+	puts, gets, deletes, scans atomic.Int64
+}
+
+func (d *dbStats) snapshot() Stats {
+	return Stats{
+		FlushWriteBytes:      d.flushWriteBytes.Load(),
+		CompactionReadBytes:  d.compactionReadBytes.Load(),
+		CompactionWriteBytes: d.compactionWriteBytes.Load(),
+		MergeReadBytes:       d.mergeReadBytes.Load(),
+		MergeWriteBytes:      d.mergeWriteBytes.Load(),
+		UserWriteBytes:       d.userWriteBytes.Load(),
+		WALWriteBytes:        d.walWriteBytes.Load(),
+		FlushCount:           d.flushCount.Load(),
+		CompactionCount:      d.compactionCount.Load(),
+		LinkCount:            d.linkCount.Load(),
+		MergeCount:           d.mergeCount.Load(),
+		TrivialMoveCount:     d.trivialMoveCount.Load(),
+		ObsoleteDeleted:      d.obsoleteDeleted.Load(),
+		CompactionTime:       time.Duration(d.compactionNanos.Load()),
+		WriteTime:            time.Duration(d.writeNanos.Load()),
+		ReadTime:             time.Duration(d.readNanos.Load()),
+		StallTime:            time.Duration(d.stallNanos.Load()),
+		SlowdownCount:        d.slowdownCount.Load(),
+		StopCount:            d.stopCount.Load(),
+		Puts:                 d.puts.Load(),
+		Gets:                 d.gets.Load(),
+		Deletes:              d.deletes.Load(),
+		Scans:                d.scans.Load(),
+	}
+}

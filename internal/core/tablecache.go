@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/keys"
+	"repro/internal/sstable"
+	"repro/internal/version"
+	"repro/internal/vfs"
+)
+
+// tableCache shares one open sstable.Reader per live table file. Readers
+// stay open until the file is deleted (file handles are cheap on the
+// simulated filesystems; the data-block cache bounds memory). Obsolete-file
+// garbage collection calls evict, which also purges the block cache.
+type tableCache struct {
+	fs         vfs.FS // tagged with the user-read I/O category
+	dir        string
+	icmp       keys.InternalComparer
+	blockCache *cache.Cache
+	verify     bool
+
+	mu      sync.Mutex
+	readers map[uint64]*sstable.Reader
+}
+
+func newTableCache(fs vfs.FS, dir string, icmp keys.InternalComparer, bc *cache.Cache, verify bool) *tableCache {
+	return &tableCache{
+		fs:         fs,
+		dir:        dir,
+		icmp:       icmp,
+		blockCache: bc,
+		verify:     verify,
+		readers:    map[uint64]*sstable.Reader{},
+	}
+}
+
+// get returns the shared reader for a table file, opening it on first use.
+// The returned reader must not be closed by the caller.
+func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
+	tc.mu.Lock()
+	if r, ok := tc.readers[num]; ok {
+		tc.mu.Unlock()
+		return r, nil
+	}
+	tc.mu.Unlock()
+
+	// Open outside the lock; racing opens are reconciled below.
+	f, err := tc.fs.Open(version.TableFileName(tc.dir, num))
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.OpenReader(f, sstable.ReaderOptions{
+		Cmp:             tc.icmp,
+		Cache:           tc.blockCache,
+		FileNum:         num,
+		VerifyChecksums: tc.verify,
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if existing, ok := tc.readers[num]; ok {
+		r.Close()
+		return existing, nil
+	}
+	tc.readers[num] = r
+	return r, nil
+}
+
+// evict closes and forgets the reader for a deleted file and purges its
+// cached blocks.
+func (tc *tableCache) evict(num uint64) {
+	tc.mu.Lock()
+	r, ok := tc.readers[num]
+	if ok {
+		delete(tc.readers, num)
+	}
+	tc.mu.Unlock()
+	if ok {
+		r.Close()
+	}
+	tc.blockCache.EvictFile(num)
+}
+
+// totalBlockReads sums device block fetches across open readers (Fig 13).
+func (tc *tableCache) totalBlockReads() int64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var n int64
+	for _, r := range tc.readers {
+		n += r.BlockReads()
+	}
+	return n
+}
+
+// close releases every reader.
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for num, r := range tc.readers {
+		r.Close()
+		delete(tc.readers, num)
+	}
+}

@@ -1,0 +1,133 @@
+package encoding
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xff, 0x1234, 0xdeadbeef, math.MaxUint32} {
+		b := PutFixed32(nil, v)
+		if len(b) != 4 {
+			t.Fatalf("PutFixed32 produced %d bytes", len(b))
+		}
+		if got := Fixed32(b); got != v {
+			t.Errorf("Fixed32(PutFixed32(%#x)) = %#x", v, got)
+		}
+	}
+}
+
+func TestFixed64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xff, 0xdeadbeefcafe, math.MaxUint64} {
+		b := PutFixed64(nil, v)
+		if len(b) != 8 {
+			t.Fatalf("PutFixed64 produced %d bytes", len(b))
+		}
+		if got := Fixed64(b); got != v {
+			t.Errorf("Fixed64(PutFixed64(%#x)) = %#x", v, got)
+		}
+	}
+}
+
+func TestFixedAppendsToExisting(t *testing.T) {
+	b := []byte{0xaa}
+	b = PutFixed32(b, 7)
+	if b[0] != 0xaa || Fixed32(b[1:]) != 7 {
+		t.Errorf("PutFixed32 did not append: %v", b)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 256, 16383, 16384, 1 << 32, math.MaxUint64}
+	for _, v := range cases {
+		b := PutUvarint(nil, v)
+		got, n := Uvarint(b)
+		if n != len(b) || got != v {
+			t.Errorf("Uvarint(PutUvarint(%d)) = (%d, %d), want (%d, %d)", v, got, n, v, len(b))
+		}
+		if UvarintLen(v) != len(b) {
+			t.Errorf("UvarintLen(%d) = %d, want %d", v, UvarintLen(v), len(b))
+		}
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		b := PutUvarint(nil, v)
+		got, n := Uvarint(b)
+		return got == v && n == len(b) && n <= MaxVarintLen64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	b := PutUvarint(nil, math.MaxUint64)
+	for i := 0; i < len(b); i++ {
+		if _, n := Uvarint(b[:i]); n != 0 {
+			t.Errorf("Uvarint accepted truncated input of %d bytes", i)
+		}
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// 11 continuation bytes cannot be a valid 64-bit varint.
+	b := bytes.Repeat([]byte{0xff}, 11)
+	if _, n := Uvarint(b); n != 0 {
+		t.Error("Uvarint accepted overflowing input")
+	}
+}
+
+func TestLengthPrefixedRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, []byte("a"), []byte("hello world"), bytes.Repeat([]byte{0x7f}, 300)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = PutLengthPrefixed(buf, p)
+	}
+	rest := buf
+	for i, p := range payloads {
+		got, n := GetLengthPrefixed(rest)
+		if n == 0 {
+			t.Fatalf("payload %d: decode failed", i)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("payload %d: got %q want %q", i, got, p)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestLengthPrefixedTruncated(t *testing.T) {
+	b := PutLengthPrefixed(nil, []byte("payload"))
+	for i := 0; i < len(b); i++ {
+		if _, n := GetLengthPrefixed(b[:i]); n != 0 {
+			t.Errorf("GetLengthPrefixed accepted truncated input of %d bytes", i)
+		}
+	}
+}
+
+func TestLengthPrefixedQuick(t *testing.T) {
+	f := func(p []byte) bool {
+		b := PutLengthPrefixed(nil, p)
+		got, n := GetLengthPrefixed(b)
+		return n == len(b) && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetLengthPrefixedDoesNotOverread(t *testing.T) {
+	// Length claims more bytes than available.
+	b := PutUvarint(nil, 100)
+	b = append(b, []byte("short")...)
+	if _, n := GetLengthPrefixed(b); n != 0 {
+		t.Error("GetLengthPrefixed accepted short payload")
+	}
+}

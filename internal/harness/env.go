@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/ssdsim"
+	"repro/internal/vfs"
+	"repro/internal/ycsb"
+)
+
+// Env is one store instance on a fresh simulated SSD.
+type Env struct {
+	Cfg    Config
+	Policy compaction.Policy
+	FS     *ssdsim.FS
+	Dev    *ssdsim.Device
+	DB     *core.DB
+}
+
+// NewEnv builds a fresh store with the given policy over an in-memory
+// simulated SSD.
+func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
+	// Collect the previous environment's heap and return it to the OS now,
+	// so its garbage is not collected *during* the next measured run and the
+	// heap high-water mark (which sizes later GC cycles) resets between
+	// experiments. Without this, later runs in a multi-experiment process
+	// pay noticeably different GC taxes than earlier ones.
+	debug.FreeOSMemory()
+	dev := ssdsim.NewDevice(cfg.Device)
+	fs := ssdsim.Wrap(vfs.Mem(), dev)
+	db, err := core.Open("/db", core.Options{
+		FS:                 fs,
+		Policy:             policy,
+		MemTableSize:       cfg.MemTableSize,
+		SSTableSize:        cfg.SSTableSize,
+		Fanout:             cfg.Fanout,
+		SliceLinkThreshold: cfg.SliceThreshold,
+		BloomBitsPerKey:    cfg.BloomBitsPerKey,
+		BlockCacheSize:     cfg.BlockCacheSize,
+		AdaptiveThreshold:  cfg.AdaptiveThreshold,
+		DisableTrivialMove: cfg.DisableTrivialMove,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: open %v store: %w", policy, err)
+	}
+	return &Env{Cfg: cfg, Policy: policy, FS: fs, Dev: dev, DB: db}, nil
+}
+
+// Ops adapts the store to the YCSB runner; not-found reads are normal.
+func (e *Env) Ops() ycsb.Ops {
+	return ycsb.Ops{
+		Write: e.DB.Put,
+		Read: func(key []byte) error {
+			_, err := e.DB.Get(key)
+			if errors.Is(err, core.ErrNotFound) {
+				return nil
+			}
+			return err
+		},
+		Scan: func(start []byte, limit int) error {
+			_, err := e.DB.Scan(start, limit)
+			return err
+		},
+	}
+}
+
+// Load preloads the workload's key space and resets device counters so
+// measurements cover only the run phase.
+func (e *Env) Load(w ycsb.Workload) error {
+	if err := ycsb.Load(e.Ops(), w, ycsb.RunnerOptions{Seed: e.Cfg.Seed}); err != nil {
+		return err
+	}
+	e.DB.WaitIdle()
+	e.Dev.Reset()
+	return nil
+}
+
+// Run executes the workload's measured phase.
+func (e *Env) Run(w ycsb.Workload) (*ycsb.Result, error) {
+	return e.RunWith(w, ycsb.RunnerOptions{Seed: e.Cfg.Seed, Clients: e.Cfg.Clients})
+}
+
+// RunWith executes with explicit runner options.
+func (e *Env) RunWith(w ycsb.Workload, ro ycsb.RunnerOptions) (*ycsb.Result, error) {
+	res, err := ycsb.Run(e.Ops(), w, ro)
+	if err != nil {
+		return res, err
+	}
+	e.DB.WaitIdle()
+	return res, nil
+}
+
+// Close shuts the store down.
+func (e *Env) Close() error { return e.DB.Close() }
+
+// Policies lists the paper's comparison pair.
+func Policies() []compaction.Policy {
+	return []compaction.Policy{compaction.UDC, compaction.LDC}
+}

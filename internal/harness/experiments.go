@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/histogram"
+	"repro/internal/ycsb"
+)
+
+// ---------------------------------------------------------------------------
+// Table I — time breakdown of an insert-only run
+
+// Table1Row is one line of the paper's Table I equivalent.
+type Table1Row struct {
+	Module  string
+	Percent float64
+}
+
+// Table1Result is the regenerated Table I.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 inserts cfg.Ops keys under UDC and attributes wall time to the
+// same regions the paper profiles with perf: compaction work
+// (DoCompactionWork), device time (file system), the user write path
+// (DoWrite), and the remainder.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	env, err := NewEnv(cfg, compaction.UDC)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	w := ycsb.WO(cfg.Ops, cfg.KeySpace)
+	w.ValueSize = cfg.ValueSize
+	start := time.Now()
+	if _, err := env.Run(w); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	s := env.DB.Stats()
+	dev := env.Dev.Snapshot()
+	total := float64(wall)
+	if total <= 0 {
+		total = 1
+	}
+	// Compaction work includes the device time its I/O spends; report the
+	// paper's split by charging device time to "file system".
+	fsTime := float64(dev.BusyTime) * cfg.Device.Scale
+	compact := float64(s.CompactionTime) - fsTime
+	if compact < 0 {
+		compact = float64(s.CompactionTime)
+		fsTime = 0
+	}
+	write := float64(s.WriteTime - s.StallTime)
+	if write < 0 {
+		write = 0
+	}
+	other := total - compact - fsTime - write
+	if other < 0 {
+		other = 0
+	}
+	norm := compact + fsTime + write + other
+	return &Table1Result{Rows: []Table1Row{
+		{Module: "DoCompactionWork", Percent: 100 * compact / norm},
+		{Module: "file system (device)", Percent: 100 * fsTime / norm},
+		{Module: "DoWrite", Percent: 100 * write / norm},
+		{Module: "Others", Percent: 100 * other / norm},
+	}}, nil
+}
+
+// Print renders the table.
+func (r *Table1Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Module\tPercent of Time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.1f%%\n", row.Module, row.Percent)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 1 — latency fluctuation of the baseline store
+
+// Fig1Result is the per-slot mean latency series of a mixed run on UDC.
+type Fig1Result struct {
+	Slot        time.Duration
+	Series      []time.Duration
+	Fluctuation float64 // max/min over non-empty slots (paper: 49.13×)
+}
+
+// RunFig1 performs the paper's motivation experiment: a 50/50 read/write
+// mix on the traditional store, recording mean latency per time slot.
+func RunFig1(cfg Config) (*Fig1Result, error) {
+	env, err := NewEnv(cfg, compaction.UDC)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	w := ycsb.RWB(cfg.Ops, cfg.KeySpace)
+	w.ValueSize = cfg.ValueSize
+	if err := env.Load(w); err != nil {
+		return nil, err
+	}
+	slot := 50 * time.Millisecond
+	res, err := env.RunWith(w, ycsb.RunnerOptions{
+		Seed: cfg.Seed, Clients: cfg.Clients, TimelineSlot: slot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := res.Timeline.Series()
+	return &Fig1Result{
+		Slot:        slot,
+		Series:      series,
+		Fluctuation: histogram.FluctuationFactor(series),
+	}, nil
+}
+
+// Print renders the series.
+func (r *Fig1Result) Print(out io.Writer) {
+	fmt.Fprintf(out, "slot=%v fluctuation=%.2fx\n", r.Slot, r.Fluctuation)
+	for i, v := range r.Series {
+		fmt.Fprintf(out, "t=%v\tmean=%v\n", time.Duration(i)*r.Slot, v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7 — tuning UDC's fan-out alone does not work
+
+// FanoutRow is one fan-out setting's outcome.
+type FanoutRow struct {
+	Policy         string
+	Fanout         int
+	Throughput     float64
+	CompactionIOGB float64
+}
+
+// Fig7Result sweeps fan-out for UDC only (the motivation figure).
+type Fig7Result struct {
+	Rows []FanoutRow
+}
+
+// Fig7Fanouts is the sweep range. The paper sweeps 3–100 on an 800 GB
+// store; at this repository's scaled data volume, fan-outs above 25 put
+// the whole dataset inside level 1's capacity target (no deep descents
+// happen for either policy), so the sweep stops at 25 — which still
+// brackets the paper's optima (UDC ≈ 3, LDC ≈ 25).
+var Fig7Fanouts = []int{3, 5, 10, 25}
+
+// RunFig7 sweeps UDC's fan-out under the RWB workload.
+func RunFig7(cfg Config) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, k := range Fig7Fanouts {
+		c := cfg
+		c.Fanout = k
+		row, err := fanoutRun(c, compaction.UDC)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func fanoutRun(cfg Config, policy compaction.Policy) (FanoutRow, error) {
+	env, err := NewEnv(cfg, policy)
+	if err != nil {
+		return FanoutRow{}, err
+	}
+	defer env.Close()
+	w := ycsb.RWB(cfg.Ops, cfg.KeySpace)
+	w.ValueSize = cfg.ValueSize
+	if err := env.Load(w); err != nil {
+		return FanoutRow{}, err
+	}
+	r, err := env.Run(w)
+	if err != nil {
+		return FanoutRow{}, err
+	}
+	s := env.DB.Stats()
+	return FanoutRow{
+		Policy:         policy.String(),
+		Fanout:         cfg.Fanout,
+		Throughput:     r.Throughput,
+		CompactionIOGB: float64(s.CompactionReadBytes+s.CompactionWriteBytes) / (1 << 30),
+	}, nil
+}
+
+// Print renders the sweep.
+func (r *Fig7Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tfanout\tthroughput(ops/s)\tcompactionIO(GB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\n", row.Policy, row.Fanout, row.Throughput, row.CompactionIOGB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8 — tail latency percentiles, UDC vs LDC
+
+// Fig8Row is one policy's percentile profile.
+type Fig8Row struct {
+	Policy string
+	P90    time.Duration
+	P99    time.Duration
+	P999   time.Duration
+	P9999  time.Duration
+}
+
+// Fig8Result compares write tail latency between the policies.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// P999Ratio is UDC's P99.9 over LDC's (paper: 2.62×).
+	P999Ratio float64
+}
+
+// RunFig8 runs the paper's mixed random read/write workload on both
+// policies and reports P90–P99.99. The extreme percentiles live in the
+// top ~0.1% of samples and single runs at this scale leave too few there,
+// so each policy runs three independently-seeded instances whose
+// histograms are merged — the same aggregation the paper gets from its
+// 20 M-request runs.
+func RunFig8(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	var p999 [2]time.Duration
+	for i, policy := range Policies() {
+		var h histogram.Histogram
+		for trial := 0; trial < 3; trial++ {
+			env, err := NewEnv(cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			w := ycsb.RWB(cfg.Ops, cfg.KeySpace)
+			w.ValueSize = cfg.ValueSize
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			r, err := env.RunWith(w, ycsb.RunnerOptions{
+				Seed:    cfg.Seed + int64(trial)*101,
+				Clients: cfg.Clients,
+			})
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			h.Merge(r.Hist)
+		}
+		row := Fig8Row{
+			Policy: policy.String(),
+			P90:    h.Percentile(90),
+			P99:    h.Percentile(99),
+			P999:   h.Percentile(99.9),
+			P9999:  h.Percentile(99.99),
+		}
+		p999[i] = row.P999
+		res.Rows = append(res.Rows, row)
+	}
+	if p999[1] > 0 {
+		res.P999Ratio = float64(p999[0]) / float64(p999[1])
+	}
+	return res, nil
+}
+
+// Print renders the percentile table.
+func (r *Fig8Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tP90\tP99\tP99.9\tP99.99")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\n", row.Policy, row.P90, row.P99, row.P999, row.P9999)
+	}
+	tw.Flush()
+	fmt.Fprintf(out, "UDC/LDC P99.9 ratio: %.2fx (paper: 2.62x)\n", r.P999Ratio)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — average latency per workload
+
+// Fig9Row is one (workload, policy) average latency.
+type Fig9Row struct {
+	Workload string
+	Policy   string
+	Mean     time.Duration
+}
+
+// Fig9Result compares average latency across mixes.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// RunFig9 measures average latency for WH, RWB, and RH on both policies.
+func RunFig9(cfg Config) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	mixes := []func(int64, int64) ycsb.Workload{ycsb.WH, ycsb.RWB, ycsb.RH}
+	for _, mix := range mixes {
+		for _, policy := range Policies() {
+			env, err := NewEnv(cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			w := mix(cfg.Ops, cfg.KeySpace)
+			w.ValueSize = cfg.ValueSize
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			r, err := env.Run(w)
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig9Row{
+				Workload: w.Name,
+				Policy:   policy.String(),
+				Mean:     r.Hist.Mean(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *Fig9Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tpolicy\tmean latency")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\n", row.Workload, row.Policy, row.Mean)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,571 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/compaction"
+	"repro/internal/ssdsim"
+	"repro/internal/vfs"
+	"repro/internal/ycsb"
+)
+
+// ---------------------------------------------------------------------------
+// Fig 10(a,b) — throughput across workloads
+
+// ThroughputRow is one (workload, policy) throughput.
+type ThroughputRow struct {
+	Workload   string
+	Policy     string
+	Throughput float64
+}
+
+// ThroughputResult holds a throughput comparison with per-workload
+// improvement of LDC over UDC.
+type ThroughputResult struct {
+	Rows []ThroughputRow
+}
+
+// Improvements maps workload → LDC/UDC − 1.
+func (r *ThroughputResult) Improvements() map[string]float64 {
+	udc := map[string]float64{}
+	ldc := map[string]float64{}
+	for _, row := range r.Rows {
+		if row.Policy == "UDC" {
+			udc[row.Workload] = row.Throughput
+		} else if row.Policy == "LDC" {
+			ldc[row.Workload] = row.Throughput
+		}
+	}
+	out := map[string]float64{}
+	for wname, u := range udc {
+		if l, ok := ldc[wname]; ok && u > 0 {
+			out[wname] = l/u - 1
+		}
+	}
+	return out
+}
+
+// Print renders throughputs and improvements.
+func (r *ThroughputResult) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tpolicy\tthroughput(ops/s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\n", row.Workload, row.Policy, row.Throughput)
+	}
+	tw.Flush()
+	for wname, imp := range r.Improvements() {
+		fmt.Fprintf(out, "LDC vs UDC on %s: %+.1f%%\n", wname, imp*100)
+	}
+}
+
+func runThroughput(cfg Config, workloads []ycsb.Workload) (*ThroughputResult, error) {
+	res := &ThroughputResult{}
+	for _, w := range workloads {
+		w.ValueSize = cfg.ValueSize
+		if w.WriteRatio == 0 {
+			// Read-only runs are far faster per op; lengthen them so the
+			// measurement is not dominated by startup noise.
+			w.Ops *= 3
+		}
+		for _, policy := range Policies() {
+			env, err := NewEnv(cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			r, err := env.Run(w)
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, ThroughputRow{
+				Workload:   w.Name,
+				Policy:     policy.String(),
+				Throughput: r.Throughput,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RunFig10a measures throughput for the GET-family workloads
+// (WO/WH/RWB/RH/RO).
+func RunFig10a(cfg Config) (*ThroughputResult, error) {
+	return runThroughput(cfg, ycsb.PointWorkloads(cfg.Ops, cfg.KeySpace))
+}
+
+// RunFig10b measures throughput for the SCAN-family workloads.
+func RunFig10b(cfg Config) (*ThroughputResult, error) {
+	return runThroughput(cfg, ycsb.ScanWorkloads(cfg.Ops, cfg.KeySpace))
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10(c) — compaction I/O volume
+
+// IORow is one (workload, policy) compaction I/O tally.
+type IORow struct {
+	Workload  string
+	Policy    string
+	ReadMB    float64
+	WriteMB   float64
+	FlushedMB float64
+}
+
+// IOResult compares compaction I/O across workloads.
+type IOResult struct {
+	Rows []IORow
+}
+
+// RunFig10c measures compaction read/write volume for WO, WH, RWB, SCN-RWB,
+// and RH (the paper's Fig 10(c) categories).
+func RunFig10c(cfg Config) (*IOResult, error) {
+	workloads := []ycsb.Workload{
+		ycsb.WO(cfg.Ops, cfg.KeySpace),
+		ycsb.WH(cfg.Ops, cfg.KeySpace),
+		ycsb.RWB(cfg.Ops, cfg.KeySpace),
+		ycsb.ScnRWB(cfg.Ops, cfg.KeySpace),
+		ycsb.RH(cfg.Ops, cfg.KeySpace),
+	}
+	res := &IOResult{}
+	for _, w := range workloads {
+		w.ValueSize = cfg.ValueSize
+		for _, policy := range Policies() {
+			env, err := NewEnv(cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			if _, err := env.Run(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			s := env.DB.Stats()
+			env.Close()
+			res.Rows = append(res.Rows, IORow{
+				Workload:  w.Name,
+				Policy:    policy.String(),
+				ReadMB:    float64(s.CompactionReadBytes) / (1 << 20),
+				WriteMB:   float64(s.CompactionWriteBytes) / (1 << 20),
+				FlushedMB: float64(s.FlushWriteBytes) / (1 << 20),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the I/O table.
+func (r *IOResult) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tpolicy\tcompactRead(MB)\tcompactWrite(MB)\tflush(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.1f\n",
+			row.Workload, row.Policy, row.ReadMB, row.WriteMB, row.FlushedMB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 11 — uniform vs Zipf distributions
+
+// RunFig11 measures RWB throughput under uniform and Zipf(1, 2, 5)
+// distributions for both policies.
+func RunFig11(cfg Config) (*ThroughputResult, error) {
+	var workloads []ycsb.Workload
+	base := ycsb.RWB(cfg.Ops, cfg.KeySpace)
+	base.Name = "Uniform"
+	workloads = append(workloads, base)
+	for _, theta := range []float64{1, 2, 5} {
+		w := ycsb.RWB(cfg.Ops, cfg.KeySpace)
+		w.Dist = ycsb.Zipf(theta)
+		w.Name = fmt.Sprintf("Zipf%g", theta)
+		workloads = append(workloads, w)
+	}
+	return runThroughput(cfg, workloads)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12(a,d) — SliceLink threshold sweep
+
+// ThresholdRow is one T_s setting's outcome (LDC only).
+type ThresholdRow struct {
+	Threshold  int
+	Throughput float64
+	ReadMB     float64
+	WriteMB    float64
+}
+
+// ThresholdResult sweeps T_s.
+type ThresholdResult struct {
+	Rows []ThresholdRow
+}
+
+// Fig12Thresholds is the sweep range around the fan-out default.
+var Fig12Thresholds = []int{2, 5, 10, 20, 40}
+
+// RunFig12a sweeps the SliceLink threshold under the RWB workload.
+func RunFig12a(cfg Config) (*ThresholdResult, error) {
+	res := &ThresholdResult{}
+	for _, ts := range Fig12Thresholds {
+		c := cfg
+		c.SliceThreshold = ts
+		env, err := NewEnv(c, compaction.LDC)
+		if err != nil {
+			return nil, err
+		}
+		w := ycsb.RWB(c.Ops, c.KeySpace)
+		w.ValueSize = c.ValueSize
+		if err := env.Load(w); err != nil {
+			env.Close()
+			return nil, err
+		}
+		r, err := env.Run(w)
+		s := env.DB.Stats()
+		env.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ThresholdRow{
+			Threshold:  ts,
+			Throughput: r.Throughput,
+			ReadMB:     float64(s.CompactionReadBytes) / (1 << 20),
+			WriteMB:    float64(s.CompactionWriteBytes) / (1 << 20),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *ThresholdResult) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "T_s\tthroughput(ops/s)\tcompactRead(MB)\tcompactWrite(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.1f\t%.1f\n", row.Threshold, row.Throughput, row.ReadMB, row.WriteMB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12(b,e) — fan-out sweep for both policies
+
+// Fig12bResult sweeps fan-out for UDC and LDC.
+type Fig12bResult struct {
+	Rows []FanoutRow
+}
+
+// RunFig12b sweeps fan-out for both policies under RWB. Request count
+// scales with the fan-out so every point keeps the data volume above the
+// deeper levels' capacity targets (the regime the paper's fixed-size
+// store is always in).
+func RunFig12b(cfg Config) (*Fig12bResult, error) {
+	res := &Fig12bResult{}
+	for _, k := range Fig7Fanouts {
+		for _, policy := range Policies() {
+			c := cfg
+			c.Fanout = k
+			c.SliceThreshold = k // T_s tracks fan-out, the paper's best setting
+			if k > 10 {
+				c.Ops = cfg.Ops * int64(k) / 10
+				c.KeySpace = cfg.KeySpace * int64(k) / 10
+			}
+			row, err := fanoutRun(c, policy)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *Fig12bResult) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tfanout\tthroughput(ops/s)\tcompactionIO(GB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\n", row.Policy, row.Fanout, row.Throughput, row.CompactionIOGB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12(c,f) — Bloom filter size sweep
+
+// BloomRow is one bits-per-key setting's outcome.
+type BloomRow struct {
+	Policy     string
+	BitsPerKey int
+	Throughput float64
+	UserReadMB float64
+}
+
+// BloomResult sweeps filter sizes.
+type BloomResult struct {
+	Rows []BloomRow
+}
+
+// Fig12Blooms is the paper's 10..200 bits/key sweep.
+var Fig12Blooms = []int{10, 50, 100, 200}
+
+// RunFig12c sweeps Bloom filter bits/key under RWB for both policies.
+func RunFig12c(cfg Config) (*BloomResult, error) {
+	res := &BloomResult{}
+	for _, bits := range Fig12Blooms {
+		for _, policy := range Policies() {
+			c := cfg
+			c.BloomBitsPerKey = bits
+			env, err := NewEnv(c, policy)
+			if err != nil {
+				return nil, err
+			}
+			w := ycsb.RWB(c.Ops, c.KeySpace)
+			w.ValueSize = c.ValueSize
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			r, err := env.Run(w)
+			dev := env.Dev.Snapshot()
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BloomRow{
+				Policy:     policy.String(),
+				BitsPerKey: bits,
+				Throughput: r.Throughput,
+				UserReadMB: float64(dev.ByCategory[ssdsim.CatUserRead].ReadBytes) / (1 << 20),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *BloomResult) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tbits/key\tthroughput(ops/s)\tuserRead(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", row.Policy, row.BitsPerKey, row.Throughput, row.UserReadMB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 13 — Bloom filter accuracy vs block reads (read-only)
+
+// Fig13Row is one bits/key setting under the read-only workload.
+type Fig13Row struct {
+	BitsPerKey    int
+	BlockReads    int64
+	FilterBytesKB float64 // mean filter size per table
+}
+
+// Fig13Result relates filter size to data-block fetches.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13Blooms is the paper's 2..128 bits/key range.
+var Fig13Blooms = []int{2, 4, 8, 16, 32, 64, 128}
+
+// RunFig13 loads a data set, then performs a read-only pass per filter
+// size, counting data-block reads from the device.
+func RunFig13(cfg Config) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, bits := range Fig13Blooms {
+		c := cfg
+		c.BloomBitsPerKey = bits
+		c.BlockCacheSize = 1 << 20 // small cache: filters must do the work
+		env, err := NewEnv(c, compaction.LDC)
+		if err != nil {
+			return nil, err
+		}
+		w := ycsb.RO(c.Ops, c.KeySpace)
+		w.ValueSize = c.ValueSize
+		if err := env.Load(w); err != nil {
+			env.Close()
+			return nil, err
+		}
+		before := env.DB.BlockReads()
+		if _, err := env.Run(w); err != nil {
+			env.Close()
+			return nil, err
+		}
+		reads := env.DB.BlockReads() - before
+		// Mean filter size: bits/key × keys per table / 8.
+		keysPerTable := float64(c.SSTableSize) / float64(c.ValueSize+16)
+		res.Rows = append(res.Rows, Fig13Row{
+			BitsPerKey:    bits,
+			BlockReads:    reads,
+			FilterBytesKB: float64(bits) * keysPerTable / 8 / 1024,
+		})
+		env.Close()
+	}
+	return res, nil
+}
+
+// Print renders the relation.
+func (r *Fig13Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bits/key\tblockReads\tfilterSize(KB/table)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\n", row.BitsPerKey, row.BlockReads, row.FilterBytesKB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 14 — scalability with request count
+
+// ScaleRow is one request-count point.
+type ScaleRow struct {
+	Ops        int64
+	Policy     string
+	Throughput float64
+	CompIOMB   float64
+}
+
+// Fig14Result sweeps total request count.
+type Fig14Result struct {
+	Rows []ScaleRow
+}
+
+// Fig14Factors scales cfg.Ops, mirroring the paper's 5M→30M sweep.
+var Fig14Factors = []float64{0.5, 1, 2, 3}
+
+// RunFig14 sweeps the request count for both policies under RWB.
+func RunFig14(cfg Config) (*Fig14Result, error) {
+	res := &Fig14Result{}
+	for _, f := range Fig14Factors {
+		c := cfg.ScaleOps(f)
+		for _, policy := range Policies() {
+			env, err := NewEnv(c, policy)
+			if err != nil {
+				return nil, err
+			}
+			w := ycsb.RWB(c.Ops, c.KeySpace)
+			w.ValueSize = c.ValueSize
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			r, err := env.Run(w)
+			s := env.DB.Stats()
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, ScaleRow{
+				Ops:        c.Ops,
+				Policy:     policy.String(),
+				Throughput: r.Throughput,
+				CompIOMB:   float64(s.CompactionReadBytes+s.CompactionWriteBytes) / (1 << 20),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *Fig14Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "requests\tpolicy\tthroughput(ops/s)\tcompactionIO(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.0f\t%.1f\n", row.Ops, row.Policy, row.Throughput, row.CompIOMB)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 15 — space efficiency
+
+// SpaceRow is one request-count point's final footprint.
+type SpaceRow struct {
+	Ops      int64
+	Policy   string
+	FSBytes  int64 // total bytes on the simulated device
+	FrozenMB float64
+}
+
+// Fig15Result compares on-device space.
+type Fig15Result struct {
+	Rows []SpaceRow
+}
+
+// RunFig15 measures final space consumption across request counts for both
+// policies (the paper: LDC costs 3.37%–10.0% extra).
+func RunFig15(cfg Config) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	for _, f := range Fig14Factors {
+		c := cfg.ScaleOps(f)
+		for _, policy := range Policies() {
+			env, err := NewEnv(c, policy)
+			if err != nil {
+				return nil, err
+			}
+			w := ycsb.RWB(c.Ops, c.KeySpace)
+			w.ValueSize = c.ValueSize
+			if err := env.Load(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			if _, err := env.Run(w); err != nil {
+				env.Close()
+				return nil, err
+			}
+			env.DB.WaitIdle()
+			total, _ := vfs.TotalBytes(env.FS)
+			prof := env.DB.CurrentProfile()
+			env.Close()
+			res.Rows = append(res.Rows, SpaceRow{
+				Ops:      c.Ops,
+				Policy:   policy.String(),
+				FSBytes:  total,
+				FrozenMB: float64(prof.FrozenBytes) / (1 << 20),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Overheads maps ops → LDC space overhead over UDC.
+func (r *Fig15Result) Overheads() map[int64]float64 {
+	udc := map[int64]int64{}
+	ldc := map[int64]int64{}
+	for _, row := range r.Rows {
+		if row.Policy == "UDC" {
+			udc[row.Ops] = row.FSBytes
+		} else {
+			ldc[row.Ops] = row.FSBytes
+		}
+	}
+	out := map[int64]float64{}
+	for ops, u := range udc {
+		if l, ok := ldc[ops]; ok && u > 0 {
+			out[ops] = float64(l)/float64(u) - 1
+		}
+	}
+	return out
+}
+
+// Print renders the comparison.
+func (r *Fig15Result) Print(out io.Writer) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "requests\tpolicy\tspace(MB)\tfrozen(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%.1f\n", row.Ops, row.Policy,
+			float64(row.FSBytes)/(1<<20), row.FrozenMB)
+	}
+	tw.Flush()
+	for ops, ov := range r.Overheads() {
+		fmt.Fprintf(out, "LDC space overhead at %d requests: %+.2f%%\n", ops, ov*100)
+	}
+}

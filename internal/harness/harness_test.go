@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/compaction"
+	"repro/internal/ycsb"
+)
+
+// The harness tests run every experiment at Quick scale, asserting basic
+// shape properties rather than absolute numbers. Full-scale shapes are
+// asserted by the repository benchmarks and recorded in EXPERIMENTS.md.
+
+func TestEnvLifecycle(t *testing.T) {
+	env, err := NewEnv(Quick(), compaction.LDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ycsb.RWB(500, 200)
+	w.ValueSize = 128
+	if err := env.Load(w); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 500 || res.Throughput <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	r, err := RunTable1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var sum float64
+	for _, row := range r.Rows {
+		if row.Percent < 0 || row.Percent > 100 {
+			t.Errorf("%s = %.1f%%", row.Module, row.Percent)
+		}
+		sum += row.Percent
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("percentages sum to %.1f", sum)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "DoCompactionWork") {
+		t.Error("print missing module names")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	r, err := RunFig1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("empty timeline")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "fluctuation") {
+		t.Error("print missing fluctuation factor")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 3000
+	r, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(Fig7Fanouts) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Policy != "UDC" || row.Throughput <= 0 {
+			t.Errorf("row = %+v", row)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	r, err := RunFig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !(row.P90 <= row.P99 && row.P99 <= row.P999 && row.P999 <= row.P9999) {
+			t.Errorf("%s percentiles not monotone: %+v", row.Policy, row)
+		}
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	r, err := RunFig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 { // 3 workloads × 2 policies
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig10a(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 3000
+	r, err := RunFig10a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 { // 5 workloads × 2 policies
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	imp := r.Improvements()
+	if len(imp) != 5 {
+		t.Errorf("improvements = %v", imp)
+	}
+}
+
+func TestRunFig10b(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 1500
+	r, err := RunFig10b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig10c(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 3000
+	r, err := RunFig10c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The write-only workload must show compaction I/O under UDC.
+	for _, row := range r.Rows {
+		if row.Workload == "WO" && row.Policy == "UDC" && row.WriteMB == 0 {
+			t.Error("WO/UDC shows no compaction writes")
+		}
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 2000
+	r, err := RunFig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 4 distributions × 2 policies
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig12a(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 2000
+	r, err := RunFig12a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(Fig12Thresholds) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig12b(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 1500
+	r, err := RunFig12b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(Fig7Fanouts) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig12c(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 1500
+	r, err := RunFig12c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(Fig12Blooms) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig13BloomReducesBlockReads(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 3000
+	r, err := RunFig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(Fig13Blooms) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Filter size must grow with bits/key; block reads must not grow.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.FilterBytesKB <= first.FilterBytesKB {
+		t.Error("filter size not growing with bits/key")
+	}
+	if last.BlockReads > first.BlockReads*2 {
+		t.Errorf("block reads grew with better filters: %d -> %d",
+			first.BlockReads, last.BlockReads)
+	}
+}
+
+func TestRunFig14(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 1500
+	r, err := RunFig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(Fig14Factors) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRunFig15(t *testing.T) {
+	cfg := Quick()
+	cfg.Ops = 2000
+	r, err := RunFig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(Fig14Factors) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.FSBytes <= 0 {
+			t.Errorf("zero space for %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "space overhead") {
+		t.Error("print missing overhead lines")
+	}
+}

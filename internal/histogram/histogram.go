@@ -1,0 +1,250 @@
+// Package histogram records operation latencies with enough resolution to
+// report the extreme percentiles the paper studies (P90–P99.99, Fig 8) and
+// per-second latency timelines (Fig 1).
+//
+// Histogram buckets are geometric with ~5% relative width, so percentile
+// error is bounded at ~5% across the full ns..minutes range while the
+// structure stays a few KB. Recording is lock-free (atomic adds), safe for
+// concurrent writers.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// growth is the geometric bucket growth factor.
+	growth = 1.05
+	// numBuckets covers 1ns .. ~> 1h at 5% resolution.
+	numBuckets = 600
+)
+
+var bucketLimits [numBuckets]int64
+
+func init() {
+	limit := 1.0
+	for i := 0; i < numBuckets; i++ {
+		bucketLimits[i] = int64(limit)
+		limit *= growth
+		if limit < float64(bucketLimits[i]+1) {
+			limit = float64(bucketLimits[i] + 1)
+		}
+	}
+}
+
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// Binary search the precomputed limits.
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketLimits[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Histogram accumulates latency samples. The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stored negated so zero value works; see Record
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if cur != 0 && -v <= cur || h.min.CompareAndSwap(cur, -v) {
+			break
+		}
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean reports the average sample.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min reports the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return time.Duration(-m)
+}
+
+// Percentile reports the latency at quantile p in [0,100], e.g. 99.9.
+// Within a bucket the value is interpolated linearly.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	threshold := float64(total) * p / 100
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= threshold {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketLimits[i-1]
+			}
+			hi := bucketLimits[i]
+			frac := (threshold - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			v := float64(lo) + frac*float64(hi-lo)
+			if max := h.max.Load(); int64(v) > max {
+				v = float64(max)
+			}
+			return time.Duration(v)
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if m := other.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+	if m := other.min.Load(); m != 0 && (h.min.Load() == 0 || m > h.min.Load()) {
+		h.min.Store(m)
+	}
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := 0; i < numBuckets; i++ {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(0)
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("count=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v p99.99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(90),
+		h.Percentile(99), h.Percentile(99.9), h.Percentile(99.99), h.Max())
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+
+// Timeline records mean latency per fixed time slot, reproducing the
+// paper's Fig 1 ("average latency per second of all the requests").
+type Timeline struct {
+	slot  time.Duration
+	start time.Time
+	mu    chan struct{} // 1-token semaphore; contention is negligible
+	sums  []int64
+	cnts  []int64
+}
+
+// NewTimeline starts a timeline with the given slot width.
+func NewTimeline(slot time.Duration) *Timeline {
+	t := &Timeline{slot: slot, start: time.Now(), mu: make(chan struct{}, 1)}
+	t.mu <- struct{}{}
+	return t
+}
+
+// Record adds a sample at the current time.
+func (t *Timeline) Record(d time.Duration) {
+	idx := int(time.Since(t.start) / t.slot)
+	<-t.mu
+	for len(t.sums) <= idx {
+		t.sums = append(t.sums, 0)
+		t.cnts = append(t.cnts, 0)
+	}
+	t.sums[idx] += int64(d)
+	t.cnts[idx]++
+	t.mu <- struct{}{}
+}
+
+// Series returns the mean latency per slot; empty slots are zero.
+func (t *Timeline) Series() []time.Duration {
+	<-t.mu
+	defer func() { t.mu <- struct{}{} }()
+	out := make([]time.Duration, len(t.sums))
+	for i := range t.sums {
+		if t.cnts[i] > 0 {
+			out[i] = time.Duration(t.sums[i] / t.cnts[i])
+		}
+	}
+	return out
+}
+
+// FluctuationFactor reports max/min over the non-empty slots of the series,
+// the paper's "fluctuation extent" metric (it reports 49.13× for LevelDB).
+func FluctuationFactor(series []time.Duration) float64 {
+	min, max := time.Duration(math.MaxInt64), time.Duration(0)
+	for _, v := range series {
+		if v == 0 {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 || min == 0 || min == time.Duration(math.MaxInt64) {
+		return 0
+	}
+	return float64(max) / float64(min)
+}

@@ -1,0 +1,169 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Errorf("empty histogram not zeroed: %s", h.String())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []time.Duration{10, 20, 30, 40, 50} {
+		h.Record(v * time.Microsecond)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30*time.Microsecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 50*time.Microsecond || h.Min() != 10*time.Microsecond {
+		t.Errorf("Max/Min = %v/%v", h.Max(), h.Min())
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	n := 100000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-normal-ish latency distribution: 10µs base with a heavy tail.
+		v := time.Duration(10_000 + rng.ExpFloat64()*50_000)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := samples[int(float64(n)*p/100)-1]
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("P%v = %v, want ≈%v (ratio %.3f)", p, got, want, ratio)
+		}
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(1_000_000)))
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{10, 50, 90, 99, 99.9, 99.99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Errorf("P%v = %v < previous %v", p, v, prev)
+		}
+		prev = v
+	}
+	if h.Percentile(100) > h.Max() {
+		t.Errorf("P100 %v exceeds max %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(123 * time.Microsecond)
+	for _, p := range []float64{1, 50, 99.99} {
+		got := h.Percentile(p)
+		if got > 123*time.Microsecond || got < 100*time.Microsecond {
+			t.Errorf("P%v = %v for single 123µs sample", p, got)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(10 * time.Microsecond)
+		b.Record(1 * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged Count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond || a.Min() != 10*time.Microsecond {
+		t.Errorf("merged Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	p75 := a.Percentile(75)
+	if p75 < 500*time.Microsecond {
+		t.Errorf("merged P75 = %v, want in the 1ms cluster", p75)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Errorf("Count = %d after concurrent recording", h.Count())
+	}
+}
+
+func TestTimelineSeries(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	tl.Record(100 * time.Microsecond)
+	tl.Record(300 * time.Microsecond)
+	time.Sleep(12 * time.Millisecond)
+	tl.Record(1 * time.Millisecond)
+	s := tl.Series()
+	if len(s) < 2 {
+		t.Fatalf("series has %d slots", len(s))
+	}
+	if s[0] != 200*time.Microsecond {
+		t.Errorf("slot 0 mean = %v", s[0])
+	}
+	if s[len(s)-1] != time.Millisecond {
+		t.Errorf("last slot = %v", s[len(s)-1])
+	}
+}
+
+func TestFluctuationFactor(t *testing.T) {
+	series := []time.Duration{0, 10 * time.Microsecond, 0, 490 * time.Microsecond, 20 * time.Microsecond}
+	got := FluctuationFactor(series)
+	if got < 48.9 || got > 49.1 {
+		t.Errorf("FluctuationFactor = %v, want 49", got)
+	}
+	if FluctuationFactor(nil) != 0 {
+		t.Error("empty series should report 0")
+	}
+	if FluctuationFactor([]time.Duration{0, 0}) != 0 {
+		t.Error("all-zero series should report 0")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i % 1000000))
+	}
+}

@@ -1,0 +1,85 @@
+package iterator
+
+import "repro/internal/keys"
+
+// NewClamped restricts child to internal keys whose *user key* lies in the
+// inclusive range r. This is how an LDC slice is materialized: a frozen
+// SSTable's iterator clamped to the key range the slice was linked with.
+// Closing the clamped iterator closes the child.
+func NewClamped(ucmp keys.Comparer, child Iterator, r keys.KeyRange) Iterator {
+	return &clampIter{ucmp: ucmp, child: child, r: r}
+}
+
+type clampIter struct {
+	ucmp  keys.Comparer
+	child Iterator
+	r     keys.KeyRange
+	valid bool
+}
+
+func (c *clampIter) inRange() bool {
+	uk := keys.InternalKey(c.child.Key()).UserKey()
+	return c.ucmp.Compare(uk, c.r.Lo) >= 0 && c.ucmp.Compare(uk, c.r.Hi) <= 0
+}
+
+// settle updates validity after a positioning call; the child may be on a
+// key outside the clamp window, in which case the iterator is invalid.
+func (c *clampIter) settle() {
+	c.valid = c.child.Valid() && c.inRange()
+}
+
+func (c *clampIter) Valid() bool { return c.valid }
+
+func (c *clampIter) SeekGE(target []byte) {
+	uk := keys.InternalKey(target).UserKey()
+	if c.ucmp.Compare(uk, c.r.Lo) < 0 {
+		// Target below the window: start at the window's first key. A search
+		// key with MaxSeq positions before every version of Lo.
+		c.child.SeekGE(keys.MakeSearchKey(nil, c.r.Lo, keys.MaxSeq))
+	} else {
+		c.child.SeekGE(target)
+	}
+	c.settle()
+}
+
+func (c *clampIter) SeekToFirst() {
+	c.child.SeekGE(keys.MakeSearchKey(nil, c.r.Lo, keys.MaxSeq))
+	c.settle()
+}
+
+func (c *clampIter) SeekToLast() {
+	// Position after every version of Hi, then step back.
+	c.child.SeekGE(keys.MakeInternalKey(nil, c.r.Hi, 0, keys.KindDelete))
+	if c.child.Valid() {
+		if c.ucmp.Compare(keys.InternalKey(c.child.Key()).UserKey(), c.r.Hi) == 0 {
+			// Landed on the oldest version of Hi itself — still in range.
+			c.settle()
+			return
+		}
+		c.child.Prev()
+	} else {
+		c.child.SeekToLast()
+	}
+	c.settle()
+}
+
+func (c *clampIter) Next() {
+	if !c.valid {
+		return
+	}
+	c.child.Next()
+	c.settle()
+}
+
+func (c *clampIter) Prev() {
+	if !c.valid {
+		return
+	}
+	c.child.Prev()
+	c.settle()
+}
+
+func (c *clampIter) Key() []byte   { return c.child.Key() }
+func (c *clampIter) Value() []byte { return c.child.Value() }
+func (c *clampIter) Error() error  { return c.child.Error() }
+func (c *clampIter) Close() error  { return c.child.Close() }

@@ -1,0 +1,261 @@
+package iterator
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+var icmp = keys.InternalComparer{User: keys.BytewiseComparer{}}
+
+func ik(u string, seq keys.Seq) []byte {
+	return keys.MakeInternalKey(nil, []byte(u), seq, keys.KindSet)
+}
+
+func pairs(kvs ...string) []KV {
+	// kvs alternate key,value; keys get seq=1.
+	var out []KV
+	for i := 0; i < len(kvs); i += 2 {
+		out = append(out, KV{K: ik(kvs[i], 1), V: []byte(kvs[i+1])})
+	}
+	return out
+}
+
+func collect(t *testing.T, it Iterator) []string {
+	t.Helper()
+	var out []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		out = append(out, string(keys.InternalKey(it.Key()).UserKey())+"="+string(it.Value()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+func TestSliceIterBasics(t *testing.T) {
+	it := NewSlice(icmp.Compare, pairs("a", "1", "c", "3", "e", "5"))
+	got := collect(t, it)
+	want := []string{"a=1", "c=3", "e=5"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	it.SeekGE(ik("b", keys.MaxSeq))
+	if !it.Valid() || string(keys.InternalKey(it.Key()).UserKey()) != "c" {
+		t.Errorf("SeekGE(b) landed on %q", it.Key())
+	}
+	it.SeekToLast()
+	if string(it.Value()) != "5" {
+		t.Errorf("SeekToLast value = %q", it.Value())
+	}
+	it.Prev()
+	if string(it.Value()) != "3" {
+		t.Errorf("Prev value = %q", it.Value())
+	}
+}
+
+func TestEmptyIterator(t *testing.T) {
+	it := Empty(nil)
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Error("empty iterator is valid")
+	}
+	if err := it.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestMergingInterleaves(t *testing.T) {
+	a := NewSlice(icmp.Compare, pairs("a", "1", "d", "4", "g", "7"))
+	b := NewSlice(icmp.Compare, pairs("b", "2", "e", "5"))
+	c := NewSlice(icmp.Compare, pairs("c", "3", "f", "6"))
+	m := NewMerging(icmp.Compare, a, b, c)
+	got := collect(t, m)
+	want := []string{"a=1", "b=2", "c=3", "d=4", "e=5", "f=6", "g=7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMergingVersionOrder(t *testing.T) {
+	// Same user key in two children with different sequences: newer first.
+	newSrc := NewSlice(icmp.Compare, []KV{{K: ik("k", 9), V: []byte("new")}})
+	oldSrc := NewSlice(icmp.Compare, []KV{{K: ik("k", 3), V: []byte("old")}})
+	m := NewMerging(icmp.Compare, oldSrc, newSrc) // child order should not matter
+	m.SeekToFirst()
+	if string(m.Value()) != "new" {
+		t.Errorf("first version = %q, want new", m.Value())
+	}
+	m.Next()
+	if string(m.Value()) != "old" {
+		t.Errorf("second version = %q, want old", m.Value())
+	}
+	m.Next()
+	if m.Valid() {
+		t.Error("expected exhaustion")
+	}
+}
+
+func TestMergingSeekGE(t *testing.T) {
+	a := NewSlice(icmp.Compare, pairs("a", "1", "e", "5"))
+	b := NewSlice(icmp.Compare, pairs("c", "3", "g", "7"))
+	m := NewMerging(icmp.Compare, a, b)
+	m.SeekGE(ik("d", keys.MaxSeq))
+	if !m.Valid() || string(keys.InternalKey(m.Key()).UserKey()) != "e" {
+		t.Fatalf("SeekGE(d) landed on %q", m.Key())
+	}
+	m.SeekGE(ik("z", keys.MaxSeq))
+	if m.Valid() {
+		t.Error("SeekGE(z) should exhaust")
+	}
+}
+
+func TestMergingReverse(t *testing.T) {
+	a := NewSlice(icmp.Compare, pairs("a", "1", "d", "4"))
+	b := NewSlice(icmp.Compare, pairs("b", "2", "c", "3"))
+	m := NewMerging(icmp.Compare, a, b)
+	var got []string
+	for m.SeekToLast(); m.Valid(); m.Prev() {
+		got = append(got, string(keys.InternalKey(m.Key()).UserKey()))
+	}
+	want := []string{"d", "c", "b", "a"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("reverse got %v want %v", got, want)
+	}
+}
+
+func TestMergingDirectionSwitch(t *testing.T) {
+	a := NewSlice(icmp.Compare, pairs("a", "1", "c", "3", "e", "5"))
+	b := NewSlice(icmp.Compare, pairs("b", "2", "d", "4", "f", "6"))
+	m := NewMerging(icmp.Compare, a, b)
+	m.SeekToFirst() // a
+	m.Next()        // b
+	m.Next()        // c
+	m.Prev()        // back to b
+	if string(keys.InternalKey(m.Key()).UserKey()) != "b" {
+		t.Fatalf("after fwd-then-prev, at %q", keys.InternalKey(m.Key()).UserKey())
+	}
+	m.Prev() // a
+	if string(keys.InternalKey(m.Key()).UserKey()) != "a" {
+		t.Fatalf("at %q want a", keys.InternalKey(m.Key()).UserKey())
+	}
+	m.Next() // b again (reverse->forward switch)
+	if string(keys.InternalKey(m.Key()).UserKey()) != "b" {
+		t.Fatalf("after prev-then-next, at %q want b", keys.InternalKey(m.Key()).UserKey())
+	}
+}
+
+// TestMergingQuickAgainstSorted fuzzes the merging iterator against a flat
+// sort of the same data.
+func TestMergingQuickAgainstSorted(t *testing.T) {
+	f := func(seed int64, nSrc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSrc%5) + 1
+		var all []KV
+		var children []Iterator
+		seq := keys.Seq(1)
+		for i := 0; i < n; i++ {
+			var p []KV
+			for j := 0; j < rng.Intn(20); j++ {
+				k := ik(fmt.Sprintf("%03d", rng.Intn(50)), seq)
+				seq++
+				p = append(p, KV{K: k, V: []byte{byte(i)}})
+			}
+			sort.Slice(p, func(x, y int) bool { return icmp.Compare(p[x].K, p[y].K) < 0 })
+			all = append(all, p...)
+			children = append(children, NewSlice(icmp.Compare, p))
+		}
+		sort.Slice(all, func(x, y int) bool { return icmp.Compare(all[x].K, all[y].K) < 0 })
+		m := NewMerging(icmp.Compare, children...)
+		i := 0
+		for m.SeekToFirst(); m.Valid(); m.Next() {
+			if i >= len(all) || !bytes.Equal(m.Key(), all[i].K) {
+				return false
+			}
+			i++
+		}
+		return i == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampedBasics(t *testing.T) {
+	src := NewSlice(icmp.Compare, pairs("a", "1", "b", "2", "c", "3", "d", "4", "e", "5"))
+	cl := NewClamped(keys.BytewiseComparer{}, src, keys.KeyRange{Lo: []byte("b"), Hi: []byte("d")})
+	got := collect(t, cl)
+	want := []string{"b=2", "c=3", "d=4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestClampedSeekBelowAndAbove(t *testing.T) {
+	src := NewSlice(icmp.Compare, pairs("a", "1", "b", "2", "c", "3", "d", "4"))
+	cl := NewClamped(keys.BytewiseComparer{}, src, keys.KeyRange{Lo: []byte("b"), Hi: []byte("c")})
+	cl.SeekGE(ik("a", keys.MaxSeq))
+	if !cl.Valid() || string(keys.InternalKey(cl.Key()).UserKey()) != "b" {
+		t.Errorf("SeekGE below window landed on %q", cl.Key())
+	}
+	cl.SeekGE(ik("d", keys.MaxSeq))
+	if cl.Valid() {
+		t.Error("SeekGE above window should be invalid")
+	}
+}
+
+func TestClampedSeekToLast(t *testing.T) {
+	src := NewSlice(icmp.Compare, pairs("a", "1", "b", "2", "d", "4", "e", "5"))
+	cl := NewClamped(keys.BytewiseComparer{}, src, keys.KeyRange{Lo: []byte("b"), Hi: []byte("c")})
+	cl.SeekToLast()
+	if !cl.Valid() || string(keys.InternalKey(cl.Key()).UserKey()) != "b" {
+		t.Errorf("SeekToLast landed on %v", cl.Valid())
+	}
+	// Window whose Hi matches an existing key.
+	cl2 := NewClamped(keys.BytewiseComparer{}, NewSlice(icmp.Compare, pairs("a", "1", "b", "2", "d", "4")), keys.KeyRange{Lo: []byte("a"), Hi: []byte("d")})
+	cl2.SeekToLast()
+	if !cl2.Valid() || string(keys.InternalKey(cl2.Key()).UserKey()) != "d" {
+		t.Error("SeekToLast with Hi on existing key failed")
+	}
+}
+
+func TestClampedReverse(t *testing.T) {
+	src := NewSlice(icmp.Compare, pairs("a", "1", "b", "2", "c", "3", "d", "4", "e", "5"))
+	cl := NewClamped(keys.BytewiseComparer{}, src, keys.KeyRange{Lo: []byte("b"), Hi: []byte("d")})
+	var got []string
+	for cl.SeekToLast(); cl.Valid(); cl.Prev() {
+		got = append(got, string(keys.InternalKey(cl.Key()).UserKey()))
+	}
+	want := []string{"d", "c", "b"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestClampedInsideMerging(t *testing.T) {
+	// A slice view of a "frozen file" merged with a base file, as LDC reads do.
+	frozen := NewSlice(icmp.Compare, []KV{
+		{K: ik("b", 10), V: []byte("newB")},
+		{K: ik("x", 10), V: []byte("outside")},
+	})
+	slice := NewClamped(keys.BytewiseComparer{}, frozen, keys.KeyRange{Lo: []byte("a"), Hi: []byte("c")})
+	base := NewSlice(icmp.Compare, []KV{
+		{K: ik("a", 1), V: []byte("a1")},
+		{K: ik("b", 1), V: []byte("oldB")},
+		{K: ik("c", 1), V: []byte("c1")},
+	})
+	m := NewMerging(icmp.Compare, slice, base)
+	var got []string
+	for m.SeekToFirst(); m.Valid(); m.Next() {
+		got = append(got, string(keys.InternalKey(m.Key()).UserKey())+"="+string(m.Value()))
+	}
+	want := []string{"a=a1", "b=newB", "b=oldB", "c=c1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}

@@ -1,0 +1,208 @@
+package iterator
+
+import "container/heap"
+
+// CompareFunc orders internal keys (see keys.InternalComparer).
+type CompareFunc func(a, b []byte) int
+
+// NewMerging returns an iterator yielding the union of the children in
+// sorted order. Children with equal keys are yielded in child order, so
+// callers should list newer sources first (the store never produces equal
+// internal keys across sources, but the tie rule keeps behaviour defined).
+// Closing the merging iterator closes every child.
+func NewMerging(cmp CompareFunc, children ...Iterator) Iterator {
+	switch len(children) {
+	case 0:
+		return Empty(nil)
+	case 1:
+		return children[0]
+	}
+	m := &mergingIter{cmp: cmp, children: children}
+	m.heap.m = m
+	return m
+}
+
+type direction int8
+
+const (
+	forward direction = iota
+	reverse
+)
+
+type mergingIter struct {
+	cmp      CompareFunc
+	children []Iterator
+	// heap holds the indexes of valid children, ordered by current key
+	// (min-heap when dir==forward, max-heap when dir==reverse).
+	heap mergeHeap
+	dir  direction
+	err  error
+}
+
+type mergeHeap struct {
+	m   *mergingIter
+	idx []int
+}
+
+func (h *mergeHeap) Len() int { return len(h.idx) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.m.children[h.idx[i]], h.m.children[h.idx[j]]
+	r := h.m.cmp(a.Key(), b.Key())
+	if r == 0 {
+		// Stable tie-break on child position; reversed in reverse mode so the
+		// same child wins from both directions.
+		if h.m.dir == forward {
+			return h.idx[i] < h.idx[j]
+		}
+		return h.idx[i] > h.idx[j]
+	}
+	if h.m.dir == forward {
+		return r < 0
+	}
+	return r > 0
+}
+func (h *mergeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *mergeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *mergeHeap) Pop() interface{} {
+	x := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return x
+}
+
+func (m *mergingIter) rebuild() {
+	m.heap.idx = m.heap.idx[:0]
+	for i, c := range m.children {
+		if c.Valid() {
+			m.heap.idx = append(m.heap.idx, i)
+		} else if err := c.Error(); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.heap)
+}
+
+func (m *mergingIter) Valid() bool { return m.err == nil && len(m.heap.idx) > 0 }
+
+func (m *mergingIter) SeekGE(target []byte) {
+	m.dir = forward
+	for _, c := range m.children {
+		c.SeekGE(target)
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) SeekToFirst() {
+	m.dir = forward
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) SeekToLast() {
+	m.dir = reverse
+	for _, c := range m.children {
+		c.SeekToLast()
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) top() Iterator { return m.children[m.heap.idx[0]] }
+
+func (m *mergingIter) Next() {
+	if !m.Valid() {
+		return
+	}
+	if m.dir == reverse {
+		// Direction switch: reposition every non-current child at the first
+		// key strictly greater than the current key, then rebuild the heap
+		// (children that fell out of it while reversing may be valid again).
+		key := append([]byte(nil), m.top().Key()...)
+		cur := m.heap.idx[0]
+		m.dir = forward
+		for i, c := range m.children {
+			if i == cur {
+				continue
+			}
+			c.SeekGE(key)
+			if c.Valid() && m.cmp(c.Key(), key) == 0 {
+				c.Next()
+			}
+		}
+		m.children[cur].Next()
+		m.rebuild()
+		return
+	}
+	m.top().Next()
+	if m.top().Valid() {
+		heap.Fix(&m.heap, 0)
+	} else {
+		if err := m.top().Error(); err != nil && m.err == nil {
+			m.err = err
+		}
+		heap.Pop(&m.heap)
+	}
+}
+
+func (m *mergingIter) Prev() {
+	if !m.Valid() {
+		return
+	}
+	if m.dir == forward {
+		// Direction switch: every non-current child moves to the last key
+		// strictly less than the current key.
+		key := append([]byte(nil), m.top().Key()...)
+		cur := m.heap.idx[0]
+		m.dir = reverse
+		for i, c := range m.children {
+			if i == cur {
+				continue
+			}
+			c.SeekGE(key)
+			if c.Valid() {
+				c.Prev() // step before key
+			} else {
+				c.SeekToLast() // all keys < key
+			}
+		}
+		m.children[cur].Prev()
+		m.rebuild()
+		return
+	}
+	m.top().Prev()
+	if m.top().Valid() {
+		heap.Fix(&m.heap, 0)
+	} else {
+		if err := m.top().Error(); err != nil && m.err == nil {
+			m.err = err
+		}
+		heap.Pop(&m.heap)
+	}
+}
+
+func (m *mergingIter) Key() []byte   { return m.top().Key() }
+func (m *mergingIter) Value() []byte { return m.top().Value() }
+
+func (m *mergingIter) Error() error {
+	if m.err != nil {
+		return m.err
+	}
+	for _, c := range m.children {
+		if err := c.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *mergingIter) Close() error {
+	err := m.Error()
+	for _, c := range m.children {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	m.children = nil
+	m.heap.idx = nil
+	return err
+}

@@ -1,0 +1,137 @@
+// Package memtable implements C0 of the LSM-tree: an in-memory, sorted,
+// append-only table over the skiplist, holding writes until they are flushed
+// to a level-0 SSTable.
+//
+// Each entry is packed into a single buffer as
+//
+//	varint(len(internal key)) | internal key | varint(len(value)) | value
+//
+// and the skiplist stores the whole record; its comparison function decodes
+// the leading internal key. Tombstones are entries with kind=KindDelete and
+// an empty value.
+package memtable
+
+import (
+	"sync/atomic"
+
+	"repro/internal/encoding"
+	"repro/internal/iterator"
+	"repro/internal/keys"
+	"repro/internal/skiplist"
+)
+
+// MemTable is safe for a single writer with concurrent readers, matching the
+// skiplist contract; the DB serializes writers.
+type MemTable struct {
+	icmp keys.InternalComparer
+	list *skiplist.List
+	// approximateBytes includes per-entry encoding overhead.
+	approximateBytes atomic.Int64
+}
+
+// New returns an empty memtable ordered by icmp.
+func New(icmp keys.InternalComparer) *MemTable {
+	m := &MemTable{icmp: icmp}
+	m.list = skiplist.New(func(a, b []byte) int {
+		ak, _ := decodeKey(a)
+		bk, _ := decodeKey(b)
+		return icmp.Compare(ak, bk)
+	})
+	return m
+}
+
+// decodeKey splits a packed record into its internal key and the remainder
+// (the length-prefixed value).
+func decodeKey(rec []byte) (ikey, rest []byte) {
+	k, n := encoding.GetLengthPrefixed(rec)
+	return k, rec[n:]
+}
+
+func decodeValue(rest []byte) []byte {
+	v, _ := encoding.GetLengthPrefixed(rest)
+	return v
+}
+
+// Add inserts a (ukey, value) entry with the given sequence and kind.
+// For KindDelete, value is ignored and stored empty.
+func (m *MemTable) Add(seq keys.Seq, kind keys.Kind, ukey, value []byte) {
+	if kind == keys.KindDelete {
+		value = nil
+	}
+	ikeyLen := len(ukey) + keys.TrailerLen
+	rec := make([]byte, 0, encoding.UvarintLen(uint64(ikeyLen))+ikeyLen+
+		encoding.UvarintLen(uint64(len(value)))+len(value))
+	rec = encoding.PutUvarint(rec, uint64(ikeyLen))
+	rec = keys.MakeInternalKey(rec, ukey, seq, kind)
+	rec = encoding.PutLengthPrefixed(rec, value)
+	m.list.Insert(rec)
+	m.approximateBytes.Add(int64(len(rec)))
+}
+
+// Get looks up ukey at snapshot seq. It reports (value, true, nil) for a live
+// entry, (nil, true, ErrDeleted-equivalent) semantics are avoided: instead it
+// returns (nil, false, true) for "found a tombstone" via the deleted flag.
+// found==false means the memtable has no visible version of ukey.
+func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bool) {
+	it := m.list.NewIterator()
+	search := keys.MakeSearchKey(nil, ukey, seq)
+	// The skiplist compares full records; a bare internal key decodes the
+	// same way because GetLengthPrefixed reads only the prefix.
+	rec := encoding.PutLengthPrefixed(nil, search)
+	it.SeekGE(rec)
+	if !it.Valid() {
+		return nil, false, false
+	}
+	ikey, rest := decodeKey(it.Key())
+	if m.icmp.User.Compare(keys.InternalKey(ikey).UserKey(), ukey) != 0 {
+		return nil, false, false
+	}
+	if keys.InternalKey(ikey).Kind() == keys.KindDelete {
+		return nil, true, true
+	}
+	return decodeValue(rest), false, true
+}
+
+// ApproximateBytes reports the memory consumed by entries, used for the
+// flush trigger.
+func (m *MemTable) ApproximateBytes() int64 { return m.approximateBytes.Load() }
+
+// Len reports the number of entries.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// Empty reports whether the table has no entries.
+func (m *MemTable) Empty() bool { return m.list.Len() == 0 }
+
+// NewIterator returns an iterator over internal keys, satisfying the store's
+// iterator contract.
+func (m *MemTable) NewIterator() iterator.Iterator {
+	return &memIter{it: m.list.NewIterator()}
+}
+
+type memIter struct {
+	it *skiplist.Iterator
+}
+
+func (m *memIter) Valid() bool { return m.it.Valid() }
+
+func (m *memIter) SeekGE(target []byte) {
+	m.it.SeekGE(encoding.PutLengthPrefixed(nil, target))
+}
+
+func (m *memIter) SeekToFirst() { m.it.SeekToFirst() }
+func (m *memIter) SeekToLast()  { m.it.SeekToLast() }
+func (m *memIter) Next()        { m.it.Next() }
+func (m *memIter) Prev()        { m.it.Prev() }
+
+func (m *memIter) Key() []byte {
+	k, _ := decodeKey(m.it.Key())
+	return k
+}
+
+func (m *memIter) Value() []byte {
+	_, rest := decodeKey(m.it.Key())
+	return decodeValue(rest)
+}
+
+func (m *memIter) Error() error { return nil }
+func (m *memIter) Close() error { return nil }

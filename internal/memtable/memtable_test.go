@@ -1,0 +1,155 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+var icmp = keys.InternalComparer{User: keys.BytewiseComparer{}}
+
+func TestGetLatestVersion(t *testing.T) {
+	m := New(icmp)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(2, keys.KindSet, []byte("k"), []byte("v2"))
+	m.Add(3, keys.KindSet, []byte("k"), []byte("v3"))
+
+	v, del, found := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || del || string(v) != "v3" {
+		t.Errorf("Get latest = %q del=%v found=%v", v, del, found)
+	}
+}
+
+func TestGetSnapshotIsolation(t *testing.T) {
+	m := New(icmp)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(5, keys.KindSet, []byte("k"), []byte("v5"))
+
+	v, _, found := m.Get([]byte("k"), 3)
+	if !found || string(v) != "v1" {
+		t.Errorf("Get@3 = %q found=%v, want v1", v, found)
+	}
+	_, _, found = m.Get([]byte("k"), 0)
+	if found {
+		t.Error("Get@0 found a version written at seq 1")
+	}
+}
+
+func TestGetTombstone(t *testing.T) {
+	m := New(icmp)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+
+	_, del, found := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || !del {
+		t.Errorf("tombstone not observed: del=%v found=%v", del, found)
+	}
+	// Older snapshot still sees the value.
+	v, del, found := m.Get([]byte("k"), 1)
+	if !found || del || string(v) != "v" {
+		t.Errorf("Get@1 = %q del=%v found=%v", v, del, found)
+	}
+}
+
+func TestGetAbsent(t *testing.T) {
+	m := New(icmp)
+	m.Add(1, keys.KindSet, []byte("aa"), []byte("v"))
+	if _, _, found := m.Get([]byte("ab"), keys.MaxSeq); found {
+		t.Error("found absent key")
+	}
+	if _, _, found := m.Get([]byte("a"), keys.MaxSeq); found {
+		t.Error("found prefix of stored key")
+	}
+}
+
+func TestEmptyValueAndDeleteValueDropped(t *testing.T) {
+	m := New(icmp)
+	m.Add(1, keys.KindSet, []byte("k"), nil)
+	v, del, found := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || del || len(v) != 0 {
+		t.Errorf("empty value: %q del=%v found=%v", v, del, found)
+	}
+	m.Add(2, keys.KindDelete, []byte("k"), []byte("ignored"))
+	_, del, _ = m.Get([]byte("k"), keys.MaxSeq)
+	if !del {
+		t.Error("delete with payload not treated as tombstone")
+	}
+}
+
+func TestIteratorOrderAndValues(t *testing.T) {
+	m := New(icmp)
+	m.Add(2, keys.KindSet, []byte("b"), []byte("vb"))
+	m.Add(1, keys.KindSet, []byte("a"), []byte("va"))
+	m.Add(3, keys.KindSet, []byte("c"), []byte("vc"))
+
+	it := m.NewIterator()
+	var got []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		got = append(got, string(keys.InternalKey(it.Key()).UserKey())+"="+string(it.Value()))
+	}
+	want := "[a=va b=vb c=vc]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestIteratorSeekGE(t *testing.T) {
+	m := New(icmp)
+	for i := 0; i < 10; i++ {
+		m.Add(keys.Seq(i+1), keys.KindSet, []byte(fmt.Sprintf("k%02d", i*2)), []byte("v"))
+	}
+	it := m.NewIterator()
+	it.SeekGE(keys.MakeSearchKey(nil, []byte("k05"), keys.MaxSeq))
+	if !it.Valid() || string(keys.InternalKey(it.Key()).UserKey()) != "k06" {
+		t.Errorf("SeekGE landed on %q", it.Key())
+	}
+}
+
+func TestApproximateBytesGrows(t *testing.T) {
+	m := New(icmp)
+	if m.ApproximateBytes() != 0 {
+		t.Error("fresh table has nonzero bytes")
+	}
+	m.Add(1, keys.KindSet, []byte("key"), []byte("value"))
+	if m.ApproximateBytes() < int64(len("key")+len("value")) {
+		t.Errorf("ApproximateBytes = %d too small", m.ApproximateBytes())
+	}
+	if m.Len() != 1 || m.Empty() {
+		t.Error("Len/Empty wrong")
+	}
+}
+
+// Property: every inserted (key, seq) is retrievable at exactly its own
+// snapshot with its own value.
+func TestQuickRoundTrip(t *testing.T) {
+	type op struct {
+		Key byte
+		Val []byte
+	}
+	f := func(ops []op) bool {
+		m := New(icmp)
+		type ver struct {
+			seq keys.Seq
+			val []byte
+		}
+		latest := map[byte]ver{}
+		for i, o := range ops {
+			seq := keys.Seq(i + 1)
+			m.Add(seq, keys.KindSet, []byte{o.Key}, o.Val)
+			latest[o.Key] = ver{seq, o.Val}
+		}
+		for k, v := range latest {
+			got, del, found := m.Get([]byte{k}, keys.MaxSeq)
+			if !found || del || !bytes.Equal(got, v.val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

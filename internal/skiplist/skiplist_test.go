@@ -1,0 +1,195 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func newList() *List { return New(bytes.Compare) }
+
+func TestEmpty(t *testing.T) {
+	l := newList()
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Errorf("empty list: Len=%d Bytes=%d", l.Len(), l.Bytes())
+	}
+	if l.Contains([]byte("x")) {
+		t.Error("empty list Contains returned true")
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Error("iterator valid on empty list")
+	}
+	it.SeekToLast()
+	if it.Valid() {
+		t.Error("SeekToLast valid on empty list")
+	}
+	it.SeekGE([]byte("a"))
+	if it.Valid() {
+		t.Error("SeekGE valid on empty list")
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	l := newList()
+	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for _, k := range keys {
+		l.Insert([]byte(k))
+	}
+	if l.Len() != len(keys) {
+		t.Errorf("Len = %d", l.Len())
+	}
+	for _, k := range keys {
+		if !l.Contains([]byte(k)) {
+			t.Errorf("missing %q", k)
+		}
+	}
+	if l.Contains([]byte("zulu")) {
+		t.Error("Contains returned true for absent key")
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := newList()
+	var want []string
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(1000000))
+		if l.Contains([]byte(k)) {
+			continue
+		}
+		l.Insert([]byte(k))
+		want = append(want, k)
+	}
+	sort.Strings(want)
+
+	it := l.NewIterator()
+	var got []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReverseIteration(t *testing.T) {
+	l := newList()
+	for i := 0; i < 100; i++ {
+		l.Insert([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	it := l.NewIterator()
+	i := 99
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		want := fmt.Sprintf("k%03d", i)
+		if string(it.Key()) != want {
+			t.Fatalf("got %q want %q", it.Key(), want)
+		}
+		i--
+	}
+	if i != -1 {
+		t.Errorf("stopped at %d", i)
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := newList()
+	for _, k := range []string{"b", "d", "f"} {
+		l.Insert([]byte(k))
+	}
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"d", "d"}, {"e", "f"}, {"f", "f"},
+	}
+	it := l.NewIterator()
+	for _, tc := range cases {
+		it.SeekGE([]byte(tc.seek))
+		if !it.Valid() || string(it.Key()) != tc.want {
+			t.Errorf("SeekGE(%q): got %q", tc.seek, it.Key())
+		}
+	}
+	it.SeekGE([]byte("g"))
+	if it.Valid() {
+		t.Error("SeekGE past end is valid")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := newList()
+	l.Insert([]byte("abc"))
+	l.Insert([]byte("defgh"))
+	if l.Bytes() != 8 {
+		t.Errorf("Bytes = %d, want 8", l.Bytes())
+	}
+}
+
+// TestConcurrentReadsDuringWrites exercises the single-writer /
+// many-readers contract under the race detector.
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	l := newList()
+	const n = 2000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				it := l.NewIterator()
+				prev := []byte(nil)
+				for it.SeekToFirst(); it.Valid(); it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						t.Error("out-of-order keys observed by reader")
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		l.Insert([]byte(fmt.Sprintf("key-%08d", i*7919%n)))
+	}
+	close(done)
+	wg.Wait()
+	if l.Len() != n {
+		t.Errorf("Len = %d want %d", l.Len(), n)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := newList()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%012d", i*2654435761))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(keys[i])
+	}
+}
+
+func BenchmarkSeekGE(b *testing.B) {
+	l := newList()
+	for i := 0; i < 100000; i++ {
+		l.Insert([]byte(fmt.Sprintf("key-%012d", i)))
+	}
+	it := l.NewIterator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.SeekGE([]byte(fmt.Sprintf("key-%012d", i%100000)))
+	}
+}

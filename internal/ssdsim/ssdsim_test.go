@@ -1,0 +1,165 @@
+package ssdsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func accountingProfile() Profile {
+	p := DefaultProfile()
+	p.Scale = 0 // accounting only, no sleeps
+	return p
+}
+
+func TestCategoryAccounting(t *testing.T) {
+	dev := NewDevice(accountingProfile())
+	fs := Wrap(vfs.Mem(), dev)
+	fs.MkdirAll("/db")
+
+	// Write 1000 bytes as a flush.
+	ff := fs.WithCategory(CatFlush)
+	f, err := ff.Create("/db/000001.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 1000))
+	f.Close()
+
+	// Read 400 of them as a user read.
+	uf := fs.WithCategory(CatUserRead)
+	r, err := uf.Open("/db/000001.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 400)
+	r.ReadAt(buf, 0)
+	r.Close()
+
+	s := dev.Snapshot()
+	if got := s.ByCategory[CatFlush].WriteBytes; got != 1000 {
+		t.Errorf("flush write bytes = %d", got)
+	}
+	if got := s.ByCategory[CatUserRead].ReadBytes; got != 400 {
+		t.Errorf("user read bytes = %d", got)
+	}
+	if got := s.ByCategory[CatCompactionWrite].WriteBytes; got != 0 {
+		t.Errorf("compaction write bytes = %d, want 0", got)
+	}
+	tot := s.Totals()
+	if tot.WriteBytes != 1000 || tot.ReadBytes != 400 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+func TestBusyTimeAsymmetry(t *testing.T) {
+	dev := NewDevice(accountingProfile())
+	const n = 1 << 20
+	dev.Read(CatUserRead, n)
+	readBusy := dev.Snapshot().BusyTime
+	dev.Reset()
+	dev.Write(CatFlush, n)
+	writeBusy := dev.Snapshot().BusyTime
+	if writeBusy < 4*readBusy {
+		t.Errorf("write busy %v not ≫ read busy %v: asymmetry lost", writeBusy, readBusy)
+	}
+}
+
+func TestEraseCycleAccounting(t *testing.T) {
+	p := accountingProfile()
+	p.EraseBlockBytes = 1024
+	dev := NewDevice(p)
+	dev.Write(CatCompactionWrite, 4096)
+	if got := dev.Snapshot().EraseCycles; got != 4 {
+		t.Errorf("EraseCycles = %d, want 4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dev := NewDevice(accountingProfile())
+	dev.Write(CatWAL, 100)
+	dev.Reset()
+	s := dev.Snapshot()
+	if s.Totals().WriteBytes != 0 || s.BusyTime != 0 || s.EraseCycles != 0 {
+		t.Errorf("counters not reset: %+v", s)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	p := Profile{
+		WritePerOp:      2 * time.Millisecond,
+		EraseBlockBytes: 1 << 20,
+		Scale:           1.0,
+	}
+	dev := NewDevice(p)
+	start := time.Now()
+	dev.Write(CatFlush, 1)
+	if elapsed := time.Since(start); elapsed < 1500*time.Microsecond {
+		t.Errorf("write with 2ms latency returned in %v", elapsed)
+	}
+}
+
+func TestBusyLineQueueing(t *testing.T) {
+	p := Profile{
+		WritePerOp:      20 * time.Microsecond,
+		EraseBlockBytes: 1 << 20,
+		Scale:           1.0,
+	}
+	dev := NewDevice(p)
+	start := time.Now()
+	for i := 0; i < 200; i++ { // 4ms of reserved device time
+		dev.Write(CatFlush, 0)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("200×20µs reservations took only %v; busy line not enforced", elapsed)
+	}
+}
+
+// TestContentionBetweenCallers verifies that one caller's large reservation
+// delays another caller — the foreground/background interference the
+// experiments rely on.
+func TestContentionBetweenCallers(t *testing.T) {
+	p := Profile{
+		WritePerOp:      5 * time.Millisecond,
+		ReadPerOp:       100 * time.Microsecond,
+		EraseBlockBytes: 1 << 20,
+		Scale:           1.0,
+	}
+	dev := NewDevice(p)
+	start := time.Now()
+	go dev.Write(CatCompactionWrite, 0) // reserves 5ms of device time
+	time.Sleep(time.Millisecond)        // ensure the reservation is in place
+	dev.Read(CatUserRead, 0)            // must queue behind the write
+	if lat := time.Since(start); lat < 4*time.Millisecond {
+		t.Errorf("read behind a 5ms write completed at %v; no contention", lat)
+	}
+}
+
+func TestFSPassthrough(t *testing.T) {
+	dev := NewDevice(accountingProfile())
+	fs := Wrap(vfs.Mem(), dev)
+	f, _ := fs.Create("/x")
+	f.Write([]byte("abc"))
+	f.Close()
+	if !fs.Exists("/x") {
+		t.Error("Exists false")
+	}
+	if err := fs.Rename("/x", "/y"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("/")
+	if len(names) != 1 || names[0] != "y" {
+		t.Errorf("List = %v", names)
+	}
+	if err := fs.Remove("/y"); err != nil {
+		t.Fatal(err)
+	}
+	// Size observable through the simulator and TotalBytes unwraps it.
+	f2, _ := fs.Create("/z")
+	f2.Write(make([]byte, 42))
+	f2.Close()
+	if got, ok := vfs.TotalBytes(fs); !ok || got != 42 {
+		t.Errorf("TotalBytes through simulator = %d, %v", got, ok)
+	}
+}

@@ -1,0 +1,98 @@
+// Package sstable implements the on-disk sorted table: the immutable,
+// block-structured file holding a sorted run of internal keys. The format
+// follows LevelDB:
+//
+//	[data block 0]
+//	[data block 1]
+//	 ...
+//	[filter block]   Bloom filter over the user keys of every entry
+//	[index block]    separator key -> data block handle
+//	[footer]         handles of filter and index blocks + magic
+//
+// Every block is stored as: contents | type byte (0 = raw) | fixed32 CRC,
+// where the CRC covers contents and type. Handles are varint (offset,
+// length-of-contents) pairs. The footer is fixed-size so it can be read
+// with one positioned read from the end of the file.
+package sstable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/encoding"
+)
+
+const (
+	// blockTrailerLen is the type byte plus the CRC.
+	blockTrailerLen = 5
+	// footerLen holds two max-length handles plus the magic number.
+	footerLen = 2*2*encoding.MaxVarintLen64 + 8
+
+	typeRaw = 0
+
+	magic = 0x8773b3a2c2a9d6f1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a checksum or structural failure in a table file.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// blockHandle locates a block's contents within the file.
+type blockHandle struct {
+	offset, length uint64
+}
+
+func (h blockHandle) encode(dst []byte) []byte {
+	dst = encoding.PutUvarint(dst, h.offset)
+	return encoding.PutUvarint(dst, h.length)
+}
+
+func decodeBlockHandle(b []byte) (blockHandle, int) {
+	off, n1 := encoding.Uvarint(b)
+	if n1 == 0 {
+		return blockHandle{}, 0
+	}
+	ln, n2 := encoding.Uvarint(b[n1:])
+	if n2 == 0 {
+		return blockHandle{}, 0
+	}
+	return blockHandle{offset: off, length: ln}, n1 + n2
+}
+
+// footer is the fixed-size tail of the file.
+type footer struct {
+	filterHandle blockHandle
+	indexHandle  blockHandle
+}
+
+func (f footer) encode() []byte {
+	buf := make([]byte, 0, footerLen)
+	buf = f.filterHandle.encode(buf)
+	buf = f.indexHandle.encode(buf)
+	for len(buf) < footerLen-8 {
+		buf = append(buf, 0)
+	}
+	return encoding.PutFixed64(buf, magic)
+}
+
+func decodeFooter(b []byte) (footer, error) {
+	if len(b) != footerLen {
+		return footer{}, fmt.Errorf("%w: footer is %d bytes", ErrCorrupt, len(b))
+	}
+	if encoding.Fixed64(b[footerLen-8:]) != magic {
+		return footer{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	var f footer
+	fh, n1 := decodeBlockHandle(b)
+	if n1 == 0 {
+		return footer{}, fmt.Errorf("%w: bad filter handle", ErrCorrupt)
+	}
+	ih, n2 := decodeBlockHandle(b[n1:])
+	if n2 == 0 {
+		return footer{}, fmt.Errorf("%w: bad index handle", ErrCorrupt)
+	}
+	f.filterHandle, f.indexHandle = fh, ih
+	return f, nil
+}

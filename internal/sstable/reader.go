@@ -1,0 +1,301 @@
+package sstable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/bloom"
+	"repro/internal/cache"
+	"repro/internal/encoding"
+	"repro/internal/iterator"
+	"repro/internal/keys"
+	"repro/internal/vfs"
+)
+
+// ReaderOptions configures table reading.
+type ReaderOptions struct {
+	// Cmp orders internal keys.
+	Cmp keys.InternalComparer
+	// Cache, when non-nil, holds decoded data blocks keyed by
+	// (FileNum, block offset). Index and filter blocks are pinned in the
+	// Reader itself, matching the paper's assumption that they stay
+	// memory-resident.
+	Cache *cache.Cache
+	// FileNum namespaces cache keys and names the table in errors.
+	FileNum uint64
+	// VerifyChecksums controls per-read CRC validation (default true via
+	// NewReaderOptions; zero value disables).
+	VerifyChecksums bool
+}
+
+// Reader provides random access to one table. It is safe for concurrent use.
+type Reader struct {
+	opts   ReaderOptions
+	f      vfs.File
+	index  *block.Reader
+	filter bloom.Filter
+
+	// BlockReads counts data-block fetches that missed the cache; exposed
+	// for the Fig 13 experiment and tests.
+	blockReads atomic.Int64
+}
+
+// OpenReader reads the footer, index, and filter of a table file. The
+// Reader takes ownership of f and closes it on Close.
+func OpenReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < footerLen {
+		return nil, fmt.Errorf("%w: file of %d bytes", ErrCorrupt, size)
+	}
+	buf := make([]byte, footerLen)
+	if _, err := f.ReadAt(buf, size-footerLen); err != nil {
+		return nil, err
+	}
+	ftr, err := decodeFooter(buf)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{opts: opts, f: f}
+	idxData, err := r.readBlockContents(ftr.indexHandle)
+	if err != nil {
+		return nil, err
+	}
+	r.index, err = block.NewReader(opts.Cmp.Compare, idxData)
+	if err != nil {
+		return nil, err
+	}
+	if ftr.filterHandle.length > 0 {
+		fl, err := r.readBlockContents(ftr.filterHandle)
+		if err != nil {
+			return nil, err
+		}
+		r.filter = bloom.Filter(fl)
+	}
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// MayContain consults the Bloom filter for ukey; tables written without a
+// filter report true.
+func (r *Reader) MayContain(ukey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.filter.MayContain(ukey)
+}
+
+// BlockReads reports how many data blocks were fetched from the file
+// (i.e. cache misses) over the reader's lifetime.
+func (r *Reader) BlockReads() int64 { return r.blockReads.Load() }
+
+// readBlockContents fetches and verifies a block, without caching.
+func (r *Reader) readBlockContents(h blockHandle) ([]byte, error) {
+	buf := make([]byte, h.length+blockTrailerLen)
+	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, fmt.Errorf("sstable %06d: %w", r.opts.FileNum, err)
+	}
+	contents, trailer := buf[:h.length], buf[h.length:]
+	if r.opts.VerifyChecksums {
+		crc := crc32.Update(0, crcTable, contents)
+		crc = crc32.Update(crc, crcTable, trailer[:1])
+		if crc != encoding.Fixed32(trailer[1:]) {
+			return nil, fmt.Errorf("%w: checksum mismatch in file %06d at offset %d",
+				ErrCorrupt, r.opts.FileNum, h.offset)
+		}
+	}
+	if trailer[0] != typeRaw {
+		return nil, fmt.Errorf("%w: unknown block type %d", ErrCorrupt, trailer[0])
+	}
+	return contents, nil
+}
+
+// dataBlock returns a (possibly cached) reader for the data block at h.
+func (r *Reader) dataBlock(h blockHandle) (*block.Reader, error) {
+	if r.opts.Cache != nil {
+		k := cache.Key{FileNum: r.opts.FileNum, Offset: h.offset}
+		if v, ok := r.opts.Cache.Get(k); ok {
+			return v.(*block.Reader), nil
+		}
+	}
+	contents, err := r.readBlockContents(h)
+	if err != nil {
+		return nil, err
+	}
+	r.blockReads.Add(1)
+	br, err := block.NewReader(r.opts.Cmp.Compare, contents)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Cache != nil {
+		k := cache.Key{FileNum: r.opts.FileNum, Offset: h.offset}
+		r.opts.Cache.Set(k, br, int64(len(contents)))
+	}
+	return br, nil
+}
+
+// Get returns the value of the newest version of ukey visible at snapshot
+// seq. deleted reports a tombstone; found reports whether any visible
+// version exists in this table. The Bloom filter is consulted first.
+func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bool, err error) {
+	if !r.MayContain(ukey) {
+		return nil, false, false, nil
+	}
+	it := r.NewIterator()
+	defer it.Close()
+	it.SeekGE(keys.MakeSearchKey(nil, ukey, seq))
+	if !it.Valid() {
+		return nil, false, false, it.Error()
+	}
+	ik := keys.InternalKey(it.Key())
+	if r.opts.Cmp.User.Compare(ik.UserKey(), ukey) != 0 {
+		return nil, false, false, nil
+	}
+	if ik.Kind() == keys.KindDelete {
+		return nil, true, true, nil
+	}
+	return append([]byte(nil), it.Value()...), false, true, nil
+}
+
+// NewIterator returns a two-level iterator over the table.
+func (r *Reader) NewIterator() iterator.Iterator {
+	return &tableIter{r: r, index: r.index.Iter()}
+}
+
+// tableIter walks the index block and lazily opens data blocks.
+type tableIter struct {
+	r     *Reader
+	index iterator.Iterator
+	data  iterator.Iterator
+	err   error
+}
+
+// loadData opens the data block referenced by the current index entry.
+func (t *tableIter) loadData() bool {
+	t.data = nil
+	if !t.index.Valid() {
+		return false
+	}
+	h, n := decodeBlockHandle(t.index.Value())
+	if n == 0 {
+		t.err = fmt.Errorf("%w: bad index entry", ErrCorrupt)
+		return false
+	}
+	br, err := t.r.dataBlock(h)
+	if err != nil {
+		t.err = err
+		return false
+	}
+	t.data = br.Iter()
+	return true
+}
+
+func (t *tableIter) Valid() bool {
+	return t.err == nil && t.data != nil && t.data.Valid()
+}
+
+func (t *tableIter) SeekGE(target []byte) {
+	if t.err != nil {
+		return
+	}
+	// Index keys are the last key of each block, so the first index entry
+	// >= target references the block that could contain it.
+	t.index.SeekGE(target)
+	if !t.loadData() {
+		return
+	}
+	t.data.SeekGE(target)
+	t.skipForwardEmpty()
+}
+
+func (t *tableIter) SeekToFirst() {
+	if t.err != nil {
+		return
+	}
+	t.index.SeekToFirst()
+	if !t.loadData() {
+		return
+	}
+	t.data.SeekToFirst()
+	t.skipForwardEmpty()
+}
+
+func (t *tableIter) SeekToLast() {
+	if t.err != nil {
+		return
+	}
+	t.index.SeekToLast()
+	if !t.loadData() {
+		return
+	}
+	t.data.SeekToLast()
+	t.skipBackwardEmpty()
+}
+
+func (t *tableIter) Next() {
+	if !t.Valid() {
+		return
+	}
+	t.data.Next()
+	t.skipForwardEmpty()
+}
+
+func (t *tableIter) Prev() {
+	if !t.Valid() {
+		return
+	}
+	t.data.Prev()
+	t.skipBackwardEmpty()
+}
+
+// skipForwardEmpty advances over exhausted data blocks.
+func (t *tableIter) skipForwardEmpty() {
+	for t.err == nil && t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.index.Next()
+		if !t.loadData() {
+			return
+		}
+		t.data.SeekToFirst()
+	}
+}
+
+func (t *tableIter) skipBackwardEmpty() {
+	for t.err == nil && t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.index.Prev()
+		if !t.loadData() {
+			return
+		}
+		t.data.SeekToLast()
+	}
+}
+
+func (t *tableIter) Key() []byte   { return t.data.Key() }
+func (t *tableIter) Value() []byte { return t.data.Value() }
+
+func (t *tableIter) Error() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.data != nil {
+		if err := t.data.Error(); err != nil {
+			return err
+		}
+	}
+	return t.index.Error()
+}
+
+func (t *tableIter) Close() error { return t.Error() }

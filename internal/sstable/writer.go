@@ -1,0 +1,206 @@
+package sstable
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/block"
+	"repro/internal/bloom"
+	"repro/internal/encoding"
+	"repro/internal/keys"
+	"repro/internal/vfs"
+)
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// Cmp orders internal keys.
+	Cmp keys.InternalComparer
+	// BlockSize is the uncompressed data block size threshold (default 4 KiB).
+	BlockSize int
+	// RestartInterval for data blocks (default block.DefaultInterval).
+	RestartInterval int
+	// BloomBitsPerKey sizes the filter; 0 disables the filter block.
+	BloomBitsPerKey int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	if o.RestartInterval <= 0 {
+		o.RestartInterval = block.DefaultInterval
+	}
+	return o
+}
+
+// Props are the table's properties as known after Finish.
+type Props struct {
+	Entries     int
+	FileSize    int64
+	Smallest    keys.InternalKey
+	Largest     keys.InternalKey
+	DataBlocks  int
+	FilterBytes int
+	RawKeyBytes int64
+	RawValBytes int64
+}
+
+// Writer builds one table. Add keys in strictly increasing internal-key
+// order, then call Finish (or Abandon).
+type Writer struct {
+	opts   WriterOptions
+	f      vfs.File
+	offset uint64
+
+	data  block.Writer
+	index block.Writer
+	// pendingIndex defers the index entry for a finished data block until
+	// the next key is known, so a shortened separator can be used.
+	pendingHandle blockHandle
+	pendingKey    []byte
+	havePending   bool
+
+	userKeys [][]byte // for the filter block
+
+	props Props
+	err   error
+}
+
+// NewWriter starts writing a table to f. The writer does not close f; the
+// caller owns the handle (and should Sync before Close for durability).
+func NewWriter(f vfs.File, opts WriterOptions) *Writer {
+	opts = opts.withDefaults()
+	return &Writer{
+		opts:  opts,
+		f:     f,
+		data:  block.Writer{Interval: opts.RestartInterval},
+		index: block.Writer{Interval: 1},
+	}
+}
+
+// Add appends an entry. ikey must be strictly greater than all previous.
+func (w *Writer) Add(ikey keys.InternalKey, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.props.Entries > 0 && w.opts.Cmp.Compare(w.props.Largest, ikey) >= 0 {
+		w.err = fmt.Errorf("sstable: keys out of order: %s then %s", w.props.Largest, ikey)
+		return w.err
+	}
+	if w.havePending {
+		w.flushPendingIndex(ikey)
+	}
+	if w.props.Entries == 0 {
+		w.props.Smallest = ikey.Clone()
+	}
+	w.props.Largest = append(w.props.Largest[:0], ikey...)
+	w.props.Entries++
+	w.props.RawKeyBytes += int64(len(ikey))
+	w.props.RawValBytes += int64(len(value))
+	if w.opts.BloomBitsPerKey > 0 {
+		w.userKeys = append(w.userKeys, append([]byte(nil), ikey.UserKey()...))
+	}
+	w.data.Add(ikey, value)
+	if w.data.EstimatedSize() >= w.opts.BlockSize {
+		w.finishDataBlock()
+	}
+	return w.err
+}
+
+// flushPendingIndex emits the deferred index entry, shortening the separator
+// toward nextKey when possible (bytewise comparers only benefit, but the
+// plain "use the last key" fallback is always correct).
+func (w *Writer) flushPendingIndex(nextKey []byte) {
+	sep := w.pendingKey
+	w.index.Add(sep, w.pendingHandle.encode(nil))
+	w.havePending = false
+	_ = nextKey
+}
+
+func (w *Writer) finishDataBlock() {
+	if w.data.Empty() || w.err != nil {
+		return
+	}
+	h, err := w.writeBlock(w.data.Finish())
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.data.Reset()
+	w.props.DataBlocks++
+	w.pendingHandle = h
+	w.pendingKey = append(w.pendingKey[:0], w.props.Largest...)
+	w.havePending = true
+}
+
+// writeBlock writes contents + trailer, returning its handle.
+func (w *Writer) writeBlock(contents []byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: uint64(len(contents))}
+	trailer := [blockTrailerLen]byte{typeRaw}
+	crc := crc32.Update(0, crcTable, contents)
+	crc = crc32.Update(crc, crcTable, trailer[:1])
+	encoding.PutFixed32(trailer[1:1], crc)
+	if _, err := w.f.Write(contents); err != nil {
+		return blockHandle{}, err
+	}
+	if _, err := w.f.Write(trailer[:]); err != nil {
+		return blockHandle{}, err
+	}
+	w.offset += uint64(len(contents)) + blockTrailerLen
+	return h, nil
+}
+
+// EstimatedSize reports bytes written so far plus the buffered block, used
+// by compaction to cut output files at the target size.
+func (w *Writer) EstimatedSize() int64 {
+	return int64(w.offset) + int64(w.data.EstimatedSize())
+}
+
+// Entries reports the number of entries added so far.
+func (w *Writer) Entries() int { return w.props.Entries }
+
+// Finish flushes everything and writes filter, index, and footer. It
+// returns the table's properties. The file is synced.
+func (w *Writer) Finish() (Props, error) {
+	if w.err != nil {
+		return Props{}, w.err
+	}
+	w.finishDataBlock()
+	if w.havePending {
+		w.flushPendingIndex(nil)
+	}
+	if w.err != nil {
+		return Props{}, w.err
+	}
+
+	var ftr footer
+	if w.opts.BloomBitsPerKey > 0 {
+		filter := bloom.New(w.userKeys, w.opts.BloomBitsPerKey)
+		w.props.FilterBytes = len(filter)
+		h, err := w.writeBlock(filter)
+		if err != nil {
+			w.err = err
+			return Props{}, err
+		}
+		ftr.filterHandle = h
+	}
+
+	ih, err := w.writeBlock(w.index.Finish())
+	if err != nil {
+		w.err = err
+		return Props{}, err
+	}
+	ftr.indexHandle = ih
+
+	if _, err := w.f.Write(ftr.encode()); err != nil {
+		w.err = err
+		return Props{}, err
+	}
+	w.offset += footerLen
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return Props{}, err
+	}
+	w.props.FileSize = int64(w.offset)
+	return w.props, nil
+}

@@ -1,0 +1,48 @@
+package version
+
+import (
+	"repro/internal/keys"
+)
+
+// EffectiveRange returns the union of a file's own key range and its slice
+// windows. Under LDC a file is "responsible" for every key its slices
+// cover (paper Example 3.2: the first lower file covers from the smallest
+// possible key), so readers and the trivial-move check must consult this
+// range rather than the file's own bounds.
+func EffectiveRange(ucmp keys.Comparer, f *FileMeta) keys.KeyRange {
+	r := f.UserRange()
+	for i := range f.Slices {
+		s := &f.Slices[i]
+		if ucmp.Compare(s.Range.Lo, r.Lo) < 0 {
+			r.Lo = s.Range.Lo
+		}
+		if ucmp.Compare(s.Range.Hi, r.Hi) > 0 {
+			r.Hi = s.Range.Hi
+		}
+	}
+	return r
+}
+
+// EffectiveOverlaps returns the files in level whose effective range
+// intersects r: the binary-searched own-range overlaps plus any
+// slice-carrying file whose window reaches r. Slice windows of neighbouring
+// files may overlap each other, so sliced files (tracked per level in
+// Sliced, and few in number — only files awaiting a merge carry slices) are
+// checked exhaustively rather than by position.
+func (v *Version) EffectiveOverlaps(level int, r keys.KeyRange) []*FileMeta {
+	ucmp := v.icmp.User
+	out := v.Overlaps(level, r)
+	if level == 0 {
+		return out // L0 files never carry slices
+	}
+	seen := map[uint64]bool{}
+	for _, f := range out {
+		seen[f.Num] = true
+	}
+	for _, f := range v.Sliced[level] {
+		if !seen[f.Num] && EffectiveRange(ucmp, f).Overlaps(ucmp, r) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package version
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// FileType classifies database files by name.
+type FileType int
+
+// Database file types.
+const (
+	TypeUnknown FileType = iota
+	TypeTable
+	TypeLog
+	TypeManifest
+	TypeCurrent
+	TypeTemp
+)
+
+// TableFileName returns the path of table file num.
+func TableFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+// LogFileName returns the path of WAL file num.
+func LogFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.log", num))
+}
+
+// ManifestFileName returns the path of MANIFEST file num.
+func ManifestFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
+}
+
+// CurrentFileName returns the path of the CURRENT pointer file.
+func CurrentFileName(dir string) string {
+	return filepath.Join(dir, "CURRENT")
+}
+
+// TempFileName returns a scratch path for atomic replacement of CURRENT.
+func TempFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.tmp", num))
+}
+
+// ParseFileName classifies a bare file name, returning its type and number
+// (when the type carries one).
+func ParseFileName(name string) (FileType, uint64) {
+	switch {
+	case name == "CURRENT":
+		return TypeCurrent, 0
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(name[len("MANIFEST-"):], 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeManifest, n
+	case strings.HasSuffix(name, ".sst"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeTable, n
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeLog, n
+	case strings.HasSuffix(name, ".tmp"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".tmp"), 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeTemp, n
+	}
+	return TypeUnknown, 0
+}

@@ -1,0 +1,132 @@
+// Package version tracks the LSM-tree's file metadata: which SSTables live
+// in which level, their key ranges, and — the LDC extension — the frozen
+// region and the slice links attached to lower-level files. Metadata changes
+// are expressed as VersionEdits, persisted to a MANIFEST log, and applied to
+// immutable Version snapshots, exactly as in LevelDB, so both the metadata
+// and LDC's link state survive crashes.
+package version
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// NumLevels is the number of on-disk levels (L0..L6).
+const NumLevels = 7
+
+// Slice is LDC's link record: a key-range window into a frozen upper-level
+// SSTable, attached to one lower-level SSTable. When the lower file has
+// accumulated Threshold slices, a merge is triggered (paper Algorithm 1).
+type Slice struct {
+	// FrozenNum is the file number of the frozen SSTable the slice reads.
+	FrozenNum uint64
+	// Range is the inclusive user-key window of the slice.
+	Range keys.KeyRange
+	// LinkSeq orders link events; higher means linked later, i.e. newer
+	// data. Reads probe slices newest-first.
+	LinkSeq uint64
+	// Bytes estimates the slice's data volume (for merge sizing and stats).
+	Bytes int64
+}
+
+// FileMeta describes one SSTable. The same *FileMeta is shared by every
+// Version that contains the file; refs counts those versions (plus
+// transient holds by compactions), and the file is obsolete when refs
+// reaches zero.
+type FileMeta struct {
+	Num      uint64
+	Size     int64
+	Smallest keys.InternalKey
+	Largest  keys.InternalKey
+
+	// Slices are the LDC links attached to this (lower-level) file, in
+	// LinkSeq order, oldest first. Nil for files without links. The slice
+	// header is replaced, never mutated, when versions change, so a
+	// FileMeta's Slices value is immutable once published in a Version.
+	Slices []Slice
+
+	// AllowedSeeks implements LevelDB's seek-triggered compaction budget.
+	AllowedSeeks atomic.Int32
+
+	refs atomic.Int32
+}
+
+// UserRange returns the file's inclusive user-key range.
+func (f *FileMeta) UserRange() keys.KeyRange {
+	return keys.KeyRange{
+		Lo: f.Smallest.UserKey(),
+		Hi: f.Largest.UserKey(),
+	}
+}
+
+// SliceBytes sums the byte estimates of the attached slices.
+func (f *FileMeta) SliceBytes() int64 {
+	var n int64
+	for i := range f.Slices {
+		n += f.Slices[i].Bytes
+	}
+	return n
+}
+
+// Ref acquires a reference.
+func (f *FileMeta) Ref() { f.refs.Add(1) }
+
+// Unref releases a reference, reporting whether the file became obsolete.
+func (f *FileMeta) Unref() bool {
+	n := f.refs.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("version: file %06d refcount below zero", f.Num))
+	}
+	return n == 0
+}
+
+// Refs reports the current reference count (for tests).
+func (f *FileMeta) Refs() int32 { return f.refs.Load() }
+
+// withSlices returns a copy of f sharing the number/size/bounds but carrying
+// the given slice list. Used by the version builder: FileMeta values in
+// versions are immutable, so attaching a slice replaces the meta.
+func (f *FileMeta) withSlices(slices []Slice) *FileMeta {
+	nf := &FileMeta{
+		Num:      f.Num,
+		Size:     f.Size,
+		Smallest: f.Smallest,
+		Largest:  f.Largest,
+		Slices:   slices,
+	}
+	nf.AllowedSeeks.Store(f.AllowedSeeks.Load())
+	return nf
+}
+
+// FrozenMeta describes an SSTable in LDC's frozen region: removed from the
+// level structure, referenced only through slices. Its reference count is
+// derived (number of slices pointing at it in the current version), not
+// stored.
+type FrozenMeta struct {
+	Num      uint64
+	Size     int64
+	Smallest keys.InternalKey
+	Largest  keys.InternalKey
+
+	refs atomic.Int32
+}
+
+// Ref acquires a reference.
+func (f *FrozenMeta) Ref() { f.refs.Add(1) }
+
+// Unref releases a reference, reporting whether the frozen file became
+// obsolete.
+func (f *FrozenMeta) Unref() bool {
+	n := f.refs.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("version: frozen file %06d refcount below zero", f.Num))
+	}
+	return n == 0
+}
+
+// UserRange returns the frozen file's inclusive user-key range.
+func (f *FrozenMeta) UserRange() keys.KeyRange {
+	return keys.KeyRange{Lo: f.Smallest.UserKey(), Hi: f.Largest.UserKey()}
+}

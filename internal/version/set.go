@@ -1,0 +1,422 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/keys"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Set owns the current Version, the MANIFEST log, the file-number and
+// sequence allocators, and per-file reference counts used to decide when a
+// table file becomes obsolete. The embedding DB serializes LogAndApply
+// calls; reads of Current are safe from any goroutine.
+type Set struct {
+	fs   vfs.FS
+	dir  string
+	icmp keys.InternalComparer
+
+	// AllowOverlaps tolerates overlapping files within sorted levels, as the
+	// size-tiered policy produces. Set before Create/Recover.
+	AllowOverlaps bool
+
+	mu       sync.Mutex
+	current  *Version
+	fileRefs map[uint64]int
+	obsolete []uint64
+
+	nextFileNum uint64
+	lastSeq     keys.Seq
+	logNum      uint64
+	nextLinkSeq uint64
+
+	compactPointers [NumLevels]keys.InternalKey
+
+	manifest     *wal.Writer
+	manifestFile vfs.File
+	manifestNum  uint64
+}
+
+// NewSet creates a Set rooted at dir. Call Create for a fresh database or
+// Recover for an existing one before any other method.
+func NewSet(fs vfs.FS, dir string, icmp keys.InternalComparer) *Set {
+	return &Set{
+		fs:          fs,
+		dir:         dir,
+		icmp:        icmp,
+		fileRefs:    map[uint64]int{},
+		nextFileNum: 2,
+		nextLinkSeq: 1,
+	}
+}
+
+// Current returns the current version with a reference held; callers must
+// Unref it.
+func (s *Set) Current() *Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.current
+	v.Ref()
+	return v
+}
+
+// CurrentNoRef returns the current version without touching refcounts; only
+// for callers holding the DB mutex that will not retain it.
+func (s *Set) CurrentNoRef() *Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// NewFileNum allocates a file number.
+func (s *Set) NewFileNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nextFileNum
+	s.nextFileNum++
+	return n
+}
+
+// NewLinkSeq allocates an LDC link sequence number.
+func (s *Set) NewLinkSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nextLinkSeq
+	s.nextLinkSeq++
+	return n
+}
+
+// LastSeq returns the newest committed write sequence.
+func (s *Set) LastSeq() keys.Seq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// SetLastSeq publishes a newer committed sequence.
+func (s *Set) SetLastSeq(seq keys.Seq) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+}
+
+// LogNum returns the WAL number covered by the current version.
+func (s *Set) LogNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logNum
+}
+
+// CompactPointer returns the round-robin cursor for a level.
+func (s *Set) CompactPointer(level int) keys.InternalKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactPointers[level]
+}
+
+// Create initializes a brand-new database: an empty version, a MANIFEST
+// with a snapshot record, and CURRENT pointing at it.
+func (s *Set) Create() error {
+	if err := s.fs.MkdirAll(s.dir); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.current = &Version{icmp: s.icmp, Frozen: map[uint64]*FrozenMeta{}, set: s}
+	s.current.Ref()
+	s.mu.Unlock()
+	return s.writeNewManifest()
+}
+
+// Recover loads the database state from CURRENT + MANIFEST.
+func (s *Set) Recover() error {
+	cur, err := s.readCurrent()
+	if err != nil {
+		return err
+	}
+	mf, err := s.fs.Open(cur)
+	if err != nil {
+		return fmt.Errorf("version: open manifest %s: %w", cur, err)
+	}
+	defer mf.Close()
+
+	base := &Version{icmp: s.icmp, Frozen: map[uint64]*FrozenMeta{}}
+	r := wal.NewReader(mf)
+	var sawComparer bool
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("version: manifest replay: %w", err)
+		}
+		e, err := DecodeEdit(rec)
+		if err != nil {
+			return err
+		}
+		if e.ComparerName != "" {
+			sawComparer = true
+			if e.ComparerName != s.icmp.User.Name() {
+				return fmt.Errorf("version: database uses comparer %q, opened with %q",
+					e.ComparerName, s.icmp.User.Name())
+			}
+		}
+		b := newBuilder(s.icmp, base)
+		b.apply(e)
+		base, _ = b.finish()
+		s.applyAllocators(e)
+	}
+	if !sawComparer {
+		return errors.New("version: manifest missing comparer record")
+	}
+	if err := base.checkInvariants(s.AllowOverlaps); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	base.set = s
+	s.current = base
+	s.current.Ref()
+	for _, num := range base.allFileNums() {
+		s.fileRefs[num]++
+	}
+	s.mu.Unlock()
+
+	// Continue in a fresh MANIFEST so the old one can be dropped.
+	if err := s.writeNewManifest(); err != nil {
+		return err
+	}
+	return s.fs.Remove(cur)
+}
+
+func (s *Set) applyAllocators(e *Edit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.hasNextFileNum && e.NextFileNum > s.nextFileNum {
+		s.nextFileNum = e.NextFileNum
+	}
+	if e.hasLastSeq && e.LastSeq > s.lastSeq {
+		s.lastSeq = e.LastSeq
+	}
+	if e.hasLogNum && e.LogNum > s.logNum {
+		s.logNum = e.LogNum
+	}
+	if e.hasNextLinkSeq && e.NextLinkSeq > s.nextLinkSeq {
+		s.nextLinkSeq = e.NextLinkSeq
+	}
+	for _, cp := range e.CompactPointers {
+		s.compactPointers[cp.Level] = cp.Key
+	}
+}
+
+func (s *Set) readCurrent() (string, error) {
+	f, err := s.fs.Open(CurrentFileName(s.dir))
+	if err != nil {
+		return "", fmt.Errorf("version: read CURRENT: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return "", err
+	}
+	name := string(buf)
+	for len(name) > 0 && (name[len(name)-1] == '\n' || name[len(name)-1] == '\r') {
+		name = name[:len(name)-1]
+	}
+	if name == "" {
+		return "", errors.New("version: CURRENT is empty")
+	}
+	return s.dir + "/" + name, nil
+}
+
+// writeNewManifest starts a fresh MANIFEST containing a full snapshot of
+// current state and atomically points CURRENT at it.
+func (s *Set) writeNewManifest() error {
+	num := s.NewFileNum()
+	name := ManifestFileName(s.dir, num)
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := wal.NewWriter(f)
+	if err := w.AddRecord(s.snapshotEdit().Encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Point CURRENT at the new manifest via an atomic rename.
+	tmp := TempFileName(s.dir, num)
+	tf, err := s.fs.Create(tmp)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := tf.Write([]byte(fmt.Sprintf("MANIFEST-%06d\n", num))); err != nil {
+		tf.Close()
+		f.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		f.Close()
+		return err
+	}
+	tf.Close()
+	if err := s.fs.Rename(tmp, CurrentFileName(s.dir)); err != nil {
+		f.Close()
+		return err
+	}
+
+	s.mu.Lock()
+	if s.manifestFile != nil {
+		s.manifestFile.Close()
+		old := ManifestFileName(s.dir, s.manifestNum)
+		s.mu.Unlock()
+		s.fs.Remove(old)
+		s.mu.Lock()
+	}
+	s.manifest = w
+	s.manifestFile = f
+	s.manifestNum = num
+	s.mu.Unlock()
+	return nil
+}
+
+// snapshotEdit captures complete current state as one edit.
+func (s *Set) snapshotEdit() *Edit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &Edit{ComparerName: s.icmp.User.Name()}
+	e.SetNextFileNum(s.nextFileNum)
+	e.SetLastSeq(s.lastSeq)
+	e.SetLogNum(s.logNum)
+	e.SetNextLinkSeq(s.nextLinkSeq)
+	for level, key := range s.compactPointers {
+		if key != nil {
+			e.CompactPointers = append(e.CompactPointers, CompactPointer{Level: level, Key: key})
+		}
+	}
+	if s.current != nil {
+		for level := 0; level < NumLevels; level++ {
+			for _, f := range s.current.Levels[level] {
+				e.AddFile(level, f)
+			}
+		}
+		for _, fm := range s.current.Frozen {
+			e.FreezeFile(fm)
+		}
+	}
+	return e
+}
+
+// LogAndApply persists edit to the MANIFEST and installs the resulting
+// version as current. The caller must serialize LogAndApply invocations.
+func (s *Set) LogAndApply(e *Edit) error {
+	s.mu.Lock()
+	e.SetNextFileNum(s.nextFileNum)
+	e.SetLastSeq(s.lastSeq)
+	e.SetNextLinkSeq(s.nextLinkSeq)
+	if !e.hasLogNum {
+		e.SetLogNum(s.logNum)
+	}
+	base := s.current
+	s.mu.Unlock()
+
+	b := newBuilder(s.icmp, base)
+	b.apply(e)
+	nv, _ := b.finish()
+	nv.set = s
+	if err := nv.checkInvariants(s.AllowOverlaps); err != nil {
+		return fmt.Errorf("version: edit produces invalid version: %w", err)
+	}
+
+	if err := s.manifest.AddRecord(e.Encode()); err != nil {
+		return err
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	for _, cp := range e.CompactPointers {
+		s.compactPointers[cp.Level] = cp.Key
+	}
+	if e.hasLogNum && e.LogNum > s.logNum {
+		s.logNum = e.LogNum
+	}
+	// Acquire refs for the new version's files before dropping the old's.
+	for _, num := range nv.allFileNums() {
+		s.fileRefs[num]++
+	}
+	old := s.current
+	s.current = nv
+	nv.Ref()
+	s.mu.Unlock()
+
+	if old != nil {
+		old.Unref()
+	}
+	return nil
+}
+
+// releaseVersionFiles is called when a version's refcount reaches zero.
+func (s *Set) releaseVersionFiles(v *Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, num := range v.allFileNums() {
+		s.fileRefs[num]--
+		if s.fileRefs[num] == 0 {
+			delete(s.fileRefs, num)
+			s.obsolete = append(s.obsolete, num)
+		} else if s.fileRefs[num] < 0 {
+			panic(fmt.Sprintf("version: file %06d refcount below zero", num))
+		}
+	}
+}
+
+// TakeObsolete returns and clears the list of table files no longer
+// referenced by any version; the DB deletes them.
+func (s *Set) TakeObsolete() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.obsolete
+	s.obsolete = nil
+	return out
+}
+
+// LiveFileNums reports every table file referenced by any live version.
+func (s *Set) LiveFileNums() map[uint64]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]bool, len(s.fileRefs))
+	for num := range s.fileRefs {
+		out[num] = true
+	}
+	return out
+}
+
+// Close releases the MANIFEST handle.
+func (s *Set) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifestFile != nil {
+		err := s.manifestFile.Close()
+		s.manifestFile = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package version
+
+import "repro/internal/keys"
+
+// BuildForTest applies one edit to an empty version and returns the result,
+// validating invariants. It exists for other packages' unit tests, which
+// need synthetic versions without a Set or MANIFEST.
+func BuildForTest(icmp keys.InternalComparer, e *Edit) (*Version, error) {
+	b := newBuilder(icmp, NewVersion(icmp))
+	b.apply(e)
+	v, _ := b.finish()
+	if err := v.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

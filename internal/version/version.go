@@ -1,0 +1,329 @@
+package version
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// Version is an immutable snapshot of the tree's file metadata. Levels[0]
+// holds the unsorted, mutually overlapping L0 files ordered oldest-first;
+// deeper levels hold sorted, non-overlapping files ordered by smallest key.
+// Frozen maps file number to the LDC frozen-region metadata.
+type Version struct {
+	icmp keys.InternalComparer
+
+	Levels [NumLevels][]*FileMeta
+	Frozen map[uint64]*FrozenMeta
+	// Sliced lists, per level, the files currently carrying slice links
+	// (order matches Levels). Derived at build time for the read path.
+	Sliced [NumLevels][]*FileMeta
+	// overlapping marks sorted levels that contain mutually overlapping
+	// runs (the size-tiered policy produces them); range searches fall back
+	// to linear scans there. Derived at build time.
+	overlapping [NumLevels]bool
+
+	refs atomic.Int32
+	set  *Set // for file refcount release; nil in standalone tests
+}
+
+// NewVersion returns an empty version (mainly for tests; real versions come
+// from the builder).
+func NewVersion(icmp keys.InternalComparer) *Version {
+	return &Version{icmp: icmp, Frozen: map[uint64]*FrozenMeta{}}
+}
+
+// Ref acquires a reference to the version.
+func (v *Version) Ref() { v.refs.Add(1) }
+
+// Unref releases a reference; when the last drops, the version's file
+// references are returned to the Set (which may mark files obsolete).
+func (v *Version) Unref() {
+	n := v.refs.Add(-1)
+	if n < 0 {
+		panic("version: refcount below zero")
+	}
+	if n == 0 && v.set != nil {
+		v.set.releaseVersionFiles(v)
+	}
+}
+
+// NumFiles reports the file count of a level.
+func (v *Version) NumFiles(level int) int { return len(v.Levels[level]) }
+
+// LevelBytes sums resident file sizes in a level (frozen files excluded:
+// per the paper they are outside the LSM-tree's management).
+func (v *Version) LevelBytes(level int) int64 {
+	var n int64
+	for _, f := range v.Levels[level] {
+		n += f.Size
+	}
+	return n
+}
+
+// FrozenBytes sums the sizes of frozen-region files — LDC's space overhead,
+// measured by the Fig 15 experiment.
+func (v *Version) FrozenBytes() int64 {
+	var n int64
+	for _, f := range v.Frozen {
+		n += f.Size
+	}
+	return n
+}
+
+// DuplicatedFrozenBytes estimates the *true* space overhead of the frozen
+// region: the portions of frozen files whose slices were already merged
+// down (the paper's "gray slices", §III-D) and therefore exist twice. The
+// not-yet-merged remainder of a frozen file is live data, not overhead.
+func (v *Version) DuplicatedFrozenBytes() int64 {
+	if len(v.Frozen) == 0 {
+		return 0
+	}
+	outstanding := map[uint64]int64{}
+	for level := 1; level < NumLevels; level++ {
+		for _, f := range v.Sliced[level] {
+			for i := range f.Slices {
+				outstanding[f.Slices[i].FrozenNum] += f.Slices[i].Bytes
+			}
+		}
+	}
+	var dup int64
+	for num, fm := range v.Frozen {
+		if d := fm.Size - outstanding[num]; d > 0 {
+			dup += d
+		}
+	}
+	return dup
+}
+
+// SliceCount sums attached slices across a level.
+func (v *Version) SliceCount(level int) int {
+	n := 0
+	for _, f := range v.Levels[level] {
+		n += len(f.Slices)
+	}
+	return n
+}
+
+// Overlaps returns the files in level whose user-key range intersects r.
+// For level 0 every overlapping file is returned; for sorted levels a
+// binary search bounds the scan.
+func (v *Version) Overlaps(level int, r keys.KeyRange) []*FileMeta {
+	ucmp := v.icmp.User
+	var out []*FileMeta
+	if level == 0 {
+		for _, f := range v.Levels[level] {
+			if f.UserRange().Overlaps(ucmp, r) {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	files := v.Levels[level]
+	if v.overlapping[level] {
+		// Overlapping runs (tiered mode): the binary search below is
+		// unsound, scan linearly.
+		for _, f := range files {
+			if f.UserRange().Overlaps(ucmp, r) {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	// First file whose largest >= r.Lo.
+	i := sort.Search(len(files), func(i int) bool {
+		return ucmp.Compare(files[i].Largest.UserKey(), r.Lo) >= 0
+	})
+	for ; i < len(files); i++ {
+		if ucmp.Compare(files[i].Smallest.UserKey(), r.Hi) > 0 {
+			break
+		}
+		out = append(out, files[i])
+	}
+	return out
+}
+
+// FindFile returns the unique file in a sorted level (>=1) that could
+// contain ukey, or nil.
+func (v *Version) FindFile(level int, ukey []byte) *FileMeta {
+	ucmp := v.icmp.User
+	files := v.Levels[level]
+	if v.overlapping[level] {
+		for _, f := range files {
+			if f.UserRange().Contains(ucmp, ukey) {
+				return f
+			}
+		}
+		return nil
+	}
+	i := sort.Search(len(files), func(i int) bool {
+		return ucmp.Compare(files[i].Largest.UserKey(), ukey) >= 0
+	})
+	if i >= len(files) {
+		return nil
+	}
+	if ucmp.Compare(files[i].Smallest.UserKey(), ukey) > 0 {
+		return nil
+	}
+	return files[i]
+}
+
+// allFileNums lists every table file (level + frozen) in the version.
+func (v *Version) allFileNums() []uint64 {
+	var nums []uint64
+	for _, lvl := range v.Levels {
+		for _, f := range lvl {
+			nums = append(nums, f.Num)
+		}
+	}
+	for num := range v.Frozen {
+		nums = append(nums, num)
+	}
+	return nums
+}
+
+// CheckInvariants validates level ordering and slice consistency; tests and
+// the compaction engine call it after every apply in debug paths.
+func (v *Version) CheckInvariants() error { return v.checkInvariants(false) }
+
+// checkInvariants optionally tolerates overlapping files within sorted
+// levels, which the size-tiered policy produces by design.
+func (v *Version) checkInvariants(allowOverlaps bool) error {
+	ucmp := v.icmp.User
+	for level := 1; level < NumLevels; level++ {
+		files := v.Levels[level]
+		for i := range files {
+			if v.icmp.Compare(files[i].Smallest, files[i].Largest) > 0 {
+				return fmt.Errorf("L%d file %06d: smallest > largest", level, files[i].Num)
+			}
+			if !allowOverlaps && i > 0 && ucmp.Compare(files[i-1].Largest.UserKey(), files[i].Smallest.UserKey()) >= 0 {
+				return fmt.Errorf("L%d files %06d and %06d overlap",
+					level, files[i-1].Num, files[i].Num)
+			}
+			for _, s := range files[i].Slices {
+				if _, ok := v.Frozen[s.FrozenNum]; !ok {
+					return fmt.Errorf("L%d file %06d: slice references missing frozen file %06d",
+						level, files[i].Num, s.FrozenNum)
+				}
+			}
+		}
+	}
+	// Every frozen file must be referenced by at least one slice.
+	refs := map[uint64]int{}
+	for level := 1; level < NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			for _, s := range f.Slices {
+				refs[s.FrozenNum]++
+			}
+		}
+	}
+	for num := range v.Frozen {
+		if refs[num] == 0 {
+			return fmt.Errorf("frozen file %06d has no referencing slices", num)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+// builder accumulates one edit's effect on a base version.
+type builder struct {
+	icmp    keys.InternalComparer
+	base    *Version
+	deleted map[uint64]bool
+	added   [NumLevels][]*FileMeta
+	slices  map[uint64][]Slice // fileNum -> slices to append
+	frozen  []*FrozenMeta
+}
+
+func newBuilder(icmp keys.InternalComparer, base *Version) *builder {
+	return &builder{
+		icmp:    icmp,
+		base:    base,
+		deleted: map[uint64]bool{},
+		slices:  map[uint64][]Slice{},
+	}
+}
+
+func (b *builder) apply(e *Edit) {
+	for _, df := range e.DeletedFiles {
+		b.deleted[df.Num] = true
+	}
+	for _, nf := range e.NewFiles {
+		b.added[nf.Level] = append(b.added[nf.Level], nf.Meta)
+	}
+	for _, ns := range e.NewSlices {
+		b.slices[ns.FileNum] = append(b.slices[ns.FileNum], ns.Slice)
+	}
+	b.frozen = append(b.frozen, e.FrozenFiles...)
+}
+
+// finish builds the resulting version. Frozen files whose referencing
+// slices all disappeared are dropped (their numbers are returned so the Set
+// can release them).
+func (b *builder) finish() (*Version, []uint64) {
+	v := &Version{icmp: b.icmp, Frozen: map[uint64]*FrozenMeta{}}
+	for level := 0; level < NumLevels; level++ {
+		files := make([]*FileMeta, 0, len(b.base.Levels[level])+len(b.added[level]))
+		for _, f := range b.base.Levels[level] {
+			if !b.deleted[f.Num] {
+				files = append(files, f)
+			}
+		}
+		files = append(files, b.added[level]...)
+		// Attach pending slices by replacing metas.
+		for i, f := range files {
+			if add, ok := b.slices[f.Num]; ok {
+				merged := make([]Slice, 0, len(f.Slices)+len(add))
+				merged = append(merged, f.Slices...)
+				merged = append(merged, add...)
+				files[i] = f.withSlices(merged)
+			}
+		}
+		if level == 0 {
+			sort.Slice(files, func(i, j int) bool { return files[i].Num < files[j].Num })
+		} else {
+			sort.Slice(files, func(i, j int) bool {
+				return b.icmp.Compare(files[i].Smallest, files[j].Smallest) < 0
+			})
+		}
+		v.Levels[level] = files
+		for i, f := range files {
+			if len(f.Slices) > 0 {
+				v.Sliced[level] = append(v.Sliced[level], f)
+			}
+			if level >= 1 && i > 0 &&
+				b.icmp.User.Compare(files[i-1].Largest.UserKey(), f.Smallest.UserKey()) >= 0 {
+				v.overlapping[level] = true
+			}
+		}
+	}
+
+	// Frozen set: carry over base + newly frozen, then drop unreferenced.
+	for num, fm := range b.base.Frozen {
+		v.Frozen[num] = fm
+	}
+	for _, fm := range b.frozen {
+		v.Frozen[fm.Num] = fm
+	}
+	refs := map[uint64]int{}
+	for level := 1; level < NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			for _, s := range f.Slices {
+				refs[s.FrozenNum]++
+			}
+		}
+	}
+	var droppedFrozen []uint64
+	for num := range v.Frozen {
+		if refs[num] == 0 {
+			delete(v.Frozen, num)
+			droppedFrozen = append(droppedFrozen, num)
+		}
+	}
+	return v, droppedFrozen
+}

@@ -1,0 +1,399 @@
+package version
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/vfs"
+)
+
+var icmp = keys.InternalComparer{User: keys.BytewiseComparer{}}
+
+func fm(num uint64, lo, hi string, size int64) *FileMeta {
+	return &FileMeta{Num: num, Size: size, Smallest: ik(lo, 2), Largest: ik(hi, 1)}
+}
+
+func buildVersion(t *testing.T, edits ...*Edit) *Version {
+	t.Helper()
+	v := NewVersion(icmp)
+	for _, e := range edits {
+		b := newBuilder(icmp, v)
+		b.apply(e)
+		v, _ = b.finish()
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return v
+}
+
+func TestBuilderAddDelete(t *testing.T) {
+	e1 := &Edit{}
+	e1.AddFile(1, fm(10, "a", "f", 100))
+	e1.AddFile(1, fm(11, "g", "m", 100))
+	e1.AddFile(2, fm(12, "a", "z", 500))
+	v := buildVersion(t, e1)
+	if v.NumFiles(1) != 2 || v.NumFiles(2) != 1 {
+		t.Fatalf("files: L1=%d L2=%d", v.NumFiles(1), v.NumFiles(2))
+	}
+	if v.LevelBytes(1) != 200 {
+		t.Errorf("LevelBytes(1) = %d", v.LevelBytes(1))
+	}
+
+	e2 := &Edit{}
+	e2.DeleteFile(1, 10)
+	e2.AddFile(1, fm(13, "n", "z", 100))
+	b := newBuilder(icmp, v)
+	b.apply(e2)
+	v2, _ := b.finish()
+	if v2.NumFiles(1) != 2 {
+		t.Fatalf("L1 after delete = %d", v2.NumFiles(1))
+	}
+	if v2.Levels[1][0].Num != 11 || v2.Levels[1][1].Num != 13 {
+		t.Errorf("L1 order: %d, %d", v2.Levels[1][0].Num, v2.Levels[1][1].Num)
+	}
+	// Base version unchanged (immutability).
+	if v.NumFiles(1) != 2 || v.Levels[1][0].Num != 10 {
+		t.Error("builder mutated base version")
+	}
+}
+
+func TestLevel0OrderedByFileNum(t *testing.T) {
+	e := &Edit{}
+	e.AddFile(0, fm(30, "a", "z", 10))
+	e.AddFile(0, fm(10, "a", "z", 10))
+	e.AddFile(0, fm(20, "c", "x", 10))
+	v := buildVersion(t, e)
+	got := []uint64{v.Levels[0][0].Num, v.Levels[0][1].Num, v.Levels[0][2].Num}
+	if got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("L0 order = %v", got)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	e := &Edit{}
+	e.AddFile(1, fm(1, "a", "c", 10))
+	e.AddFile(1, fm(2, "e", "g", 10))
+	e.AddFile(1, fm(3, "i", "k", 10))
+	e.AddFile(0, fm(4, "a", "z", 10))
+	e.AddFile(0, fm(5, "x", "z", 10))
+	v := buildVersion(t, e)
+
+	r := func(lo, hi string) keys.KeyRange { return keys.KeyRange{Lo: []byte(lo), Hi: []byte(hi)} }
+	if got := v.Overlaps(1, r("b", "f")); len(got) != 2 || got[0].Num != 1 || got[1].Num != 2 {
+		t.Errorf("Overlaps(b,f) = %v", got)
+	}
+	if got := v.Overlaps(1, r("d", "d")); len(got) != 0 {
+		t.Errorf("Overlaps(d,d) = %v", got)
+	}
+	if got := v.Overlaps(1, r("a", "z")); len(got) != 3 {
+		t.Errorf("Overlaps(a,z) = %d files", len(got))
+	}
+	if got := v.Overlaps(0, r("b", "c")); len(got) != 1 || got[0].Num != 4 {
+		t.Errorf("L0 Overlaps = %v", got)
+	}
+}
+
+func TestFindFile(t *testing.T) {
+	e := &Edit{}
+	e.AddFile(1, fm(1, "b", "d", 10))
+	e.AddFile(1, fm(2, "f", "h", 10))
+	v := buildVersion(t, e)
+	if f := v.FindFile(1, []byte("c")); f == nil || f.Num != 1 {
+		t.Errorf("FindFile(c) = %v", f)
+	}
+	if f := v.FindFile(1, []byte("e")); f != nil {
+		t.Errorf("FindFile(e) = %v, want nil", f)
+	}
+	if f := v.FindFile(1, []byte("z")); f != nil {
+		t.Errorf("FindFile(z) = %v, want nil", f)
+	}
+	if f := v.FindFile(1, []byte("f")); f == nil || f.Num != 2 {
+		t.Errorf("FindFile(f) = %v", f)
+	}
+}
+
+func TestFreezeAndSliceLifecycle(t *testing.T) {
+	// Set up: L1 file 10 over (a..m), L2 files 20 (a..f), 21 (g..p).
+	e1 := &Edit{}
+	e1.AddFile(1, fm(10, "a", "m", 100))
+	e1.AddFile(2, fm(20, "a", "f", 100))
+	e1.AddFile(2, fm(21, "g", "p", 100))
+	v := buildVersion(t, e1)
+
+	// Link: freeze 10, slice it onto 20 and 21.
+	e2 := &Edit{}
+	e2.DeleteFile(1, 10)
+	e2.FreezeFile(&FrozenMeta{Num: 10, Size: 100, Smallest: ik("a", 2), Largest: ik("m", 1)})
+	e2.AddSlice(2, 20, Slice{FrozenNum: 10, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 1, Bytes: 50})
+	e2.AddSlice(2, 21, Slice{FrozenNum: 10, Range: keys.KeyRange{Lo: []byte("g"), Hi: []byte("m")}, LinkSeq: 2, Bytes: 50})
+	b := newBuilder(icmp, v)
+	b.apply(e2)
+	v2, dropped := b.finish()
+	if err := v2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Errorf("dropped frozen on link: %v", dropped)
+	}
+	if v2.NumFiles(1) != 0 {
+		t.Errorf("L1 still has %d files", v2.NumFiles(1))
+	}
+	if len(v2.Frozen) != 1 || v2.Frozen[10] == nil {
+		t.Fatalf("frozen set = %v", v2.Frozen)
+	}
+	if v2.FrozenBytes() != 100 {
+		t.Errorf("FrozenBytes = %d", v2.FrozenBytes())
+	}
+	if v2.SliceCount(2) != 2 {
+		t.Errorf("SliceCount(2) = %d", v2.SliceCount(2))
+	}
+	var f20 *FileMeta
+	for _, f := range v2.Levels[2] {
+		if f.Num == 20 {
+			f20 = f
+		}
+	}
+	if f20 == nil || len(f20.Slices) != 1 || f20.Slices[0].FrozenNum != 10 {
+		t.Fatalf("file 20 slices = %+v", f20)
+	}
+	if f20.SliceBytes() != 50 {
+		t.Errorf("SliceBytes = %d", f20.SliceBytes())
+	}
+
+	// Merge of file 20: delete it, add replacement without slices. The
+	// frozen file is still referenced by 21's slice.
+	e3 := &Edit{}
+	e3.DeleteFile(2, 20)
+	e3.AddFile(2, fm(30, "a", "f", 150))
+	b = newBuilder(icmp, v2)
+	b.apply(e3)
+	v3, dropped := b.finish()
+	if len(dropped) != 0 {
+		t.Errorf("frozen file dropped while still referenced: %v", dropped)
+	}
+	if v3.Frozen[10] == nil {
+		t.Fatal("frozen file vanished while referenced")
+	}
+
+	// Merge of file 21: last reference disappears; frozen file dropped.
+	e4 := &Edit{}
+	e4.DeleteFile(2, 21)
+	e4.AddFile(2, fm(31, "g", "p", 150))
+	b = newBuilder(icmp, v3)
+	b.apply(e4)
+	v4, dropped := b.finish()
+	if len(dropped) != 1 || dropped[0] != 10 {
+		t.Errorf("dropped = %v, want [10]", dropped)
+	}
+	if len(v4.Frozen) != 0 {
+		t.Errorf("frozen set not emptied: %v", v4.Frozen)
+	}
+	if err := v4.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsCatchesOverlap(t *testing.T) {
+	e := &Edit{}
+	e.AddFile(1, fm(1, "a", "f", 10))
+	e.AddFile(1, fm(2, "e", "k", 10)) // overlaps
+	v := NewVersion(icmp)
+	b := newBuilder(icmp, v)
+	b.apply(e)
+	v2, _ := b.finish()
+	if err := v2.CheckInvariants(); err == nil {
+		t.Error("overlapping L1 files not detected")
+	}
+}
+
+func TestCheckInvariantsCatchesDanglingSlice(t *testing.T) {
+	e := &Edit{}
+	f := fm(1, "a", "f", 10)
+	f.Slices = []Slice{{FrozenNum: 99, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("b")}}}
+	e.AddFile(1, f)
+	v := NewVersion(icmp)
+	b := newBuilder(icmp, v)
+	b.apply(e)
+	v2, _ := b.finish()
+	if err := v2.CheckInvariants(); err == nil {
+		t.Error("dangling slice not detected")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Set tests
+
+func newTestSet(t *testing.T) (*Set, vfs.FS) {
+	t.Helper()
+	fs := vfs.Mem()
+	s := NewSet(fs, "/db", icmp)
+	if err := s.Create(); err != nil {
+		t.Fatal(err)
+	}
+	return s, fs
+}
+
+func TestSetCreateAndAllocators(t *testing.T) {
+	s, _ := newTestSet(t)
+	defer s.Close()
+	n1 := s.NewFileNum()
+	n2 := s.NewFileNum()
+	if n2 != n1+1 {
+		t.Errorf("file numbers not sequential: %d, %d", n1, n2)
+	}
+	l1 := s.NewLinkSeq()
+	l2 := s.NewLinkSeq()
+	if l2 != l1+1 {
+		t.Errorf("link seqs not sequential")
+	}
+	s.SetLastSeq(500)
+	s.SetLastSeq(100) // must not regress
+	if s.LastSeq() != 500 {
+		t.Errorf("LastSeq = %d", s.LastSeq())
+	}
+}
+
+func TestSetLogAndApplyAndCurrent(t *testing.T) {
+	s, _ := newTestSet(t)
+	defer s.Close()
+	e := &Edit{}
+	e.AddFile(1, fm(10, "a", "m", 100))
+	if err := s.LogAndApply(e); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Current()
+	defer v.Unref()
+	if v.NumFiles(1) != 1 || v.Levels[1][0].Num != 10 {
+		t.Fatalf("current version: %d L1 files", v.NumFiles(1))
+	}
+}
+
+func TestSetRecover(t *testing.T) {
+	fs := vfs.Mem()
+	s := NewSet(fs, "/db", icmp)
+	if err := s.Create(); err != nil {
+		t.Fatal(err)
+	}
+	e := &Edit{}
+	e.AddFile(1, fm(10, "a", "m", 100))
+	e.AddFile(2, fm(11, "a", "z", 200))
+	if err := s.LogAndApply(e); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze + link edit, then record high allocator values.
+	e2 := &Edit{}
+	e2.DeleteFile(1, 10)
+	e2.FreezeFile(&FrozenMeta{Num: 10, Size: 100, Smallest: ik("a", 2), Largest: ik("m", 1)})
+	e2.AddSlice(2, 11, Slice{FrozenNum: 10, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("m")}, LinkSeq: s.NewLinkSeq(), Bytes: 42})
+	if err := s.LogAndApply(e2); err != nil {
+		t.Fatal(err)
+	}
+	s.SetLastSeq(777)
+	e3 := &Edit{}
+	if err := s.LogAndApply(e3); err != nil { // persists lastSeq
+		t.Fatal(err)
+	}
+	fileNumBefore := s.NewFileNum()
+	s.Close()
+
+	// Recover into a fresh Set.
+	s2 := NewSet(fs, "/db", icmp)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v := s2.Current()
+	defer v.Unref()
+	if v.NumFiles(1) != 0 || v.NumFiles(2) != 1 {
+		t.Errorf("recovered: L1=%d L2=%d", v.NumFiles(1), v.NumFiles(2))
+	}
+	if v.Frozen[10] == nil {
+		t.Error("frozen file lost in recovery")
+	}
+	f11 := v.Levels[2][0]
+	if len(f11.Slices) != 1 || f11.Slices[0].FrozenNum != 10 || f11.Slices[0].Bytes != 42 {
+		t.Errorf("slices lost in recovery: %+v", f11.Slices)
+	}
+	if s2.LastSeq() != 777 {
+		t.Errorf("LastSeq after recovery = %d", s2.LastSeq())
+	}
+	if got := s2.NewFileNum(); got <= fileNumBefore {
+		t.Errorf("file allocator regressed: %d <= %d", got, fileNumBefore)
+	}
+}
+
+func TestSetRejectsComparerMismatch(t *testing.T) {
+	fs := vfs.Mem()
+	s := NewSet(fs, "/db", icmp)
+	if err := s.Create(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	type weird struct{ keys.BytewiseComparer }
+	other := keys.InternalComparer{User: weirdComparer{}}
+	s2 := NewSet(fs, "/db", other)
+	if err := s2.Recover(); err == nil {
+		t.Error("comparer mismatch accepted")
+	}
+	_ = weird{}
+}
+
+type weirdComparer struct{ keys.BytewiseComparer }
+
+func (weirdComparer) Name() string { return "other.Comparator" }
+
+func TestObsoleteFileTracking(t *testing.T) {
+	s, _ := newTestSet(t)
+	defer s.Close()
+	e := &Edit{}
+	e.AddFile(1, fm(10, "a", "m", 100))
+	if err := s.LogAndApply(e); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the version containing file 10 (like an open iterator).
+	held := s.Current()
+
+	e2 := &Edit{}
+	e2.DeleteFile(1, 10)
+	e2.AddFile(1, fm(11, "a", "m", 100))
+	if err := s.LogAndApply(e2); err != nil {
+		t.Fatal(err)
+	}
+	if obs := s.TakeObsolete(); len(obs) != 0 {
+		t.Errorf("file 10 marked obsolete while referenced: %v", obs)
+	}
+	held.Unref()
+	obs := s.TakeObsolete()
+	if len(obs) != 1 || obs[0] != 10 {
+		t.Errorf("obsolete = %v, want [10]", obs)
+	}
+	if live := s.LiveFileNums(); !live[11] || live[10] {
+		t.Errorf("LiveFileNums = %v", live)
+	}
+}
+
+func TestManifestRotatedOnRecover(t *testing.T) {
+	fs := vfs.Mem()
+	s := NewSet(fs, "/db", icmp)
+	if err := s.Create(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := NewSet(fs, "/db", icmp)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names, _ := fs.List("/db")
+	manifests := 0
+	for _, n := range names {
+		if typ, _ := ParseFileName(n); typ == TypeManifest {
+			manifests++
+		}
+	}
+	if manifests != 1 {
+		t.Errorf("%d manifests on disk after recover, want 1 (old removed)", manifests)
+	}
+}

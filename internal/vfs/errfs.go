@@ -1,0 +1,128 @@
+package vfs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ErrFS wraps a filesystem with fault injection for crash and error-path
+// testing: operations can be made to fail after a countdown, and writes can
+// be "torn" (silently truncated) to emulate a crash mid-write.
+type ErrFS struct {
+	inner FS
+
+	// failAfter counts down on every write-class operation; when it
+	// reaches zero, every subsequent mutating operation returns FailErr.
+	failAfter atomic.Int64
+	armed     atomic.Bool
+
+	// FailErr is the injected error (required when arming).
+	FailErr error
+
+	mu        sync.Mutex
+	writeOps  int64
+	tornFiles map[string]int // name -> bytes to drop from the tail at Close
+}
+
+// NewErrFS wraps inner. The returned filesystem behaves identically until
+// a fault is armed.
+func NewErrFS(inner FS) *ErrFS {
+	return &ErrFS{inner: inner, tornFiles: map[string]int{}}
+}
+
+// Inner returns the wrapped filesystem.
+func (e *ErrFS) Inner() FS { return e.inner }
+
+// FailAfterWrites arms the fault: after n more successful write-class
+// operations (Create, Write, Sync, Rename, Remove), every further one
+// fails with err.
+func (e *ErrFS) FailAfterWrites(n int64, err error) {
+	e.FailErr = err
+	e.failAfter.Store(n)
+	e.armed.Store(true)
+}
+
+// Disarm cancels fault injection.
+func (e *ErrFS) Disarm() { e.armed.Store(false) }
+
+// WriteOps reports the number of write-class operations observed.
+func (e *ErrFS) WriteOps() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeOps
+}
+
+// step consumes one write credit, reporting whether the operation must fail.
+func (e *ErrFS) step() bool {
+	e.mu.Lock()
+	e.writeOps++
+	e.mu.Unlock()
+	if !e.armed.Load() {
+		return false
+	}
+	return e.failAfter.Add(-1) < 0
+}
+
+// Create implements FS.
+func (e *ErrFS) Create(name string) (File, error) {
+	if e.step() {
+		return nil, e.FailErr
+	}
+	f, err := e.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errFile{fs: e, f: f}, nil
+}
+
+// Open implements FS (reads are not failed; recovery reads should see
+// whatever survived).
+func (e *ErrFS) Open(name string) (File, error) { return e.inner.Open(name) }
+
+// Remove implements FS.
+func (e *ErrFS) Remove(name string) error {
+	if e.step() {
+		return e.FailErr
+	}
+	return e.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (e *ErrFS) Rename(o, n string) error {
+	if e.step() {
+		return e.FailErr
+	}
+	return e.inner.Rename(o, n)
+}
+
+// Exists implements FS.
+func (e *ErrFS) Exists(name string) bool { return e.inner.Exists(name) }
+
+// List implements FS.
+func (e *ErrFS) List(dir string) ([]string, error) { return e.inner.List(dir) }
+
+// MkdirAll implements FS.
+func (e *ErrFS) MkdirAll(dir string) error { return e.inner.MkdirAll(dir) }
+
+type errFile struct {
+	fs *ErrFS
+	f  File
+}
+
+func (f *errFile) Write(p []byte) (int, error) {
+	if f.fs.step() {
+		return 0, f.fs.FailErr
+	}
+	return f.f.Write(p)
+}
+
+func (f *errFile) Sync() error {
+	if f.fs.step() {
+		return f.fs.FailErr
+	}
+	return f.f.Sync()
+}
+
+func (f *errFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *errFile) Close() error                            { return f.f.Close() }
+func (f *errFile) Size() (int64, error)                    { return f.f.Size() }

@@ -1,0 +1,84 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestErrFSPassthroughWhenDisarmed(t *testing.T) {
+	fs := NewErrFS(Mem())
+	f, err := fs.Create("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !fs.Exists("/x") {
+		t.Error("file missing")
+	}
+	if fs.WriteOps() == 0 {
+		t.Error("write ops not counted")
+	}
+}
+
+func TestErrFSFailsAfterCountdown(t *testing.T) {
+	fs := NewErrFS(Mem())
+	fs.FailAfterWrites(2, errBoom)
+
+	f, err := fs.Create("/x") // 1st write op
+	if err != nil {
+		t.Fatalf("create within budget failed: %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil { // 2nd
+		t.Fatalf("write within budget failed: %v", err)
+	}
+	if _, err := f.Write([]byte("fails")); !errors.Is(err, errBoom) { // 3rd
+		t.Fatalf("write past budget err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, errBoom) {
+		t.Fatalf("sync past budget err = %v", err)
+	}
+	if _, err := fs.Create("/y"); !errors.Is(err, errBoom) {
+		t.Fatalf("create past budget err = %v", err)
+	}
+	if err := fs.Rename("/x", "/z"); !errors.Is(err, errBoom) {
+		t.Fatalf("rename past budget err = %v", err)
+	}
+	if err := fs.Remove("/x"); !errors.Is(err, errBoom) {
+		t.Fatalf("remove past budget err = %v", err)
+	}
+
+	// Reads still work for recovery.
+	r, err := fs.Open("/x")
+	if err != nil {
+		t.Fatalf("read after failure: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt after failure: %v", err)
+	}
+
+	fs.Disarm()
+	if _, err := fs.Create("/y"); err != nil {
+		t.Fatalf("create after disarm: %v", err)
+	}
+}
+
+func TestErrFSUnwraps(t *testing.T) {
+	inner := Mem()
+	fs := NewErrFS(inner)
+	f, _ := fs.Create("/x")
+	f.Write(make([]byte, 10))
+	f.Close()
+	got, ok := TotalBytes(fs)
+	if !ok || got != 10 {
+		t.Errorf("TotalBytes through ErrFS = %d, %v", got, ok)
+	}
+}

@@ -1,0 +1,148 @@
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// both implementations must satisfy the same behavioural contract.
+func testFS(t *testing.T, fs FS, root string) {
+	t.Helper()
+	if err := fs.MkdirAll(root); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	name := filepath.Join(root, "file.dat")
+
+	// Create and write.
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("hello, lsm world")
+	if _, err := f.Write(payload[:5]); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write(payload[5:]); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if sz, err := f.Size(); err != nil || sz != int64(len(payload)) {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Exists / List.
+	if !fs.Exists(name) {
+		t.Error("Exists = false after Create")
+	}
+	names, err := fs.List(root)
+	if err != nil || len(names) != 1 || names[0] != "file.dat" {
+		t.Errorf("List = %v, %v", names, err)
+	}
+
+	// Random reads.
+	r, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 7); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(buf, payload[7:12]) {
+		t.Errorf("ReadAt = %q want %q", buf, payload[7:12])
+	}
+	// Read crossing EOF.
+	big := make([]byte, 100)
+	n, err := r.ReadAt(big, 10)
+	if err != io.EOF || !bytes.Equal(big[:n], payload[10:]) {
+		t.Errorf("ReadAt over EOF: n=%d err=%v", n, err)
+	}
+	// Read past EOF.
+	if _, err := r.ReadAt(buf, 1000); err != io.EOF {
+		t.Errorf("ReadAt past EOF err = %v", err)
+	}
+	r.Close()
+
+	// Rename.
+	name2 := filepath.Join(root, "renamed.dat")
+	if err := fs.Rename(name, name2); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fs.Exists(name) || !fs.Exists(name2) {
+		t.Error("Rename did not move the file")
+	}
+
+	// Remove.
+	if err := fs.Remove(name2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if fs.Exists(name2) {
+		t.Error("file exists after Remove")
+	}
+	if err := fs.Remove(name2); err != ErrNotExist {
+		t.Errorf("Remove missing file err = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Open(name2); err != ErrNotExist {
+		t.Errorf("Open missing file err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemFS(t *testing.T) { testFS(t, Mem(), "/db") }
+
+func TestOSFS(t *testing.T) { testFS(t, OS(), t.TempDir()) }
+
+func TestMemFSCreateTruncates(t *testing.T) {
+	fs := Mem()
+	f, _ := fs.Create("/x")
+	f.Write([]byte("long old content"))
+	f.Close()
+	f2, _ := fs.Create("/x")
+	f2.Write([]byte("new"))
+	f2.Close()
+	r, _ := fs.Open("/x")
+	if sz, _ := r.Size(); sz != 3 {
+		t.Errorf("size after truncating create = %d", sz)
+	}
+}
+
+func TestMemFSListScopedToDir(t *testing.T) {
+	fs := Mem()
+	mustCreate := func(p string) {
+		f, err := fs.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	mustCreate("/a/1")
+	mustCreate("/a/2")
+	mustCreate("/b/3")
+	names, err := fs.List("/a")
+	if err != nil || len(names) != 2 {
+		t.Errorf("List(/a) = %v, %v", names, err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := Mem()
+	f, _ := fs.Create("/a")
+	f.Write(make([]byte, 100))
+	f.Close()
+	f2, _ := fs.Create("/b")
+	f2.Write(make([]byte, 50))
+	f2.Close()
+	got, ok := TotalBytes(fs)
+	if !ok || got != 150 {
+		t.Errorf("TotalBytes = %d, %v", got, ok)
+	}
+	if _, ok := TotalBytes(OS()); ok {
+		t.Error("TotalBytes should not support the OS filesystem")
+	}
+}

@@ -1,0 +1,204 @@
+// Package wal implements the write-ahead log, using LevelDB's record
+// framing: the file is a sequence of 32 KiB blocks; each record fragment
+// carries a 7-byte header (CRC, length, type) and records spanning blocks
+// are split into FIRST/MIDDLE/LAST fragments. The format makes torn tails
+// detectable: recovery reads records until the first corrupt or truncated
+// fragment and discards the rest.
+//
+// The same framing stores both the WAL and the MANIFEST, as in LevelDB.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/encoding"
+	"repro/internal/vfs"
+)
+
+const (
+	// BlockSize is the framing block size.
+	BlockSize = 32 << 10
+	headerLen = 7 // crc(4) + length(2) + type(1)
+
+	typeFull   = 1
+	typeFirst  = 2
+	typeMiddle = 3
+	typeLast   = 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a damaged log; by construction it only arises at the
+// point the log was torn, so records before it are trustworthy.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Writer appends length-prefixed records to a log file.
+type Writer struct {
+	f           vfs.File
+	blockOffset int // offset within the current block
+	buf         []byte
+}
+
+// NewWriter starts a log at the beginning of f.
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f}
+}
+
+// AddRecord appends one record and returns when it is buffered in the OS;
+// call Sync for durability.
+func (w *Writer) AddRecord(rec []byte) error {
+	first := true
+	for {
+		leftover := BlockSize - w.blockOffset
+		if leftover < headerLen {
+			// Pad the block tail with zeros; readers skip it.
+			if leftover > 0 {
+				if _, err := w.f.Write(make([]byte, leftover)); err != nil {
+					return err
+				}
+			}
+			w.blockOffset = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerLen
+		frag := rec
+		if len(frag) > avail {
+			frag = rec[:avail]
+		}
+		rec = rec[len(frag):]
+		var typ byte
+		last := len(rec) == 0
+		switch {
+		case first && last:
+			typ = typeFull
+		case first:
+			typ = typeFirst
+		case last:
+			typ = typeLast
+		default:
+			typ = typeMiddle
+		}
+		if err := w.writeFragment(typ, frag); err != nil {
+			return err
+		}
+		first = false
+		if last {
+			return nil
+		}
+	}
+}
+
+func (w *Writer) writeFragment(typ byte, frag []byte) error {
+	w.buf = w.buf[:0]
+	crc := crc32.Update(0, crcTable, []byte{typ})
+	crc = crc32.Update(crc, crcTable, frag)
+	w.buf = encoding.PutFixed32(w.buf, crc)
+	w.buf = append(w.buf, byte(len(frag)), byte(len(frag)>>8), typ)
+	w.buf = append(w.buf, frag...)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.blockOffset += len(w.buf)
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Reader replays records from a log file.
+type Reader struct {
+	f      vfs.File
+	off    int64
+	block  [BlockSize]byte
+	blockN int // valid bytes in block
+	blockI int // cursor within block
+	eof    bool
+}
+
+// NewReader reads the log in f from the start.
+func NewReader(f vfs.File) *Reader {
+	return &Reader{f: f}
+}
+
+// Next returns the next record, io.EOF at the clean end of the log, or an
+// error wrapping ErrCorrupt at a torn/damaged point.
+func (r *Reader) Next() ([]byte, error) {
+	var rec []byte
+	inFragmented := false
+	for {
+		if r.blockI+headerLen > r.blockN {
+			// Rest of block is padding (or truncated tail).
+			if err := r.readBlock(); err != nil {
+				if err == io.EOF && inFragmented {
+					return nil, fmt.Errorf("%w: log ended mid-record", ErrCorrupt)
+				}
+				return nil, err
+			}
+			continue
+		}
+		hdr := r.block[r.blockI : r.blockI+headerLen]
+		length := int(hdr[4]) | int(hdr[5])<<8
+		typ := hdr[6]
+		if typ == 0 && length == 0 {
+			// Zero padding within the block: advance to next block.
+			r.blockI = r.blockN
+			continue
+		}
+		if r.blockI+headerLen+length > r.blockN {
+			return nil, fmt.Errorf("%w: fragment overruns block", ErrCorrupt)
+		}
+		frag := r.block[r.blockI+headerLen : r.blockI+headerLen+length]
+		crc := crc32.Update(0, crcTable, []byte{typ})
+		crc = crc32.Update(crc, crcTable, frag)
+		if crc != encoding.Fixed32(hdr) {
+			return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		r.blockI += headerLen + length
+
+		switch typ {
+		case typeFull:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: FULL inside fragmented record", ErrCorrupt)
+			}
+			return append([]byte(nil), frag...), nil
+		case typeFirst:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: FIRST inside fragmented record", ErrCorrupt)
+			}
+			inFragmented = true
+			rec = append(rec[:0], frag...)
+		case typeMiddle:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: orphan MIDDLE fragment", ErrCorrupt)
+			}
+			rec = append(rec, frag...)
+		case typeLast:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: orphan LAST fragment", ErrCorrupt)
+			}
+			return append(rec, frag...), nil
+		default:
+			return nil, fmt.Errorf("%w: unknown fragment type %d", ErrCorrupt, typ)
+		}
+	}
+}
+
+func (r *Reader) readBlock() error {
+	if r.eof {
+		return io.EOF
+	}
+	n, err := r.f.ReadAt(r.block[:], r.off)
+	r.off += int64(n)
+	r.blockN, r.blockI = n, 0
+	if err == io.EOF {
+		r.eof = true
+		if n == 0 {
+			return io.EOF
+		}
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vfs"
+)
+
+func writeLog(t testing.TB, fs vfs.FS, name string, recs ...[]byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for _, r := range recs {
+		if err := w.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func readAll(t testing.TB, fs vfs.FS, name string) ([][]byte, error) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewReader(f)
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestRoundTripSmallRecords(t *testing.T) {
+	fs := vfs.Mem()
+	recs := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	writeLog(t, fs, "/log", recs...)
+	got, err := readAll(t, fs, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d: %q != %q", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRecordSpanningBlocks(t *testing.T) {
+	fs := vfs.Mem()
+	big := bytes.Repeat([]byte("x"), 3*BlockSize+123)
+	writeLog(t, fs, "/log", []byte("small"), big, []byte("tail"))
+	got, err := readAll(t, fs, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[1], big) || string(got[2]) != "tail" {
+		t.Fatalf("spanning record mangled: %d records", len(got))
+	}
+}
+
+func TestRecordExactlyFillingBlock(t *testing.T) {
+	fs := vfs.Mem()
+	rec := bytes.Repeat([]byte("y"), BlockSize-headerLen)
+	writeLog(t, fs, "/log", rec, []byte("next"))
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != 2 || !bytes.Equal(got[0], rec) {
+		t.Fatalf("block-filling record: %d records err=%v", len(got), err)
+	}
+}
+
+func TestBlockTailPadding(t *testing.T) {
+	fs := vfs.Mem()
+	// Leave fewer than headerLen bytes in the first block.
+	rec := bytes.Repeat([]byte("z"), BlockSize-headerLen-3)
+	writeLog(t, fs, "/log", rec, []byte("after-pad"))
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != 2 || string(got[1]) != "after-pad" {
+		t.Fatalf("padding handling: %d records err=%v", len(got), err)
+	}
+}
+
+func TestTornTailDetected(t *testing.T) {
+	fs := vfs.Mem()
+	writeLog(t, fs, "/log", []byte("good-1"), []byte("good-2"), bytes.Repeat([]byte("G"), 5000))
+	// Truncate mid-way through the last record.
+	f, _ := fs.Open("/log")
+	size, _ := f.Size()
+	raw := make([]byte, size-2000)
+	f.ReadAt(raw, 0)
+	f.Close()
+	out, _ := fs.Create("/log")
+	out.Write(raw)
+	out.Close()
+
+	got, err := readAll(t, fs, "/log")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn tail err = %v, want ErrCorrupt", err)
+	}
+	if len(got) != 2 || string(got[0]) != "good-1" || string(got[1]) != "good-2" {
+		t.Errorf("records before tear lost: %d", len(got))
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	fs := vfs.Mem()
+	writeLog(t, fs, "/log", []byte("aaaa"), []byte("bbbb"))
+	f, _ := fs.Open("/log")
+	size, _ := f.Size()
+	raw := make([]byte, size)
+	f.ReadAt(raw, 0)
+	f.Close()
+	raw[headerLen+1] ^= 0x01 // flip a payload bit of the first record
+	out, _ := fs.Create("/log")
+	out.Write(raw)
+	out.Close()
+
+	_, err := readAll(t, fs, "/log")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	fs := vfs.Mem()
+	writeLog(t, fs, "/log")
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty log: %d records err=%v", len(got), err)
+	}
+}
+
+func TestManyRecordsRoundTripQuick(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		fs := vfs.Mem()
+		writeLog(t, fs, "/log", payloads...)
+		got, err := readAll(t, fs, "/log")
+		if err != nil || len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendAcrossManyBlocks(t *testing.T) {
+	fs := vfs.Mem()
+	var recs [][]byte
+	for i := 0; i < 500; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte("p"), i%700))))
+	}
+	writeLog(t, fs, "/log", recs...)
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("%d records err=%v", len(got), err)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func BenchmarkAddRecord1K(b *testing.B) {
+	fs := vfs.Mem()
+	f, _ := fs.Create("/log")
+	w := NewWriter(f)
+	rec := bytes.Repeat([]byte("r"), 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.AddRecord(rec)
+	}
+}
