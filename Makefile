@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrent compaction engine must stay race-clean; -short skips the
+# multi-minute stress runs but still covers the pool, claims, and cache.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+ci: vet race

@@ -4,11 +4,15 @@
 // cache is that residency.
 //
 // Entries are keyed by (file number, offset) and weighed by their byte size.
-// The cache is safe for concurrent use.
+// The cache is lock-striped into shards so concurrent compaction readers and
+// foreground Gets do not contend on one mutex: each key hashes to a shard
+// with its own lock, LRU list, and capacity slice. The cache is safe for
+// concurrent use.
 package cache
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
 )
 
@@ -18,8 +22,16 @@ type Key struct {
 	Offset  uint64
 }
 
-// Cache is a size-bounded LRU map.
+// Cache is a size-bounded LRU map, striped into independently locked
+// shards. Eviction is LRU per shard; the byte bound is the sum of the
+// per-shard bounds.
 type Cache struct {
+	shards []shard
+	mask   uint64
+}
+
+// shard is one lock stripe: the original single-mutex LRU.
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
@@ -35,97 +47,173 @@ type entry struct {
 	charge int64
 }
 
-// New returns a cache bounded at capacity bytes. A non-positive capacity
-// yields a cache that stores nothing (but never fails).
-func New(capacity int64) *Cache {
-	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[Key]*list.Element),
+// DefaultShards returns the shard count used when none is specified: the
+// smallest power of two covering GOMAXPROCS, capped at 16.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
 	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns a cache bounded at capacity bytes with the default shard
+// count. A non-positive capacity yields a cache that stores nothing (but
+// never fails).
+func New(capacity int64) *Cache { return NewSharded(capacity, 0) }
+
+// NewSharded returns a cache bounded at capacity bytes striped into n
+// shards; n is rounded up to a power of two, and n <= 0 selects
+// DefaultShards(). Capacity is split evenly across shards, so an entry
+// larger than capacity/n is uncacheable — shard counts should stay small
+// relative to capacity/blocksize.
+func NewSharded(capacity int64, n int) *Cache {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	n = ceilPow2(n)
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	per := capacity / int64(n)
+	extra := capacity % int64(n)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = per
+		if int64(i) < extra {
+			s.capacity++
+		}
+		s.ll = list.New()
+		s.items = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+// Shards reports the shard count (diagnostics and tests).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor hashes a key to its stripe (splitmix64-style finalizer so that
+// sequential file numbers and block offsets spread evenly).
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.FileNum*0x9e3779b97f4a7c15 + k.Offset
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return &c.shards[h&c.mask]
 }
 
 // Get returns the cached value for k, if present.
 func (c *Cache) Get(k Key) (interface{}, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
 		return el.Value.(*entry).value, true
 	}
-	c.misses++
+	s.misses++
 	return nil, false
 }
 
 // Set inserts or replaces the value for k with the given byte charge,
-// evicting least-recently-used entries as needed.
+// evicting least-recently-used entries of k's shard as needed.
 func (c *Cache) Set(k Key, v interface{}, charge int64) {
-	if c.capacity <= 0 {
+	s := c.shardFor(k)
+	if s.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
 		old := el.Value.(*entry)
-		c.used += charge - old.charge
+		s.used += charge - old.charge
 		old.value, old.charge = v, charge
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 	} else {
-		el := c.ll.PushFront(&entry{key: k, value: v, charge: charge})
-		c.items[k] = el
-		c.used += charge
+		el := s.ll.PushFront(&entry{key: k, value: v, charge: charge})
+		s.items[k] = el
+		s.used += charge
 	}
-	for c.used > c.capacity && c.ll.Len() > 0 {
-		c.evictOldest()
+	for s.used > s.capacity && s.ll.Len() > 0 {
+		s.evictOldest()
 	}
 }
 
-func (c *Cache) evictOldest() {
-	el := c.ll.Back()
+func (s *shard) evictOldest() {
+	el := s.ll.Back()
 	if el == nil {
 		return
 	}
 	e := el.Value.(*entry)
-	c.ll.Remove(el)
-	delete(c.items, e.key)
-	c.used -= e.charge
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.used -= e.charge
 }
 
 // EvictFile drops every entry belonging to the given file, called when an
-// SSTable is deleted.
+// SSTable is deleted. The file's blocks may live in any shard.
 func (c *Cache) EvictFile(fileNum uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		e := el.Value.(*entry)
-		if e.key.FileNum == fileNum {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
-			c.used -= e.charge
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.FileNum == fileNum {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+				s.used -= e.charge
+			}
+			el = next
 		}
-		el = next
+		s.mu.Unlock()
 	}
 }
 
-// Len reports the number of resident entries.
+// Len reports the number of resident entries across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Used reports resident bytes.
+// Used reports resident bytes across all shards.
 func (c *Cache) Used() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats reports hit/miss counters.
+// Stats reports hit/miss counters summed across shards.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }

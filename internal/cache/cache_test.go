@@ -20,7 +20,7 @@ func TestGetSet(t *testing.T) {
 }
 
 func TestReplaceUpdatesCharge(t *testing.T) {
-	c := New(100)
+	c := NewSharded(100, 1)
 	k := Key{FileNum: 1}
 	c.Set(k, "small", 10)
 	c.Set(k, "large", 60)
@@ -36,8 +36,10 @@ func TestReplaceUpdatesCharge(t *testing.T) {
 	}
 }
 
+// LRU-order tests pin the shard count to 1: with multiple stripes, eviction
+// order is only LRU per shard, not globally.
 func TestEvictionLRUOrder(t *testing.T) {
-	c := New(30)
+	c := NewSharded(30, 1)
 	for i := 0; i < 3; i++ {
 		c.Set(Key{FileNum: uint64(i)}, i, 10)
 	}
@@ -55,7 +57,7 @@ func TestEvictionLRUOrder(t *testing.T) {
 }
 
 func TestEvictionByWeight(t *testing.T) {
-	c := New(100)
+	c := NewSharded(100, 1)
 	c.Set(Key{FileNum: 1}, "a", 90)
 	c.Set(Key{FileNum: 2}, "b", 90) // must evict 1
 	if _, ok := c.Get(Key{FileNum: 1}); ok {
@@ -115,8 +117,59 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16},
+	} {
+		if got := NewSharded(1000, tc.ask).Shards(); got != tc.want {
+			t.Errorf("NewSharded(n=%d).Shards() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+	if got := NewSharded(1000, 0).Shards(); got != DefaultShards() {
+		t.Errorf("NewSharded(n=0).Shards() = %d, want DefaultShards()=%d", got, DefaultShards())
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	// Total capacity must be preserved exactly across shards, including when
+	// it does not divide evenly.
+	c := NewSharded(103, 4)
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].capacity
+	}
+	if total != 103 {
+		t.Errorf("sum of shard capacities = %d, want 103", total)
+	}
+}
+
+func TestShardedBasicOps(t *testing.T) {
+	// All operations must work identically regardless of stripe count.
+	for _, n := range []int{1, 2, 4, 8} {
+		c := NewSharded(10000, n)
+		for i := uint64(0); i < 100; i++ {
+			c.Set(Key{FileNum: i, Offset: i * 7}, i, 10)
+		}
+		if c.Len() != 100 {
+			t.Errorf("shards=%d: Len = %d, want 100", n, c.Len())
+		}
+		if c.Used() != 1000 {
+			t.Errorf("shards=%d: Used = %d, want 1000", n, c.Used())
+		}
+		for i := uint64(0); i < 100; i++ {
+			if v, ok := c.Get(Key{FileNum: i, Offset: i * 7}); !ok || v != i {
+				t.Fatalf("shards=%d: Get(%d) = %v, %v", n, i, v, ok)
+			}
+		}
+		c.EvictFile(42)
+		if c.Len() != 99 {
+			t.Errorf("shards=%d: Len after EvictFile = %d, want 99", n, c.Len())
+		}
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
-	c := New(10000)
+	c := NewSharded(10000, 4)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -18,6 +18,7 @@
 package compaction
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/keys"
@@ -168,7 +169,10 @@ type Pick struct {
 }
 
 // Picker chooses compaction work from a version. It is not safe for
-// concurrent use; the store calls it under its own mutex.
+// concurrent use; the store calls it under its own mutex. The picker also
+// tracks the claims of in-flight jobs (see claims.go): Pick never returns
+// work whose inputs or output key ranges intersect a claimed job, which is
+// what lets the store run several disjoint LDC merges in parallel.
 type Picker struct {
 	policy Policy
 	params Params
@@ -179,6 +183,8 @@ type Picker struct {
 	// threshold supplies T_s dynamically (self-adaptive mode); nil means
 	// use params.SliceThreshold.
 	threshold func() int
+	// inflight holds one claim per scheduled-but-unapplied job.
+	inflight []*Claim
 }
 
 // NewPicker returns a picker for the given policy.
@@ -229,7 +235,44 @@ func (p *Picker) Score(v *version.Version, level int) float64 {
 // MaxBytesForLevel exposes the level target for stats.
 func (p *Picker) MaxBytesForLevel(level int) int64 { return p.params.MaxBytesForLevel(level) }
 
-// Pick returns the next unit of work, or a PickNone.
+// Admission premiums for concurrent work: while any job is in flight, new
+// work must be this factor more urgent than the normal trigger before an
+// additional worker takes it. Without the premium a multi-worker pool
+// drains work the instant it ripens — L0 compactions at exactly the
+// trigger, merges at exactly T_s — producing many small jobs where a busy
+// single worker would have batched the same bytes into fewer, larger ones:
+// pure write amplification on a device that serializes I/O anyway. The
+// premium vanishes whenever the picker is idle, so a single-worker pool
+// never sees it, and frozen-space backpressure (a hard space bound) is
+// always exempt. The values were tuned on the repository's fill benchmark:
+// L0 batching matters most (each L0 job drags the overlapping L1 files, so
+// halving L0 job count nearly halves that write amplification), merges
+// benefit moderately from extra slice accumulation, and byte-pressure
+// links/compactions need only a nudge.
+const (
+	// barL0 scales the L0 file-count trigger for concurrent picks.
+	barL0 = 1.75
+	// barDeep scales the byte-pressure trigger of levels >= 1.
+	barDeep = 1.25
+	// barMerge scales T_s (slice count and byte trigger) for LDC merges.
+	barMerge = 1.5
+)
+
+// minScore is the pressure threshold a level must reach to be picked right
+// now: 1 when the picker is idle, the level's admission premium otherwise.
+func (p *Picker) minScore(level int) float64 {
+	if len(p.inflight) == 0 {
+		return 1.0
+	}
+	if level == 0 {
+		return barL0
+	}
+	return barDeep
+}
+
+// Pick returns the next unit of work that does not conflict with any
+// in-flight claim, or a PickNone. With no claims outstanding the choice is
+// identical to the serial engine's.
 func (p *Picker) Pick(v *version.Version) Pick {
 	switch p.policy {
 	case Tiered:
@@ -241,20 +284,37 @@ func (p *Picker) Pick(v *version.Version) Pick {
 	}
 }
 
-// pickLevel returns the level with the highest score >= 1, or -1.
-func (p *Picker) pickLevel(v *version.Version) (int, float64) {
-	best, bestScore := -1, 1.0
-	for level := 0; level < version.NumLevels-1; level++ {
-		if s := p.Score(v, level); s >= bestScore {
-			best, bestScore = level, s
-		}
-	}
-	return best, bestScore
+// levelScore pairs a level with its compaction pressure.
+type levelScore struct {
+	level int
+	score float64
 }
 
-// pickFileRoundRobin returns the first file after the level's cursor for
-// which ok returns true, wrapping around; nil if none qualifies.
-func (p *Picker) pickFileRoundRobin(v *version.Version, level int, ok func(*version.FileMeta) bool) *version.FileMeta {
+// levelsByScore returns every level scoring at least minScore (1, or the
+// concurrency admission bar while jobs are in flight), ordered by score
+// descending with ties going to the deeper level — the first entry matches
+// the serial engine's single-level selection, and the rest give a
+// concurrent picker fallbacks when the hottest level's work is claimed.
+func (p *Picker) levelsByScore(v *version.Version) []levelScore {
+	var out []levelScore
+	for level := 0; level < version.NumLevels-1; level++ {
+		if s := p.Score(v, level); s >= p.minScore(level) {
+			out = append(out, levelScore{level, s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].level > out[j].level
+	})
+	return out
+}
+
+// roundRobin returns a level's files ordered starting just after the level's
+// cursor, wrapping around — the candidate order of LevelDB's compact-pointer
+// scheme.
+func (p *Picker) roundRobin(v *version.Version, level int) []*version.FileMeta {
 	files := v.Levels[level]
 	if len(files) == 0 {
 		return nil
@@ -269,13 +329,11 @@ func (p *Picker) pickFileRoundRobin(v *version.Version, level int, ok func(*vers
 			}
 		}
 	}
+	out := make([]*version.FileMeta, 0, len(files))
 	for i := 0; i < len(files); i++ {
-		f := files[(start+i)%len(files)]
-		if ok == nil || ok(f) {
-			return f
-		}
+		out = append(out, files[(start+i)%len(files)])
 	}
-	return nil
+	return out
 }
 
 // expandL0 grows an L0 input set to the transitive closure of overlapping
@@ -323,24 +381,35 @@ func inputsRange(ucmp keys.Comparer, files []*version.FileMeta) keys.KeyRange {
 	return r
 }
 
-// pickUDC implements the LevelDB-style upper-level driven pick.
+// pickUDC implements the LevelDB-style upper-level driven pick, trying the
+// most pressured level first and falling back to other pressured levels and
+// later round-robin files when the preferred work is already claimed.
 func (p *Picker) pickUDC(v *version.Version) Pick {
-	level, score := p.pickLevel(v)
-	if level < 0 {
-		return Pick{Kind: PickNone}
-	}
-	var inputs []*version.FileMeta
-	if level == 0 {
-		inputs = p.expandL0(v, v.Levels[0][0])
-	} else {
-		f := p.pickFileRoundRobin(v, level, nil)
-		if f == nil {
-			return Pick{Kind: PickNone}
+	for _, ls := range p.levelsByScore(v) {
+		if ls.level == 0 {
+			inputs := p.expandL0(v, v.Levels[0][0])
+			r := inputsRange(p.icmp.User, inputs)
+			pick := p.compactOrMove(0, inputs, v.Overlaps(1, r), ls.score)
+			if p.admissible(pick) {
+				return pick
+			}
+			continue
 		}
-		inputs = []*version.FileMeta{f}
+		for _, f := range p.roundRobin(v, ls.level) {
+			inputs := []*version.FileMeta{f}
+			r := inputsRange(p.icmp.User, inputs)
+			pick := p.compactOrMove(ls.level, inputs, v.Overlaps(ls.level+1, r), ls.score)
+			if p.admissible(pick) {
+				return pick
+			}
+		}
 	}
-	r := inputsRange(p.icmp.User, inputs)
-	overlaps := v.Overlaps(level+1, r)
+	return Pick{Kind: PickNone}
+}
+
+// compactOrMove builds the conventional pick for an input set: a trivial
+// move when nothing overlaps below (unless disabled), else a compact.
+func (p *Picker) compactOrMove(level int, inputs, overlaps []*version.FileMeta, score float64) Pick {
 	if len(overlaps) == 0 && len(inputs) == 1 && !p.params.DisableTrivialMove {
 		return Pick{Kind: PickTrivialMove, Level: level, Inputs: inputs, Score: score}
 	}
@@ -359,14 +428,28 @@ func (p *Picker) pickLDC(v *version.Version) Pick {
 	// SliceThreshold slices (Algorithm 1's trigger) or slice bytes matching
 	// its own size ("nearly the same amount of data as itself", §III-A),
 	// scaled with T_s when the threshold is self-adapted away from fan-out.
+	// Ripe merges are the jobs that parallelize best — their inputs are one
+	// lower-level file plus slice windows, so distinct targets rarely
+	// conflict — and every admissible one is offered in turn. While other
+	// jobs are in flight the triggers carry the barMerge premium: an extra
+	// worker only takes a merge that is over-ripe, letting barely-ripe
+	// targets keep accumulating slices the way they would under a busy
+	// single worker.
+	ripeTs := ts
+	if len(p.inflight) > 0 {
+		ripeTs = int(math.Ceil(float64(ts) * barMerge))
+	}
 	byteTrigger := func(f *version.FileMeta) int64 {
-		return f.Size * int64(ts) / int64(p.params.Fanout)
+		return f.Size * int64(ripeTs) / int64(p.params.Fanout)
 	}
 	for level := 1; level < version.NumLevels; level++ {
 		for _, f := range v.Sliced[level] {
-			if len(f.Slices) >= ts || f.SliceBytes() >= byteTrigger(f) {
-				return Pick{Kind: PickMerge, Level: level, Target: f,
+			if len(f.Slices) >= ripeTs || f.SliceBytes() >= byteTrigger(f) {
+				pick := Pick{Kind: PickMerge, Level: level, Target: f,
 					Score: float64(len(f.Slices)) / float64(ts)}
+				if p.admissible(pick) {
+					return pick
+				}
 			}
 		}
 	}
@@ -380,66 +463,92 @@ func (p *Picker) pickLDC(v *version.Version) Pick {
 			total += v.LevelBytes(l)
 		}
 		if float64(dup) > p.params.FrozenFraction*float64(total+dup) {
-			var best *version.FileMeta
-			bestLevel := -1
+			var best Pick
 			var bestBytes int64
 			for level := 1; level < version.NumLevels; level++ {
 				for _, f := range v.Sliced[level] {
 					if sb := f.SliceBytes(); sb > bestBytes {
-						best, bestLevel, bestBytes = f, level, sb
+						pick := Pick{Kind: PickMerge, Level: level, Target: f, Score: 1}
+						if p.admissible(pick) {
+							best, bestBytes = pick, sb
+						}
 					}
 				}
 			}
-			if best != nil {
-				return Pick{Kind: PickMerge, Level: bestLevel, Target: best, Score: 1}
+			if best.Kind == PickMerge {
+				return best
 			}
 		}
 	}
 
-	// 3. Pressure-driven link (or conventional L0 compaction).
-	level, score := p.pickLevel(v)
-	if level < 0 {
-		return Pick{Kind: PickNone}
+	// 3. Pressure-driven link (or conventional L0 compaction), most
+	// pressured level first.
+	for _, ls := range p.levelsByScore(v) {
+		if pick := p.pickLDCLevel(v, ls.level, ls.score); pick.Kind != PickNone {
+			return pick
+		}
 	}
+	return Pick{Kind: PickNone}
+}
+
+// pickLDCLevel picks link/move/merge work for one pressured level, skipping
+// candidates claimed by in-flight jobs.
+func (p *Picker) pickLDCLevel(v *version.Version, level int, score float64) Pick {
 	if level == 0 {
 		inputs := p.expandL0(v, v.Levels[0][0])
 		r := inputsRange(p.icmp.User, inputs)
 		overlaps := v.EffectiveOverlaps(1, r)
+		pick := Pick{Kind: PickCompact, Level: 0, Inputs: inputs, Overlaps: overlaps, Score: score}
 		if len(overlaps) == 0 && len(inputs) == 1 && !p.params.DisableTrivialMove {
-			return Pick{Kind: PickTrivialMove, Level: 0, Inputs: inputs, Score: score}
+			pick = Pick{Kind: PickTrivialMove, Level: 0, Inputs: inputs, Score: score}
 		}
-		return Pick{Kind: PickCompact, Level: 0, Inputs: inputs, Overlaps: overlaps, Score: score}
+		if p.admissible(pick) {
+			return pick
+		}
+		return Pick{Kind: PickNone}
 	}
 
-	// A file already carrying slices cannot be frozen (paper §III-D); if the
-	// round-robin cursor lands on one, merge it instead so the level can
-	// progress next round.
-	f := p.pickFileRoundRobin(v, level, func(f *version.FileMeta) bool {
-		return len(f.Slices) == 0
-	})
-	if f == nil {
-		// Every file carries slices: merge the fullest one.
-		var best *version.FileMeta
+	// A file already carrying slices cannot be frozen (paper §III-D); the
+	// round-robin pass links the first admissible slice-free file.
+	sawUnsliced := false
+	for _, f := range p.roundRobin(v, level) {
+		if len(f.Slices) > 0 {
+			continue
+		}
+		sawUnsliced = true
+		var pick Pick
+		overlaps := v.EffectiveOverlaps(level+1, EffectiveRangeOf(p.icmp.User, f))
+		switch {
+		case len(overlaps) == 0 && p.params.DisableTrivialMove:
+			pick = Pick{Kind: PickCompact, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
+		case len(overlaps) == 0:
+			pick = Pick{Kind: PickTrivialMove, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
+		default:
+			pick = Pick{Kind: PickLink, Level: level, Inputs: []*version.FileMeta{f},
+				Overlaps: overlaps, Score: score}
+		}
+		if p.admissible(pick) {
+			return pick
+		}
+	}
+	if !sawUnsliced {
+		// Every file carries slices: merge the fullest admissible one so the
+		// level can progress next round.
+		var best Pick
+		bestSlices := -1
 		for _, c := range v.Sliced[level] {
-			if best == nil || len(c.Slices) > len(best.Slices) {
-				best = c
+			if len(c.Slices) > bestSlices {
+				pick := Pick{Kind: PickMerge, Level: level, Target: c, Score: score}
+				if p.admissible(pick) {
+					best, bestSlices = pick, len(c.Slices)
+				}
 			}
 		}
-		if best == nil {
-			return Pick{Kind: PickNone}
+		if best.Kind == PickMerge {
+			return best
 		}
-		return Pick{Kind: PickMerge, Level: level, Target: best, Score: score}
 	}
-
-	overlaps := v.EffectiveOverlaps(level+1, EffectiveRangeOf(p.icmp.User, f))
-	if len(overlaps) == 0 {
-		if p.params.DisableTrivialMove {
-			return Pick{Kind: PickCompact, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
-		}
-		return Pick{Kind: PickTrivialMove, Level: level, Inputs: []*version.FileMeta{f}, Score: score}
-	}
-	return Pick{Kind: PickLink, Level: level, Inputs: []*version.FileMeta{f},
-		Overlaps: overlaps, Score: score}
+	return Pick{Kind: PickNone}
 }
 
 // EffectiveRangeOf is re-exported here for executor convenience.
@@ -451,15 +560,22 @@ func EffectiveRangeOf(ucmp keys.Comparer, f *version.FileMeta) keys.KeyRange {
 // TieredTrigger files. Levels hold mutually overlapping runs, so the
 // store must be in overlap-tolerant mode.
 func (p *Picker) pickTiered(v *version.Version) Pick {
+	trigger := p.params.TieredTrigger
+	if len(p.inflight) > 0 {
+		trigger = int(math.Ceil(float64(trigger) * barDeep)) // premium, as in pickLDC
+	}
 	for level := 0; level < version.NumLevels-1; level++ {
 		files := v.Levels[level]
-		if len(files) >= p.params.TieredTrigger {
+		if len(files) >= trigger {
 			inputs := append([]*version.FileMeta(nil), files...)
-			return Pick{
+			pick := Pick{
 				Kind:   PickCompact,
 				Level:  level,
 				Inputs: inputs,
 				Score:  float64(len(files)) / float64(p.params.TieredTrigger),
+			}
+			if p.admissible(pick) {
+				return pick
 			}
 		}
 	}

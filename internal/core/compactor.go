@@ -11,68 +11,165 @@ import (
 	"repro/internal/vfs"
 )
 
-// maybeScheduleCompaction starts the single background worker if there is
-// work. Callers must hold db.mu.
-func (db *DB) maybeScheduleCompaction() {
-	if db.bgScheduled || db.closed || db.bgErr != nil || db.opts.DisableAutoCompaction {
-		return
+// The background engine: one dedicated flush worker plus a pool of
+// Options.CompactionParallelism compaction workers, all long-lived
+// goroutines started by Open and drained by Close.
+//
+// The flush worker owns immutable-memtable flushes exclusively, so a flush
+// never queues behind a long merge — the write path's "previous memtable
+// still flushing" stall only lasts as long as the flush itself. Compaction
+// workers each loop { pick, claim, execute, release }: the picker vets every
+// candidate against the in-flight claim set (see compaction/claims.go), so
+// concurrent jobs never share an input file or overlapping output key range,
+// and the only serialization between them is the final LogAndApply version
+// edit (ordered by version.Set internally).
+//
+// db.mu is held while picking and while mutating DB state; it is released
+// during all file I/O and during LogAndApply, so foreground reads and writes
+// only contend with the brief bookkeeping sections.
+
+// startWorkers launches the flush worker and the compaction pool. Called
+// once at the end of Open, before the DB is visible to any other goroutine.
+func (db *DB) startWorkers() {
+	n := db.opts.CompactionParallelism
+	db.stats.initWorkers(n)
+	db.mu.Lock()
+	db.workersRunning = 1 + n
+	db.mu.Unlock()
+	go db.flushWorker()
+	for i := 0; i < n; i++ {
+		go db.compactionWorker(i)
 	}
-	if db.imm == nil {
-		v := db.set.CurrentNoRef()
-		if db.picker.Pick(v).Kind == compaction.PickNone {
-			return
-		}
-	}
-	db.bgScheduled = true
-	go db.backgroundWork()
 }
 
-// backgroundWork performs one unit of work, then reschedules itself while
-// more remains. Mirrors LevelDB's BGWork/BackgroundCall.
-func (db *DB) backgroundWork() {
+// workerExit records a worker goroutine's termination; Close waits for the
+// count to reach zero.
+func (db *DB) workerExit() {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	start := time.Now()
-	if db.bgErr == nil && !db.closed {
-		var err error
-		if db.imm != nil {
-			err = db.flushImmLocked()
-		} else {
-			err = db.compactOneLocked()
+	db.workersRunning--
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+// flushWorker turns immutable memtables into L0 tables, one at a time, for
+// the DB's whole lifetime. Obsolete-file GC runs at the bottom of each
+// iteration with no lock held.
+func (db *DB) flushWorker() {
+	defer db.workerExit()
+	for {
+		db.mu.Lock()
+		for !db.closed && (db.imm == nil || db.bgErr != nil) {
+			db.flushCond.Wait()
 		}
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		db.flushActive = true
+		start := time.Now()
+		if err := db.flushImmLocked(); err != nil {
+			db.fatal(err)
+		}
+		elapsed := int64(time.Since(start))
+		db.stats.flushNanos.Add(elapsed)
+		db.stats.compactionNanos.Add(elapsed)
+		db.flushActive = false
+		// The new L0 file may create compaction work; unblock the pool and
+		// any write stalled on the full memtable.
+		db.workCond.Broadcast()
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
+
+		db.deleteObsoleteFiles()
+	}
+}
+
+// compactionWorker picks, claims, and executes compaction jobs until the DB
+// closes. Multiple workers run this loop concurrently; the claim taken
+// before db.mu is released guarantees their jobs are disjoint.
+func (db *DB) compactionWorker(id int) {
+	defer db.workerExit()
+	for {
+		db.mu.Lock()
+		var pick compaction.Pick
+		for {
+			if db.closed {
+				db.mu.Unlock()
+				return
+			}
+			if db.bgErr == nil && (!db.opts.DisableAutoCompaction || db.manualWant > 0) {
+				pick = db.picker.Pick(db.set.CurrentNoRef())
+				if pick.Kind != compaction.PickNone {
+					break
+				}
+			}
+			db.workCond.Wait()
+		}
+		claim, err := db.picker.Acquire(pick)
+		if err != nil {
+			// A conflicting claim here is an engine invariant violation (Pick
+			// vetted the candidate under this same lock hold); poison the DB.
+			db.fatal(err)
+			db.mu.Unlock()
+			continue
+		}
+		db.compActive++
+		db.stats.noteConcurrency(db.compActive)
+		start := time.Now()
+		err = db.execPick(pick)
+		db.stats.compactionNanos.Add(int64(time.Since(start)))
+		db.stats.workerJobs[id].Add(1)
+		db.picker.Release(claim)
+		db.compActive--
 		if err != nil {
 			db.fatal(err)
 		}
+		// The applied edit may expose new work and frees this job's claim;
+		// wake the pool, and wake writers stalled on L0 pressure.
+		db.workCond.Broadcast()
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
+
+		db.deleteObsoleteFiles()
 	}
-	db.stats.compactionNanos.Add(int64(time.Since(start)))
-	db.bgScheduled = false
-	db.maybeScheduleCompaction()
-	db.bgCond.Broadcast()
-	db.mu.Unlock()
-	db.deleteObsoleteFiles()
-	db.mu.Lock()
+}
+
+// execPick dispatches one claimed unit of compaction work. db.mu held on
+// entry and exit; released during I/O and the version edit.
+func (db *DB) execPick(pick compaction.Pick) error {
+	switch pick.Kind {
+	case compaction.PickTrivialMove:
+		return db.execTrivialMove(pick)
+	case compaction.PickLink:
+		return db.execLink(pick)
+	case compaction.PickMerge:
+		return db.execMerge(pick)
+	default:
+		return db.execCompact(pick)
+	}
 }
 
 // flushImmLocked writes the immutable memtable as an L0 table. db.mu is
-// held on entry and exit; it is released during file I/O.
+// held on entry and exit; it is released during file I/O and the MANIFEST
+// edit. Also called directly from recovery, before workers start.
 func (db *DB) flushImmLocked() error {
 	imm := db.imm
 	logNum := db.logNum // WAL in use *after* the switch; older logs die with the flush
 	db.mu.Unlock()
 
 	meta, err := db.buildTable(db.fsFlush, imm.NewIterator(), nil)
+	if err == nil {
+		e := &version.Edit{}
+		e.SetLogNum(logNum)
+		if meta != nil {
+			e.AddFile(0, meta)
+			db.stats.flushWriteBytes.Add(meta.Size)
+		}
+		err = db.set.LogAndApply(e)
+	}
 
 	db.mu.Lock()
 	if err != nil {
-		return err
-	}
-	e := &version.Edit{}
-	e.SetLogNum(logNum)
-	if meta != nil {
-		e.AddFile(0, meta)
-		db.stats.flushWriteBytes.Add(meta.Size)
-	}
-	if err := db.set.LogAndApply(e); err != nil {
 		return err
 	}
 	db.imm = nil
@@ -139,28 +236,11 @@ func (db *DB) tableWriterOptions() sstable.WriterOptions {
 	}
 }
 
-// compactOneLocked executes one picked unit of compaction work. db.mu held
-// on entry and exit.
-func (db *DB) compactOneLocked() error {
-	v := db.set.CurrentNoRef()
-	pick := db.picker.Pick(v)
-	switch pick.Kind {
-	case compaction.PickNone:
-		return nil
-	case compaction.PickTrivialMove:
-		return db.execTrivialMove(pick)
-	case compaction.PickLink:
-		return db.execLink(pick)
-	case compaction.PickMerge:
-		return db.execMerge(v, pick)
-	default:
-		return db.execCompact(v, pick)
-	}
-}
-
-// advancePointer records the round-robin cursor for a level both in the
-// picker and in the edit (for recovery).
-func (db *DB) advancePointer(e *version.Edit, level int, inputs []*version.FileMeta) {
+// pointerEdit records the round-robin cursor advance for a level in the
+// edit (for recovery and for applyPointers). Pure computation — safe
+// without db.mu; the picker itself is updated by applyPointers only after
+// the edit commits.
+func (db *DB) pointerEdit(e *version.Edit, level int, inputs []*version.FileMeta) {
 	var largest keys.InternalKey
 	for _, f := range inputs {
 		if largest == nil || db.icmp.Compare(f.Largest, largest) > 0 {
@@ -170,9 +250,15 @@ func (db *DB) advancePointer(e *version.Edit, level int, inputs []*version.FileM
 	if largest == nil {
 		return
 	}
-	largest = largest.Clone()
-	db.picker.SetPointer(level, largest)
-	e.CompactPointers = append(e.CompactPointers, version.CompactPointer{Level: level, Key: largest})
+	e.CompactPointers = append(e.CompactPointers, version.CompactPointer{Level: level, Key: largest.Clone()})
+}
+
+// applyPointers installs an applied edit's cursor advances into the picker.
+// Caller holds db.mu.
+func (db *DB) applyPointers(e *version.Edit) {
+	for _, cp := range e.CompactPointers {
+		db.picker.SetPointer(cp.Level, cp.Key)
+	}
 }
 
 // execTrivialMove reparents a file one level down: metadata only.
@@ -181,10 +267,15 @@ func (db *DB) execTrivialMove(pick compaction.Pick) error {
 	e := &version.Edit{}
 	e.DeleteFile(pick.Level, f.Num)
 	e.AddFile(pick.Level+1, f)
-	db.advancePointer(e, pick.Level, pick.Inputs)
-	if err := db.set.LogAndApply(e); err != nil {
+	db.pointerEdit(e, pick.Level, pick.Inputs)
+
+	db.mu.Unlock()
+	err := db.set.LogAndApply(e)
+	db.mu.Lock()
+	if err != nil {
 		return err
 	}
+	db.applyPointers(e)
 	db.stats.trivialMoveCount.Add(1)
 	return nil
 }
@@ -215,10 +306,15 @@ func (db *DB) execLink(pick compaction.Pick) error {
 			Bytes:     per,
 		})
 	}
-	db.advancePointer(e, pick.Level, pick.Inputs)
-	if err := db.set.LogAndApply(e); err != nil {
+	db.pointerEdit(e, pick.Level, pick.Inputs)
+
+	db.mu.Unlock()
+	err := db.set.LogAndApply(e)
+	db.mu.Lock()
+	if err != nil {
 		return err
 	}
+	db.applyPointers(e)
 	db.stats.linkCount.Add(1)
 	return nil
 }
@@ -258,6 +354,12 @@ func (cs *compactionState) drop(ik keys.InternalKey) bool {
 	return drop
 }
 
+// isBaseLevelForKey consults the version the job was picked from. Under
+// concurrent compaction that version may be stale by the time drop runs,
+// but the answer cannot be wrongly "true": any job that could add the key
+// below this job's output level would overlap this job's claimed key range
+// at a deeper level only by rewriting files this version already shows, and
+// new data for the key only ever enters *above* (via flushes into L0).
 func (cs *compactionState) isBaseLevelForKey(uk []byte) bool {
 	point := keys.KeyRange{Lo: uk, Hi: uk}
 	// Under the tiered policy the output level already holds older runs
@@ -410,44 +512,43 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 // execCompact runs a conventional compaction (UDC at any level, LDC's
 // L0→L1, or a tiered tier-merge): merge Inputs with Overlaps, write outputs
 // one level down. Slices attached to overlapped files are consumed too.
-// db.mu held on entry/exit; released during I/O.
-func (db *DB) execCompact(v *version.Version, pick compaction.Pick) error {
+// db.mu held on entry/exit; released for the whole merge and version edit.
+func (db *DB) execCompact(pick compaction.Pick) error {
+	v := db.set.CurrentNoRef()
 	v.Ref()
 	smallestSnap := db.smallestSnapshot()
 	db.mu.Unlock()
 
+	e := &version.Edit{}
 	all := append(append([]*version.FileMeta(nil), pick.Inputs...), pick.Overlaps...)
 	its, readBytes, err := db.inputIterators(all)
-	if err != nil {
-		db.mu.Lock()
-		v.Unref()
-		return err
+	if err == nil {
+		cs := &compactionState{db: db, v: v, outputLevel: pick.Level + 1, smallestSnap: smallestSnap}
+		merged := iterator.NewMerging(db.icmp.Compare, its...)
+		var outputs []*version.FileMeta
+		outputs, err = db.writeOutputs(merged, cs)
+		if err == nil {
+			db.stats.compactionReadBytes.Add(readBytes)
+			for _, f := range pick.Inputs {
+				e.DeleteFile(pick.Level, f.Num)
+			}
+			for _, f := range pick.Overlaps {
+				e.DeleteFile(pick.Level+1, f.Num)
+			}
+			for _, out := range outputs {
+				e.AddFile(pick.Level+1, out)
+			}
+			db.pointerEdit(e, pick.Level, pick.Inputs)
+			err = db.set.LogAndApply(e)
+		}
 	}
-	cs := &compactionState{db: db, v: v, outputLevel: pick.Level + 1, smallestSnap: smallestSnap}
-	merged := iterator.NewMerging(db.icmp.Compare, its...)
-	outputs, err := db.writeOutputs(merged, cs)
+	v.Unref()
 
 	db.mu.Lock()
-	v.Unref()
 	if err != nil {
 		return err
 	}
-	db.stats.compactionReadBytes.Add(readBytes)
-
-	e := &version.Edit{}
-	for _, f := range pick.Inputs {
-		e.DeleteFile(pick.Level, f.Num)
-	}
-	for _, f := range pick.Overlaps {
-		e.DeleteFile(pick.Level+1, f.Num)
-	}
-	for _, out := range outputs {
-		e.AddFile(pick.Level+1, out)
-	}
-	db.advancePointer(e, pick.Level, pick.Inputs)
-	if err := db.set.LogAndApply(e); err != nil {
-		return err
-	}
+	db.applyPointers(e)
 	db.stats.compactionCount.Add(1)
 	return nil
 }
@@ -456,41 +557,41 @@ func (db *DB) execCompact(v *version.Version, pick compaction.Pick) error {
 // lower-level target file plus the slice windows of its linked frozen
 // files are merge-sorted into new tables at the *same* level. Only the
 // slice ranges of the frozen files are read — this is the halved
-// compaction I/O of Fig 10(c). db.mu held on entry/exit.
-func (db *DB) execMerge(v *version.Version, pick compaction.Pick) error {
+// compaction I/O of Fig 10(c). The frozen inputs may be shared with other
+// concurrent merges; they are read-only and pinned by the version ref.
+// db.mu held on entry/exit.
+func (db *DB) execMerge(pick compaction.Pick) error {
+	v := db.set.CurrentNoRef()
 	v.Ref()
 	smallestSnap := db.smallestSnapshot()
 	db.mu.Unlock()
 
+	e := &version.Edit{}
 	its, readBytes, err := db.inputIterators([]*version.FileMeta{pick.Target})
-	if err != nil {
-		db.mu.Lock()
-		v.Unref()
-		return err
+	if err == nil {
+		cs := &compactionState{db: db, v: v, outputLevel: pick.Level, smallestSnap: smallestSnap}
+		merged := iterator.NewMerging(db.icmp.Compare, its...)
+		var outputs []*version.FileMeta
+		outputs, err = db.writeOutputs(merged, cs)
+		if err == nil {
+			db.stats.compactionReadBytes.Add(readBytes)
+			db.stats.mergeReadBytes.Add(readBytes)
+			var outBytes int64
+			for _, out := range outputs {
+				outBytes += out.Size
+			}
+			db.stats.mergeWriteBytes.Add(outBytes)
+			e.DeleteFile(pick.Level, pick.Target.Num)
+			for _, out := range outputs {
+				e.AddFile(pick.Level, out)
+			}
+			err = db.set.LogAndApply(e)
+		}
 	}
-	cs := &compactionState{db: db, v: v, outputLevel: pick.Level, smallestSnap: smallestSnap}
-	merged := iterator.NewMerging(db.icmp.Compare, its...)
-	outputs, err := db.writeOutputs(merged, cs)
+	v.Unref()
 
 	db.mu.Lock()
-	v.Unref()
 	if err != nil {
-		return err
-	}
-	db.stats.compactionReadBytes.Add(readBytes)
-	db.stats.mergeReadBytes.Add(readBytes)
-	var outBytes int64
-	for _, out := range outputs {
-		outBytes += out.Size
-	}
-	db.stats.mergeWriteBytes.Add(outBytes)
-
-	e := &version.Edit{}
-	e.DeleteFile(pick.Level, pick.Target.Num)
-	for _, out := range outputs {
-		e.AddFile(pick.Level, out)
-	}
-	if err := db.set.LogAndApply(e); err != nil {
 		return err
 	}
 	db.stats.mergeCount.Add(1)
@@ -498,7 +599,8 @@ func (db *DB) execMerge(v *version.Version, pick compaction.Pick) error {
 }
 
 // deleteObsoleteFiles removes table files no longer referenced by any
-// version. Called without db.mu.
+// version. Called without db.mu; safe for any number of concurrent callers
+// (TakeObsolete hands each file number to exactly one of them).
 func (db *DB) deleteObsoleteFiles() {
 	for _, num := range db.set.TakeObsolete() {
 		db.tables.evict(num)

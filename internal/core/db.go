@@ -49,7 +49,6 @@ type DB struct {
 	blockCache *cache.Cache
 
 	mu      sync.Mutex
-	bgCond  *sync.Cond
 	mem     *memtable.MemTable
 	imm     *memtable.MemTable
 	logw    *wal.Writer
@@ -58,9 +57,22 @@ type DB struct {
 
 	snapshots snapshotList
 
-	bgScheduled bool
-	bgErr       error
-	closed      bool
+	// Background-engine state, all guarded by mu. Three condition variables
+	// partition the wakeups: flushCond wakes the flush worker (imm set, or
+	// shutdown), workCond wakes compaction workers (new version, released
+	// claim, manual compaction, or shutdown), and bgCond announces progress
+	// to foreground waiters (stalled writes, WaitIdle, CompactRange, Close).
+	flushCond *sync.Cond
+	workCond  *sync.Cond
+	bgCond    *sync.Cond
+
+	flushActive    bool // flush worker is mid-flush
+	compActive     int  // compaction workers mid-job
+	workersRunning int  // live worker goroutines; Close drains to zero
+	manualWant     int  // CompactRange callers forcing work despite DisableAutoCompaction
+
+	bgErr  error
+	closed bool
 
 	stats dbStats
 }
@@ -75,6 +87,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		dir:  dir,
 		icmp: icmp,
 	}
+	db.flushCond = sync.NewCond(&db.mu)
+	db.workCond = sync.NewCond(&db.mu)
 	db.bgCond = sync.NewCond(&db.mu)
 	db.initFS(opts.FS)
 
@@ -114,18 +128,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	// Record the WAL floor so recovery skips pre-existing logs only when a
 	// flush has covered them; here we only persist allocator state.
-	e := &version.Edit{}
-	db.mu.Lock()
-	err := db.set.LogAndApply(e)
-	db.mu.Unlock()
-	if err != nil {
+	if err := db.set.LogAndApply(&version.Edit{}); err != nil {
 		return nil, err
 	}
 
 	db.deleteObsoleteFiles()
-	db.mu.Lock()
-	db.maybeScheduleCompaction()
-	db.mu.Unlock()
+	db.startWorkers()
 	return db, nil
 }
 
@@ -247,17 +255,14 @@ func (db *DB) newLogLocked() error {
 }
 
 // Close flushes the memtable state to disk-safe form (the WAL already holds
-// it) and stops background work.
+// it) and stops background work, draining the whole worker pool.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	db.closed = true
-	for db.bgScheduled {
-		db.bgCond.Wait()
-	}
+	db.stopBackgroundLocked()
 	db.mu.Unlock()
 
 	if db.logFile != nil {
@@ -267,6 +272,21 @@ func (db *DB) Close() error {
 	}
 	db.tables.close()
 	return db.set.Close()
+}
+
+// stopBackgroundLocked marks the store closed and waits until every worker
+// goroutine has exited. In-flight jobs run to completion (their claims and
+// version edits resolve normally); idle workers wake, observe closed, and
+// return. Callers hold db.mu. Also used by crash-simulation tests, which
+// abandon the handle without a clean Close.
+func (db *DB) stopBackgroundLocked() {
+	db.closed = true
+	db.flushCond.Broadcast()
+	db.workCond.Broadcast()
+	db.bgCond.Broadcast()
+	for db.workersRunning > 0 {
+		db.bgCond.Wait()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -342,6 +362,11 @@ func (db *DB) makeRoomForWrite() error {
 		if db.bgErr != nil {
 			return db.bgErr
 		}
+		if db.closed {
+			// Close ran while this writer was stalled; don't write into a
+			// store whose WAL is about to be torn down.
+			return ErrClosed
+		}
 		v := db.set.CurrentNoRef()
 		switch {
 		case allowDelay && v.NumFiles(0) >= db.opts.L0SlowdownTrigger:
@@ -365,13 +390,13 @@ func (db *DB) makeRoomForWrite() error {
 			db.bgCond.Wait()
 			db.stats.stallNanos.Add(int64(time.Since(start)))
 		default:
-			// Switch to a fresh memtable + WAL; the old one flushes in the
-			// background.
+			// Switch to a fresh memtable + WAL; the old one flushes on the
+			// dedicated flush worker.
 			if err := db.newLogLocked(); err != nil {
 				return err
 			}
 			db.imm, db.mem = db.mem, memtable.New(db.icmp)
-			db.maybeScheduleCompaction()
+			db.flushCond.Signal()
 		}
 	}
 }
@@ -659,34 +684,49 @@ func (db *DB) TableBytes() int64 {
 func (db *DB) SliceThreshold() int { return db.picker.SliceThreshold() }
 
 // CompactRange forces compaction work until the tree is quiescent — used by
-// tests and experiments to reach a steady state.
+// tests and experiments to reach a steady state. It drives the worker pool
+// even when DisableAutoCompaction is set.
 func (db *DB) CompactRange() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.manualWant++
+	defer func() { db.manualWant-- }()
+	db.workCond.Broadcast()
 	for {
-		db.mu.Lock()
 		if db.bgErr != nil {
-			err := db.bgErr
-			db.mu.Unlock()
-			return err
+			return db.bgErr
 		}
-		busy := db.imm != nil || db.bgScheduled
-		if !busy {
-			v := db.set.CurrentNoRef()
-			pick := db.picker.Pick(v)
-			if pick.Kind == compaction.PickNone {
-				db.mu.Unlock()
+		if db.closed {
+			return ErrClosed
+		}
+		if db.imm == nil && !db.flushActive && db.compActive == 0 {
+			// Quiescent moment: with no claims in flight, a None pick means
+			// the tree has truly converged.
+			if db.picker.Pick(db.set.CurrentNoRef()).Kind == compaction.PickNone {
 				return nil
 			}
-			db.maybeScheduleCompaction()
+			db.workCond.Broadcast()
 		}
 		db.bgCond.Wait()
-		db.mu.Unlock()
 	}
 }
 
-// WaitIdle blocks until no background work is scheduled or running.
+// WaitIdle blocks until no background work is running or immediately
+// pickable: the flush worker is idle with no pending immutable memtable and
+// every compaction worker has drained. Returns early if the store is closed
+// or poisoned by a background error.
 func (db *DB) WaitIdle() {
 	db.mu.Lock()
-	for db.bgScheduled || db.imm != nil {
+	for !db.closed && db.bgErr == nil {
+		if db.imm == nil && !db.flushActive && db.compActive == 0 {
+			if db.opts.DisableAutoCompaction && db.manualWant == 0 {
+				break
+			}
+			if db.picker.Pick(db.set.CurrentNoRef()).Kind == compaction.PickNone {
+				break
+			}
+			db.workCond.Broadcast()
+		}
 		db.bgCond.Wait()
 	}
 	db.mu.Unlock()

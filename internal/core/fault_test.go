@@ -52,10 +52,7 @@ func TestCrashRecoveryAtEveryWriteBudget(t *testing.T) {
 				// Crash: abandon the handle without a clean Close.
 				efs.Disarm()
 				db.mu.Lock()
-				db.closed = true
-				for db.bgScheduled {
-					db.bgCond.Wait()
-				}
+				db.stopBackgroundLocked()
 				db.mu.Unlock()
 
 				// Reboot on the surviving bytes.

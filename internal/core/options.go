@@ -6,6 +6,8 @@
 package core
 
 import (
+	"runtime"
+
 	"repro/internal/cache"
 	"repro/internal/compaction"
 	"repro/internal/keys"
@@ -54,6 +56,17 @@ type Options struct {
 	BloomBitsPerKey int
 	// BlockCacheSize bounds the shared data-block cache (default 8 MiB).
 	BlockCacheSize int64
+	// BlockCacheShards stripes the block cache into this many locks; 0 picks
+	// a count from GOMAXPROCS (see cache.DefaultShards).
+	BlockCacheShards int
+
+	// CompactionParallelism sizes the compaction worker pool (default
+	// max(1, GOMAXPROCS/2)). Memtable flushes always run on their own
+	// dedicated worker and are not counted here. With parallelism 1 the
+	// engine picks and executes compactions exactly as the serial engine
+	// did; higher values let the picker hand out multiple jobs whose input
+	// files and output key ranges are disjoint.
+	CompactionParallelism int
 
 	// Sync makes every committed write fsync the WAL (default false, like
 	// LevelDB: the OS buffers).
@@ -111,6 +124,12 @@ func (o Options) withDefaults() Options {
 	if o.BlockCacheSize <= 0 {
 		o.BlockCacheSize = 8 << 20
 	}
+	if o.CompactionParallelism <= 0 {
+		o.CompactionParallelism = runtime.GOMAXPROCS(0) / 2
+		if o.CompactionParallelism < 1 {
+			o.CompactionParallelism = 1
+		}
+	}
 	if o.VerifyChecksums == nil {
 		t := true
 		o.VerifyChecksums = &t
@@ -130,4 +149,6 @@ func (o Options) compactionParams() compaction.Params {
 	}
 }
 
-func (o Options) newBlockCache() *cache.Cache { return cache.New(o.BlockCacheSize) }
+func (o Options) newBlockCache() *cache.Cache {
+	return cache.NewSharded(o.BlockCacheSize, o.BlockCacheShards)
+}

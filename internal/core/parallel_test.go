@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// parallelOpts is smallOpts with a worker-pool size.
+func parallelOpts(policy compaction.Policy, parallelism int) Options {
+	opts := smallOpts(policy)
+	opts.CompactionParallelism = parallelism
+	return opts
+}
+
+// runWorkload fills then overwrites keys with a deterministic sequence,
+// returning the model of what the store must contain. Deletions included so
+// tombstone elision is exercised across concurrent jobs.
+func runWorkload(t *testing.T, db *DB, seed int64, n int) map[string]string {
+	t.Helper()
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3*n; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(n))
+		switch {
+		case i%17 == 16:
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("val-%06d-%d", i, seed)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			model[k] = v
+		}
+	}
+	return model
+}
+
+// checkContents verifies the store matches the model exactly, including
+// absence of deleted keys.
+func checkContents(t *testing.T, db *DB, model map[string]string, n int, label string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		got, err := db.Get([]byte(k))
+		want, ok := model[k]
+		switch {
+		case ok && (err != nil || string(got) != want):
+			t.Fatalf("%s: Get(%s) = %q, %v; want %q", label, k, got, err, want)
+		case !ok && !errors.Is(err, ErrNotFound):
+			t.Fatalf("%s: Get(%s) = %q, %v; want ErrNotFound", label, k, got, err)
+		}
+	}
+}
+
+// TestParallelCompactionEquivalence stresses fill + overwrite + delete under
+// CompactionParallelism 1, 2, and 4 and asserts every engine converges to
+// identical logical contents. The no-overlapping-inputs invariant is
+// enforced at runtime: Picker.Acquire errors (poisoning the DB, which would
+// fail CompactRange below) if two concurrently scheduled jobs ever claim a
+// shared file or overlapping key range.
+func TestParallelCompactionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	const n = 2000
+	for _, policy := range []compaction.Policy{compaction.UDC, compaction.LDC} {
+		t.Run(policy.String(), func(t *testing.T) {
+			for _, par := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+					db := openTestDB(t, parallelOpts(policy, par))
+					defer db.Close()
+					model := runWorkload(t, db, 42, n)
+					if err := db.CompactRange(); err != nil {
+						t.Fatalf("CompactRange: %v", err)
+					}
+					checkContents(t, db, model, n, "steady state")
+
+					st := db.Stats()
+					if len(st.WorkerCompactions) != par {
+						t.Errorf("WorkerCompactions has %d slots, want %d", len(st.WorkerCompactions), par)
+					}
+					if st.MaxConcurrentCompactions > int64(par) {
+						t.Errorf("MaxConcurrentCompactions = %d exceeds pool size %d",
+							st.MaxConcurrentCompactions, par)
+					}
+					if st.MaxConcurrentCompactions < 1 {
+						t.Errorf("MaxConcurrentCompactions = %d, want >= 1", st.MaxConcurrentCompactions)
+					}
+
+					// Reopen: the MANIFEST written by concurrent LogAndApply
+					// must recover to the same contents.
+					if err := db.Close(); err != nil {
+						t.Fatalf("Close: %v", err)
+					}
+					opts := parallelOpts(policy, par)
+					opts.FS = db.opts.FS
+					db2 := openTestDB(t, opts)
+					defer db2.Close()
+					checkContents(t, db2, model, n, "after reopen")
+				})
+			}
+		})
+	}
+}
+
+// TestCloseDuringParallelCompactions is the pool-drain regression test:
+// Close while N compactions are in flight must neither deadlock nor leak
+// worker goroutines.
+func TestCloseDuringParallelCompactions(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		opts := parallelOpts(compaction.LDC, 4)
+		db := openTestDB(t, opts)
+		// Enough writes that flushes and multi-level compactions are still
+		// in flight when Close lands.
+		rng := rand.New(rand.NewSource(int64(round)))
+		for i := 0; i < 4000; i++ {
+			k := fmt.Sprintf("key-%06d", rng.Intn(1000))
+			if err := db.Put([]byte(k), []byte(fmt.Sprintf("val-%08d", i))); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+
+		done := make(chan error, 1)
+		go func() { done <- db.Close() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: Close: %v", round, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: Close deadlocked with compactions in flight", round)
+		}
+		if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: Put after Close = %v, want ErrClosed", round, err)
+		}
+	}
+	// Workers exit before Close returns; allow a grace period for unrelated
+	// runtime goroutines to settle before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+}
+
+// TestCompactRangeWithAutoCompactionDisabled: CompactRange must drive the
+// pool to quiescence itself when the automatic picker is off.
+func TestCompactRangeWithAutoCompactionDisabled(t *testing.T) {
+	opts := parallelOpts(compaction.UDC, 2)
+	opts.DisableAutoCompaction = true
+	db := openTestDB(t, opts)
+	defer db.Close()
+
+	model := runWorkload(t, db, 7, 500)
+	if err := db.CompactRange(); err != nil {
+		t.Fatalf("CompactRange: %v", err)
+	}
+	// Quiescent: L0 must be within its trigger now.
+	if files := db.CurrentProfile().Levels[0].Files; files >= opts.L0CompactionTrigger {
+		t.Errorf("L0 still has %d files after CompactRange", files)
+	}
+	checkContents(t, db, model, 500, "manual compaction")
+}
+
+// TestWaitIdleDrainsPool: WaitIdle must cover the whole pool, not a single
+// scheduled flag.
+func TestWaitIdleDrainsPool(t *testing.T) {
+	db := openTestDB(t, parallelOpts(compaction.LDC, 4))
+	defer db.Close()
+	runWorkload(t, db, 11, 1000)
+	db.WaitIdle()
+
+	db.mu.Lock()
+	busy := db.imm != nil || db.flushActive || db.compActive != 0
+	inflight := db.picker.InFlight()
+	db.mu.Unlock()
+	if busy || inflight != 0 {
+		t.Errorf("WaitIdle returned with work in flight (busy=%v inflight=%d)", busy, inflight)
+	}
+}
+
+// TestParallelismOneMatchesSerial: with a single worker the picker never
+// sees a competing in-flight claim at pick time, so every pick decision is
+// the serial engine's. Verify by full ordered scans: identical workloads at
+// parallelism 1 and 4 must yield byte-identical key/value sequences.
+func TestParallelismOneMatchesSerial(t *testing.T) {
+	scanAll := func(par int) []KV {
+		opts := parallelOpts(compaction.LDC, par)
+		opts.FS = vfs.Mem()
+		db := openTestDB(t, opts)
+		defer db.Close()
+		runWorkload(t, db, 3, 1500)
+		if err := db.CompactRange(); err != nil {
+			t.Fatalf("parallelism %d: CompactRange: %v", par, err)
+		}
+		kvs, err := db.Scan(nil, 1<<20)
+		if err != nil {
+			t.Fatalf("parallelism %d: Scan: %v", par, err)
+		}
+		return kvs
+	}
+	base := scanAll(1)
+	for _, par := range []int{2, 4} {
+		got := scanAll(par)
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d: %d entries, serial has %d", par, len(got), len(base))
+		}
+		for i := range base {
+			if string(got[i].Key) != string(base[i].Key) || string(got[i].Value) != string(base[i].Value) {
+				t.Fatalf("parallelism %d: entry %d = (%s, %s); serial has (%s, %s)",
+					par, i, got[i].Key, got[i].Value, base[i].Key, base[i].Value)
+			}
+		}
+	}
+}

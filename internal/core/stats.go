@@ -32,11 +32,16 @@ type Stats struct {
 
 	// Timing (Table I's breakdown).
 	CompactionTime time.Duration // background compaction + flush work
+	FlushTime      time.Duration // flush-worker subset of CompactionTime
 	WriteTime      time.Duration // user write path (DoWrite)
 	ReadTime       time.Duration // user read path
 	StallTime      time.Duration // write-path waits on compaction
 	SlowdownCount  int64         // 1ms L0 slowdowns applied
 	StopCount      int64         // hard write stops encountered
+
+	// Concurrency (the parallel engine's effect).
+	MaxConcurrentCompactions int64   // high-water mark of simultaneously executing jobs
+	WorkerCompactions        []int64 // jobs completed per compaction worker
 
 	// Request counts.
 	Puts, Gets, Deletes, Scans int64
@@ -84,13 +89,34 @@ type dbStats struct {
 	obsoleteDeleted  atomic.Int64
 
 	compactionNanos atomic.Int64
+	flushNanos      atomic.Int64
 	writeNanos      atomic.Int64
 	readNanos       atomic.Int64
 	stallNanos      atomic.Int64
 	slowdownCount   atomic.Int64
 	stopCount       atomic.Int64
 
+	maxConcurrentCompactions atomic.Int64
+	workerJobs               []atomic.Int64 // sized once in initWorkers, before workers start
+
 	puts, gets, deletes, scans atomic.Int64
+}
+
+// initWorkers sizes the per-worker counters; called once before the worker
+// pool starts, so the slice header is never written concurrently.
+func (d *dbStats) initWorkers(n int) {
+	d.workerJobs = make([]atomic.Int64, n)
+}
+
+// noteConcurrency records a new number of simultaneously executing
+// compaction jobs, keeping the high-water mark.
+func (d *dbStats) noteConcurrency(n int) {
+	for {
+		cur := d.maxConcurrentCompactions.Load()
+		if int64(n) <= cur || d.maxConcurrentCompactions.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
 func (d *dbStats) snapshot() Stats {
@@ -109,14 +135,27 @@ func (d *dbStats) snapshot() Stats {
 		TrivialMoveCount:     d.trivialMoveCount.Load(),
 		ObsoleteDeleted:      d.obsoleteDeleted.Load(),
 		CompactionTime:       time.Duration(d.compactionNanos.Load()),
+		FlushTime:            time.Duration(d.flushNanos.Load()),
 		WriteTime:            time.Duration(d.writeNanos.Load()),
 		ReadTime:             time.Duration(d.readNanos.Load()),
 		StallTime:            time.Duration(d.stallNanos.Load()),
 		SlowdownCount:        d.slowdownCount.Load(),
 		StopCount:            d.stopCount.Load(),
-		Puts:                 d.puts.Load(),
-		Gets:                 d.gets.Load(),
-		Deletes:              d.deletes.Load(),
-		Scans:                d.scans.Load(),
+
+		MaxConcurrentCompactions: d.maxConcurrentCompactions.Load(),
+		WorkerCompactions:        d.workerSnapshot(),
+
+		Puts:    d.puts.Load(),
+		Gets:    d.gets.Load(),
+		Deletes: d.deletes.Load(),
+		Scans:   d.scans.Load(),
 	}
+}
+
+func (d *dbStats) workerSnapshot() []int64 {
+	out := make([]int64, len(d.workerJobs))
+	for i := range d.workerJobs {
+		out[i] = d.workerJobs[i].Load()
+	}
+	return out
 }

@@ -21,7 +21,10 @@ type tableCache struct {
 	blockCache *cache.Cache
 	verify     bool
 
-	mu      sync.Mutex
+	// RWMutex: the hot path (get on an already-open table) is read-only and
+	// runs concurrently from foreground Gets and compaction workers; only
+	// first-open, evict, and close take the write lock.
+	mu      sync.RWMutex
 	readers map[uint64]*sstable.Reader
 }
 
@@ -39,12 +42,12 @@ func newTableCache(fs vfs.FS, dir string, icmp keys.InternalComparer, bc *cache.
 // get returns the shared reader for a table file, opening it on first use.
 // The returned reader must not be closed by the caller.
 func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
-	tc.mu.Lock()
+	tc.mu.RLock()
 	if r, ok := tc.readers[num]; ok {
-		tc.mu.Unlock()
+		tc.mu.RUnlock()
 		return r, nil
 	}
-	tc.mu.Unlock()
+	tc.mu.RUnlock()
 
 	// Open outside the lock; racing opens are reconciled below.
 	f, err := tc.fs.Open(version.TableFileName(tc.dir, num))
@@ -88,8 +91,8 @@ func (tc *tableCache) evict(num uint64) {
 
 // totalBlockReads sums device block fetches across open readers (Fig 13).
 func (tc *tableCache) totalBlockReads() int64 {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
 	var n int64
 	for _, r := range tc.readers {
 		n += r.BlockReads()

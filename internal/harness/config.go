@@ -39,6 +39,11 @@ type Config struct {
 	// 1: on a single-core host, extra client goroutines add scheduler
 	// jitter that swamps the policies' differences.
 	Clients int
+	// CompactionParallelism sizes the store's compaction worker pool. The
+	// default is 1 so experiment shapes stay comparable to the paper's
+	// single-compactor LevelDB baseline; the parallel-compaction benchmark
+	// raises it explicitly.
+	CompactionParallelism int
 	// Seed fixes the workload randomness.
 	Seed int64
 
@@ -73,8 +78,11 @@ func Default() Config {
 		BloomBitsPerKey: 10,
 		BlockCacheSize:  8 << 20,
 		Clients:         1,
-		Seed:            1,
-		Device:          dev,
+
+		CompactionParallelism: 1,
+
+		Seed:   1,
+		Device: dev,
 	}
 }
 

@@ -33,16 +33,17 @@ func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
 	dev := ssdsim.NewDevice(cfg.Device)
 	fs := ssdsim.Wrap(vfs.Mem(), dev)
 	db, err := core.Open("/db", core.Options{
-		FS:                 fs,
-		Policy:             policy,
-		MemTableSize:       cfg.MemTableSize,
-		SSTableSize:        cfg.SSTableSize,
-		Fanout:             cfg.Fanout,
-		SliceLinkThreshold: cfg.SliceThreshold,
-		BloomBitsPerKey:    cfg.BloomBitsPerKey,
-		BlockCacheSize:     cfg.BlockCacheSize,
-		AdaptiveThreshold:  cfg.AdaptiveThreshold,
-		DisableTrivialMove: cfg.DisableTrivialMove,
+		FS:                    fs,
+		Policy:                policy,
+		MemTableSize:          cfg.MemTableSize,
+		SSTableSize:           cfg.SSTableSize,
+		Fanout:                cfg.Fanout,
+		SliceLinkThreshold:    cfg.SliceThreshold,
+		BloomBitsPerKey:       cfg.BloomBitsPerKey,
+		BlockCacheSize:        cfg.BlockCacheSize,
+		CompactionParallelism: cfg.CompactionParallelism,
+		AdaptiveThreshold:     cfg.AdaptiveThreshold,
+		DisableTrivialMove:    cfg.DisableTrivialMove,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: open %v store: %w", policy, err)

@@ -13,8 +13,9 @@ import (
 
 // Set owns the current Version, the MANIFEST log, the file-number and
 // sequence allocators, and per-file reference counts used to decide when a
-// table file becomes obsolete. The embedding DB serializes LogAndApply
-// calls; reads of Current are safe from any goroutine.
+// table file becomes obsolete. LogAndApply serializes itself internally, so
+// concurrent compaction workers may call it directly; reads of Current are
+// safe from any goroutine.
 type Set struct {
 	fs   vfs.FS
 	dir  string
@@ -23,6 +24,12 @@ type Set struct {
 	// AllowOverlaps tolerates overlapping files within sorted levels, as the
 	// size-tiered policy produces. Set before Create/Recover.
 	AllowOverlaps bool
+
+	// logMu serializes LogAndApply invocations: MANIFEST records must land in
+	// the same order versions are installed, and each edit must build on the
+	// version produced by the previous one. Held across I/O, so it is separate
+	// from mu (which protects in-memory state and is never held across I/O).
+	logMu sync.Mutex
 
 	mu       sync.Mutex
 	current  *Version
@@ -324,8 +331,14 @@ func (s *Set) snapshotEdit() *Edit {
 }
 
 // LogAndApply persists edit to the MANIFEST and installs the resulting
-// version as current. The caller must serialize LogAndApply invocations.
+// version as current. Invocations are serialized internally; callers may
+// invoke it from concurrent compaction workers without extra locking, but
+// the edits themselves must be compatible (the claim bookkeeping in the
+// compaction picker guarantees concurrent edits touch disjoint files).
 func (s *Set) LogAndApply(e *Edit) error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+
 	s.mu.Lock()
 	e.SetNextFileNum(s.nextFileNum)
 	e.SetLastSeq(s.lastSeq)
