@@ -73,11 +73,28 @@ func ceilPow2(n int) int {
 // never fails).
 func New(capacity int64) *Cache { return NewSharded(capacity, 0) }
 
+// ClampShards halves n (keeping it a power of two, floored at 1) until each
+// shard's slice of capacity is at least 4×entrySize, so entries of the given
+// typical size remain cacheable in every shard. Capacity is split evenly
+// across shards, which makes any entry larger than capacity/n silently
+// uncacheable; callers that know their entry size (e.g. the block size for a
+// block cache) should pass shard counts through this clamp.
+func ClampShards(n int, capacity, entrySize int64) int {
+	n = ceilPow2(n)
+	if capacity <= 0 || entrySize <= 0 {
+		return n
+	}
+	for n > 1 && capacity/int64(n) < 4*entrySize {
+		n >>= 1
+	}
+	return n
+}
+
 // NewSharded returns a cache bounded at capacity bytes striped into n
 // shards; n is rounded up to a power of two, and n <= 0 selects
 // DefaultShards(). Capacity is split evenly across shards, so an entry
-// larger than capacity/n is uncacheable — shard counts should stay small
-// relative to capacity/blocksize.
+// larger than capacity/n is uncacheable — use ClampShards to keep the
+// per-shard slice comfortably above the expected entry size.
 func NewSharded(capacity int64, n int) *Cache {
 	if n <= 0 {
 		n = DefaultShards()

@@ -130,6 +130,33 @@ func TestShardCountRounding(t *testing.T) {
 	}
 }
 
+func TestClampShards(t *testing.T) {
+	for _, tc := range []struct {
+		ask       int
+		capacity  int64
+		entrySize int64
+		want      int
+	}{
+		// Ample capacity: count passes through (rounded up to a power of two).
+		{16, 8 << 20, 4 << 10, 16},
+		{3, 8 << 20, 4 << 10, 4},
+		// 64 KiB cache of 4 KiB blocks: 16 shards would leave 4 KiB each;
+		// clamp to 4 so every shard holds >= 4 blocks.
+		{16, 64 << 10, 4 << 10, 4},
+		// Cache smaller than 4 entries: collapse to one shard.
+		{16, 8 << 10, 4 << 10, 1},
+		{8, 0, 4 << 10, 8},   // unknown capacity: no clamp
+		{8, 1 << 20, 0, 8},   // unknown entry size: no clamp
+		{0, 1 << 20, 512, 1}, // non-positive ask floors at 1
+	} {
+		got := ClampShards(tc.ask, tc.capacity, tc.entrySize)
+		if got != tc.want {
+			t.Errorf("ClampShards(%d, %d, %d) = %d, want %d",
+				tc.ask, tc.capacity, tc.entrySize, got, tc.want)
+		}
+	}
+}
+
 func TestShardedCapacitySplit(t *testing.T) {
 	// Total capacity must be preserved exactly across shards, including when
 	// it does not divide evenly.

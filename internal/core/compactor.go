@@ -253,11 +253,18 @@ func (db *DB) pointerEdit(e *version.Edit, level int, inputs []*version.FileMeta
 	e.CompactPointers = append(e.CompactPointers, version.CompactPointer{Level: level, Key: largest.Clone()})
 }
 
-// applyPointers installs an applied edit's cursor advances into the picker.
-// Caller holds db.mu.
+// applyPointers refreshes the picker's round-robin cursors for the levels an
+// applied edit advanced. It deliberately reads the authoritative value back
+// from the version set rather than installing the edit's own keys: workers
+// reach this point in job-completion order under db.mu, which can differ
+// from LogAndApply commit order for two same-level jobs, and installing the
+// edit's key directly could regress the in-memory cursor behind the value
+// persisted in set.compactPointers/MANIFEST. The set's value is updated in
+// commit order, so reading it here always yields the cursor of this job's
+// commit or a later one. Caller holds db.mu.
 func (db *DB) applyPointers(e *version.Edit) {
 	for _, cp := range e.CompactPointers {
-		db.picker.SetPointer(cp.Level, cp.Key)
+		db.picker.SetPointer(cp.Level, db.set.CompactPointer(cp.Level))
 	}
 }
 
@@ -514,8 +521,11 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 // one level down. Slices attached to overlapped files are consumed too.
 // db.mu held on entry/exit; released for the whole merge and version edit.
 func (db *DB) execCompact(pick compaction.Pick) error {
-	v := db.set.CurrentNoRef()
-	v.Ref()
+	// Current (not CurrentNoRef+Ref) so the reference is acquired under
+	// set.mu, atomically with the pointer read: LogAndApply runs outside
+	// db.mu, so a racing worker could otherwise install a new version and
+	// drop the fetched one to zero refs between the read and the Ref.
+	v := db.set.Current()
 	smallestSnap := db.smallestSnapshot()
 	db.mu.Unlock()
 
@@ -561,8 +571,7 @@ func (db *DB) execCompact(pick compaction.Pick) error {
 // concurrent merges; they are read-only and pinned by the version ref.
 // db.mu held on entry/exit.
 func (db *DB) execMerge(pick compaction.Pick) error {
-	v := db.set.CurrentNoRef()
-	v.Ref()
+	v := db.set.Current() // ref taken under set.mu; see execCompact
 	smallestSnap := db.smallestSnapshot()
 	db.mu.Unlock()
 

@@ -428,8 +428,11 @@ func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 		seq = snap.seq
 	}
 	mem, imm := db.mem, db.imm
-	v := db.set.CurrentNoRef()
-	v.Ref()
+	// Current (not CurrentNoRef+Ref): the reference must be acquired under
+	// set.mu, atomically with the pointer read, because LogAndApply installs
+	// new versions outside db.mu and could drop this one to zero refs in
+	// between — resurrecting it would double-release its file references.
+	v := db.set.Current()
 	db.mu.Unlock()
 	defer v.Unref()
 

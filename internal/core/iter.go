@@ -147,8 +147,7 @@ func (l *levelIter) Close() error { return l.Error() }
 func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
 	db.mu.Lock()
 	mem, imm := db.mem, db.imm
-	v := db.set.CurrentNoRef()
-	v.Ref()
+	v := db.set.Current() // ref acquired under set.mu, atomic with the read
 	db.mu.Unlock()
 
 	var children []iterator.Iterator

@@ -57,7 +57,10 @@ type Options struct {
 	// BlockCacheSize bounds the shared data-block cache (default 8 MiB).
 	BlockCacheSize int64
 	// BlockCacheShards stripes the block cache into this many locks; 0 picks
-	// a count from GOMAXPROCS (see cache.DefaultShards).
+	// a count from GOMAXPROCS (see cache.DefaultShards). The count is
+	// clamped down so each shard's capacity slice stays at least 4×BlockSize
+	// (cache.ClampShards) — a tiny cache is never split into uselessly small
+	// shards.
 	BlockCacheShards int
 
 	// CompactionParallelism sizes the compaction worker pool (default
@@ -150,5 +153,13 @@ func (o Options) compactionParams() compaction.Params {
 }
 
 func (o Options) newBlockCache() *cache.Cache {
-	return cache.NewSharded(o.BlockCacheSize, o.BlockCacheShards)
+	n := o.BlockCacheShards
+	if n <= 0 {
+		n = cache.DefaultShards()
+	}
+	// Capacity splits evenly across shards, so clamp the count to keep each
+	// shard's slice well above the block size — otherwise a small cache with
+	// many shards silently caches nothing.
+	n = cache.ClampShards(n, o.BlockCacheSize, int64(o.BlockSize))
+	return cache.NewSharded(o.BlockCacheSize, n)
 }

@@ -72,7 +72,12 @@ func (s *Set) Current() *Version {
 }
 
 // CurrentNoRef returns the current version without touching refcounts; only
-// for callers holding the DB mutex that will not retain it.
+// for transient inspection of its immutable metadata (file lists, sizes)
+// within the calling function. The returned version must NOT be retained,
+// and in particular must never be Ref()'d afterwards: LogAndApply may
+// concurrently install a successor and drop this version to zero refs, so a
+// late Ref would resurrect it and double-release its file references on the
+// final Unref. Callers that keep the version must use Current instead.
 func (s *Set) CurrentNoRef() *Version {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,6 +1,7 @@
 package version
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/keys"
@@ -266,6 +267,65 @@ func TestSetLogAndApplyAndCurrent(t *testing.T) {
 	defer v.Unref()
 	if v.NumFiles(1) != 1 || v.Levels[1][0].Num != 10 {
 		t.Fatalf("current version: %d L1 files", v.NumFiles(1))
+	}
+}
+
+// TestSetCurrentRefRace hammers Current/Unref from reader goroutines while
+// a writer turns over versions with LogAndApply, which installs versions
+// outside any DB-level lock. The reference must be acquired atomically with
+// the pointer read (under set.mu, as Current does): a CurrentNoRef()+Ref()
+// pair lets a reader resurrect a version already dropped to zero refs,
+// double-releasing its file references — live files would be queued for
+// deletion or the refcount-below-zero panic would fire. Run with -race.
+func TestSetCurrentRefRace(t *testing.T) {
+	s, _ := newTestSet(t)
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := s.Current()
+				_ = v.NumFiles(1)
+				v.Unref()
+			}
+		}()
+	}
+
+	var prev uint64
+	for i := 0; i < 300; i++ {
+		num := s.NewFileNum()
+		e := &Edit{}
+		if prev != 0 {
+			e.DeleteFile(1, prev)
+		}
+		e.AddFile(1, fm(num, "a", "m", 100))
+		if err := s.LogAndApply(e); err != nil {
+			t.Fatal(err)
+		}
+		prev = num
+	}
+	close(stop)
+	wg.Wait()
+
+	// Once every reader has dropped its reference, exactly the final
+	// version's table file may remain live; any other live file means a
+	// released version's references leaked or were double-counted.
+	live := s.LiveFileNums()
+	if !live[prev] {
+		t.Errorf("final file %d not live", prev)
+	}
+	delete(live, prev)
+	for num := range live {
+		t.Errorf("unexpected live table file %d after version churn", num)
 	}
 }
 
