@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench bench-smoke ci
 
 all: build
 
@@ -21,4 +21,9 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
-ci: vet race
+# One race-checked pass over the group-commit writer benchmark: catches
+# write-path races and pipeline regressions without measuring anything.
+bench-smoke:
+	$(GO) test -race -run XXX -bench BenchmarkConcurrentWriters -benchtime 1x ./internal/core
+
+ci: vet race bench-smoke

@@ -1,0 +1,180 @@
+// Package commit implements the store's foreground commit pipeline: a
+// RocksDB-style group-commit front end (Pipeline) and the write-throttling
+// state machine (Controller) that decides when writers may proceed, must be
+// delayed, or must stop.
+//
+// The package is deliberately independent of the DB: both types drive their
+// environment through small callback structs, so the grouping protocol and
+// the throttle policy are unit-testable without a store. Lock ordering is
+// pipeline-internal lock → store mutex → deeper locks; no callback is ever
+// invoked while the pipeline's own lock is held.
+package commit
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// State is the controller's write-admission state.
+type State int32
+
+const (
+	// StateOK admits writes immediately.
+	StateOK State = iota
+	// StateDelayed applies the one-millisecond L0 slowdown to each write.
+	StateDelayed
+	// StateStopped blocks writes until background work catches up.
+	StateStopped
+)
+
+// String renders the state for stats output.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDelayed:
+		return "delayed"
+	case StateStopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// ControllerEnv is the store machinery the controller drives. Every callback
+// except Sleep is invoked with the store mutex held (the controller brackets
+// them with Lock/Unlock); Sleep runs unlocked.
+type ControllerEnv struct {
+	// Lock and Unlock acquire and release the store mutex.
+	Lock, Unlock func()
+	// Err reports a terminal condition (store closed, background error);
+	// non-nil aborts MakeRoom with that error.
+	Err func() error
+	// L0Files counts level-0 table files.
+	L0Files func() int
+	// MemBytes reports the active memtable's approximate size.
+	MemBytes func() int64
+	// ImmPending reports whether the previous memtable is still flushing.
+	ImmPending func() bool
+	// Rotate switches to a fresh memtable and WAL, handing the full one to
+	// the flush worker.
+	Rotate func() error
+	// Wait blocks until background work makes progress, releasing the store
+	// mutex while waiting (a condition-variable wait).
+	Wait func()
+	// Sleep pauses for the slowdown delay; nil uses time.Sleep. Tests
+	// substitute a recorder.
+	Sleep func(time.Duration)
+}
+
+// ControllerConfig carries the throttle thresholds.
+type ControllerConfig struct {
+	// MemTableSize triggers a rotation when the memtable reaches it.
+	MemTableSize int64
+	// L0SlowdownTrigger applies the delay at this many L0 files.
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writes at this many L0 files.
+	L0StopTrigger int
+	// SlowdownDelay is the per-write delay in the delayed state (default 1ms).
+	SlowdownDelay time.Duration
+}
+
+// ControllerMetrics is a snapshot of the controller's counters.
+type ControllerMetrics struct {
+	Slowdowns  int64 // delays applied
+	Stops      int64 // hard waits entered
+	StallNanos int64 // total time writers spent delayed or stopped
+	State      State // current admission state
+}
+
+// Controller is the write-throttling state machine (ok → delayed →
+// stopped), extracted from the write path so the pipeline, the stats
+// surface, and tests all consume one explicit source of truth. It is the
+// paper's write-tail-latency mechanism: the waits it imposes are exactly
+// the stalls behind Fig 1 and Fig 8.
+type Controller struct {
+	cfg ControllerConfig
+	env ControllerEnv
+
+	state      atomic.Int32
+	slowdowns  atomic.Int64
+	stops      atomic.Int64
+	stallNanos atomic.Int64
+}
+
+// NewController builds a controller over env.
+func NewController(cfg ControllerConfig, env ControllerEnv) *Controller {
+	if cfg.SlowdownDelay <= 0 {
+		cfg.SlowdownDelay = time.Millisecond
+	}
+	if env.Sleep == nil {
+		env.Sleep = time.Sleep
+	}
+	return &Controller{cfg: cfg, env: env}
+}
+
+// State reports the current admission state without locking.
+func (c *Controller) State() State { return State(c.state.Load()) }
+
+// Metrics snapshots the stall counters.
+func (c *Controller) Metrics() ControllerMetrics {
+	return ControllerMetrics{
+		Slowdowns:  c.slowdowns.Load(),
+		Stops:      c.stops.Load(),
+		StallNanos: c.stallNanos.Load(),
+		State:      c.State(),
+	}
+}
+
+// MakeRoom blocks until the store can accept a write, applying LevelDB's
+// throttle ladder: one slowdown delay when L0 is crowded, a memtable
+// rotation when the active table is full, and hard waits while the previous
+// memtable is still flushing or L0 hit the stop trigger. It acquires the
+// store mutex itself and returns with it released.
+func (c *Controller) MakeRoom() error {
+	c.env.Lock()
+	defer c.env.Unlock()
+	allowDelay := true
+	for {
+		if err := c.env.Err(); err != nil {
+			return err
+		}
+		switch {
+		case allowDelay && c.env.L0Files() >= c.cfg.L0SlowdownTrigger:
+			// Soft backpressure: pay one delay outside the store mutex so
+			// readers and background work proceed, then never delay again
+			// for this write.
+			c.state.Store(int32(StateDelayed))
+			c.env.Unlock()
+			c.env.Sleep(c.cfg.SlowdownDelay)
+			c.env.Lock()
+			c.slowdowns.Add(1)
+			c.stallNanos.Add(int64(c.cfg.SlowdownDelay))
+			allowDelay = false
+		case c.env.MemBytes() < c.cfg.MemTableSize:
+			c.state.Store(int32(StateOK))
+			return nil
+		case c.env.ImmPending():
+			// Previous memtable still flushing: hard stop.
+			c.waitStopped()
+		case c.env.L0Files() >= c.cfg.L0StopTrigger:
+			c.waitStopped()
+		default:
+			// Full memtable, flush worker idle: rotate and retry (the fresh
+			// table admits immediately on the next iteration).
+			if err := c.env.Rotate(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// waitStopped enters the stopped state and blocks for background progress.
+// Store mutex held on entry and exit (released inside env.Wait).
+func (c *Controller) waitStopped() {
+	c.state.Store(int32(StateStopped))
+	c.stops.Add(1)
+	start := time.Now()
+	c.env.Wait()
+	c.stallNanos.Add(int64(time.Since(start)))
+}

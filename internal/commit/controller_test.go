@@ -1,0 +1,192 @@
+package commit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore is a scriptable ControllerEnv: tests mutate its fields between
+// MakeRoom calls or from its Wait/Rotate callbacks to walk the state machine
+// through its transitions.
+type fakeStore struct {
+	mu         sync.Mutex
+	l0         int
+	memBytes   int64
+	immPending bool
+	err        error
+
+	rotations int
+	rotateErr error
+	onRotate  func(s *fakeStore)
+	waits     int
+	onWait    func(s *fakeStore) // simulates background progress
+	slept     []time.Duration
+}
+
+func (s *fakeStore) env() ControllerEnv {
+	return ControllerEnv{
+		Lock:       s.mu.Lock,
+		Unlock:     s.mu.Unlock,
+		Err:        func() error { return s.err },
+		L0Files:    func() int { return s.l0 },
+		MemBytes:   func() int64 { return s.memBytes },
+		ImmPending: func() bool { return s.immPending },
+		Rotate: func() error {
+			s.rotations++
+			if s.onRotate != nil {
+				s.onRotate(s)
+			}
+			return s.rotateErr
+		},
+		Wait: func() {
+			s.waits++
+			if s.onWait == nil {
+				panic("unexpected Wait")
+			}
+			s.onWait(s)
+		},
+		Sleep: func(d time.Duration) { s.slept = append(s.slept, d) },
+	}
+}
+
+func cfg() ControllerConfig {
+	return ControllerConfig{MemTableSize: 100, L0SlowdownTrigger: 8, L0StopTrigger: 12}
+}
+
+func TestMakeRoomOKFastPath(t *testing.T) {
+	s := &fakeStore{memBytes: 10}
+	c := NewController(cfg(), s.env())
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateOK {
+		t.Fatalf("state = %v, want ok", c.State())
+	}
+	m := c.Metrics()
+	if m.Slowdowns != 0 || m.Stops != 0 || m.StallNanos != 0 {
+		t.Fatalf("fast path produced stalls: %+v", m)
+	}
+	if s.rotations != 0 || len(s.slept) != 0 {
+		t.Fatal("fast path rotated or slept")
+	}
+}
+
+func TestMakeRoomRotatesFullMemtable(t *testing.T) {
+	s := &fakeStore{memBytes: 200}
+	s.onRotate = func(s *fakeStore) { s.memBytes = 0 }
+	c := NewController(cfg(), s.env())
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if s.rotations != 1 {
+		t.Fatalf("rotations = %d, want 1", s.rotations)
+	}
+	if c.State() != StateOK {
+		t.Fatalf("state = %v, want ok after rotation", c.State())
+	}
+}
+
+func TestMakeRoomDelaysOnceOnL0Pressure(t *testing.T) {
+	s := &fakeStore{memBytes: 10, l0: 9}
+	c := NewController(cfg(), s.env())
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.slept) != 1 || s.slept[0] != time.Millisecond {
+		t.Fatalf("slept %v, want exactly one 1ms delay", s.slept)
+	}
+	m := c.Metrics()
+	if m.Slowdowns != 1 || m.StallNanos != int64(time.Millisecond) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// The write was admitted after its single delay even with L0 still high.
+	if c.State() != StateOK {
+		t.Fatalf("state = %v, want ok on return", c.State())
+	}
+	// A second write pays its own single delay.
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.slept) != 2 {
+		t.Fatalf("second write slept %d times in total, want 2", len(s.slept))
+	}
+}
+
+func TestMakeRoomStopsOnImmPending(t *testing.T) {
+	s := &fakeStore{memBytes: 200, immPending: true}
+	var observed State
+	c := NewController(cfg(), s.env())
+	s.onWait = func(s *fakeStore) {
+		observed = c.State() // state while blocked
+		s.immPending = false
+		s.onRotate = func(s *fakeStore) { s.memBytes = 0 }
+	}
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != StateStopped {
+		t.Fatalf("state during wait = %v, want stopped", observed)
+	}
+	m := c.Metrics()
+	if m.Stops != 1 || s.waits != 1 {
+		t.Fatalf("stops=%d waits=%d, want 1,1", m.Stops, s.waits)
+	}
+	if s.rotations != 1 {
+		t.Fatalf("rotations = %d, want 1 after the flush finished", s.rotations)
+	}
+	if c.State() != StateOK {
+		t.Fatalf("state = %v, want ok on return", c.State())
+	}
+}
+
+func TestMakeRoomStopsOnL0StopTrigger(t *testing.T) {
+	s := &fakeStore{memBytes: 200, l0: 12}
+	c := NewController(cfg(), s.env())
+	s.onWait = func(s *fakeStore) { s.l0 = 3; s.memBytes = 10 }
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	// L0 at the slowdown trigger also passes the delayed state first.
+	m := c.Metrics()
+	if m.Slowdowns != 1 || m.Stops != 1 {
+		t.Fatalf("metrics = %+v, want one slowdown then one stop", m)
+	}
+}
+
+func TestMakeRoomPropagatesErr(t *testing.T) {
+	boom := errors.New("background error")
+	s := &fakeStore{memBytes: 10, err: boom}
+	c := NewController(cfg(), s.env())
+	if err := c.MakeRoom(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want background error", err)
+	}
+}
+
+func TestMakeRoomErrCheckedAfterStopWait(t *testing.T) {
+	boom := errors.New("closed during stall")
+	s := &fakeStore{memBytes: 200, immPending: true}
+	c := NewController(cfg(), s.env())
+	s.onWait = func(s *fakeStore) { s.err = boom }
+	if err := c.MakeRoom(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the error raised during the stall", err)
+	}
+}
+
+func TestMakeRoomRotateErrorPropagates(t *testing.T) {
+	boom := errors.New("wal create failed")
+	s := &fakeStore{memBytes: 200, rotateErr: boom}
+	c := NewController(cfg(), s.env())
+	if err := c.MakeRoom(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want rotate error", err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{StateOK: "ok", StateDelayed: "delayed", StateStopped: "stopped", State(9): "unknown"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package commit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/keys"
+)
+
+// recordingEnv journals every committed group for assertions. Its gate, when
+// set, blocks inside Commit so tests can pile followers onto the queue.
+type recordingEnv struct {
+	mu       sync.Mutex
+	groups   [][]keys.Seq // per group: each member's stamped start sequence
+	sizes    []int        // member count per group
+	syncs    []bool
+	nextSeq  keys.Seq
+	makeRoom func() error
+
+	gate     chan struct{} // non-nil: Commit waits for a tick per group
+	entered  chan struct{} // signaled when Commit is reached
+	roomErr  error
+	roomHits int
+}
+
+func newRecordingEnv() *recordingEnv {
+	return &recordingEnv{nextSeq: 1}
+}
+
+func (r *recordingEnv) env() Env {
+	return Env{
+		MakeRoom: func() error {
+			r.mu.Lock()
+			r.roomHits++
+			err := r.roomErr
+			r.mu.Unlock()
+			return err
+		},
+		Commit: func(g *batch.Group, sync bool) error {
+			if r.entered != nil {
+				r.entered <- struct{}{}
+			}
+			if r.gate != nil {
+				<-r.gate
+			}
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			g.SetSequence(r.nextSeq)
+			r.nextSeq += keys.Seq(g.Count())
+			r.sizes = append(r.sizes, g.Len())
+			r.syncs = append(r.syncs, sync)
+			return nil
+		},
+	}
+}
+
+func oneOp(key string) *batch.Batch {
+	b := batch.New()
+	b.Set([]byte(key), []byte("v"))
+	return b
+}
+
+func TestSingleWriterSingleGroup(t *testing.T) {
+	r := newRecordingEnv()
+	p := NewPipeline(r.env(), Options{})
+	b := oneOp("a")
+	if err := p.Commit(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.sizes) != 1 || r.sizes[0] != 1 {
+		t.Fatalf("groups = %v, want one group of one", r.sizes)
+	}
+	if b.Sequence() != 1 {
+		t.Fatalf("batch sequence = %d, want 1", b.Sequence())
+	}
+	m := p.Metrics()
+	if m.Groups != 1 || m.Batches != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if r.roomHits != 1 {
+		t.Fatalf("MakeRoom called %d times, want 1", r.roomHits)
+	}
+}
+
+// TestFollowersJoinLeadersGroup blocks the first group inside Commit, piles
+// up writers, and verifies they all commit as one following group with
+// contiguous member sequences.
+func TestFollowersJoinLeadersGroup(t *testing.T) {
+	r := newRecordingEnv()
+	r.gate = make(chan struct{})
+	r.entered = make(chan struct{}, 16)
+	p := NewPipeline(r.env(), Options{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Commit(oneOp("leader"), false)
+	}()
+	<-r.entered // first group is mid-commit
+
+	const followers = 8
+	batches := make([]*batch.Batch, followers)
+	for i := range batches {
+		batches[i] = oneOp(fmt.Sprintf("f%d", i))
+	}
+	for i := range batches {
+		wg.Add(1)
+		go func(b *batch.Batch) {
+			defer wg.Done()
+			if err := p.Commit(b, false); err != nil {
+				t.Error(err)
+			}
+		}(batches[i])
+	}
+	// Wait until all followers are queued behind the blocked group.
+	deadline := time.After(5 * time.Second)
+	for {
+		p.mu.Lock()
+		n := len(p.queue)
+		p.mu.Unlock()
+		if n == followers {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d followers queued", n, followers)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	r.gate <- struct{}{} // release group 1
+	<-r.entered          // group 2 formed
+	r.gate <- struct{}{} // release group 2
+	wg.Wait()
+
+	if len(r.sizes) != 2 || r.sizes[0] != 1 || r.sizes[1] != followers {
+		t.Fatalf("group sizes = %v, want [1 %d]", r.sizes, followers)
+	}
+	// Member sequences must tile the group's range contiguously.
+	seen := map[keys.Seq]bool{}
+	for _, b := range batches {
+		seen[b.Sequence()] = true
+	}
+	for s := keys.Seq(2); s < 2+followers; s++ {
+		if !seen[s] {
+			t.Fatalf("no member stamped with sequence %d; got %v", s, seen)
+		}
+	}
+	if m := p.Metrics(); m.Groups != 2 || m.Batches != 1+followers {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestSyncWriterNeverRidesNonSyncGroup pins LevelDB's rule at the draining
+// step: a batch that asked for fsync is not absorbed by a leader that will
+// not fsync, while a sync leader absorbs non-sync followers (upgrading
+// their durability).
+func TestSyncWriterNeverRidesNonSyncGroup(t *testing.T) {
+	r := newRecordingEnv()
+	p := NewPipeline(r.env(), Options{})
+	mkQueue := func() []*writer {
+		return []*writer{
+			{b: oneOp("f1"), sync: false},
+			{b: oneOp("f2"), sync: true},
+			{b: oneOp("f3"), sync: false},
+		}
+	}
+
+	// Non-sync leader: drains up to, but not including, the sync writer.
+	p.queue = mkQueue()
+	var g batch.Group
+	g.Add(oneOp("leader"))
+	followers := p.drainFollowers(&g, false)
+	if len(followers) != 1 || followers[0].sync {
+		t.Fatalf("non-sync leader drained %d followers (sync=%v), want 1 non-sync",
+			len(followers), followers[0].sync)
+	}
+	if len(p.queue) != 2 || !p.queue[0].sync {
+		t.Fatalf("queue after drain = %d writers, head sync=%v; want the sync writer leading next",
+			len(p.queue), p.queue[0].sync)
+	}
+
+	// Sync leader: absorbs everything.
+	p.queue = mkQueue()
+	var g2 batch.Group
+	g2.Add(oneOp("leader"))
+	followers = p.drainFollowers(&g2, true)
+	if len(followers) != 3 || len(p.queue) != 0 {
+		t.Fatalf("sync leader drained %d followers, %d left; want 3, 0", len(followers), len(p.queue))
+	}
+}
+
+func TestMaxGroupBytesCapsDraining(t *testing.T) {
+	r := newRecordingEnv()
+	r.gate = make(chan struct{})
+	r.entered = make(chan struct{}, 64)
+	// Each one-op batch is ~20 bytes encoded; cap the group around two.
+	p := NewPipeline(r.env(), Options{MaxGroupBytes: 40})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.Commit(oneOp("g1"), false) }()
+	<-r.entered
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); p.Commit(oneOp(fmt.Sprintf("w%d", i)), false) }(i)
+	}
+	for {
+		p.mu.Lock()
+		queued := len(p.queue)
+		p.mu.Unlock()
+		if queued == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+	r.gate <- struct{}{} // release the first group
+	for running := true; running; {
+		select {
+		case <-r.entered:
+			r.gate <- struct{}{}
+		case <-allDone:
+			running = false
+		}
+	}
+	// Each one-op batch adds 6 payload bytes to an 18-byte leader record;
+	// the 40-byte cap stops draining once the group holds 5 members.
+	for i, s := range r.sizes[1:] {
+		if s > 5 {
+			t.Fatalf("group %d has %d members despite 40-byte cap (sizes %v)", i+1, s, r.sizes)
+		}
+	}
+	if len(r.sizes) < 3 {
+		t.Fatalf("cap produced %v groups; expected the queue split across several", r.sizes)
+	}
+}
+
+func TestMakeRoomErrorFailsOnlyLeader(t *testing.T) {
+	r := newRecordingEnv()
+	p := NewPipeline(r.env(), Options{})
+	r.roomErr = errors.New("stalled out")
+	if err := p.Commit(oneOp("a"), false); err == nil || err.Error() != "stalled out" {
+		t.Fatalf("err = %v, want stalled out", err)
+	}
+	if len(r.sizes) != 0 {
+		t.Fatal("group committed despite admission failure")
+	}
+	r.roomErr = nil
+	if err := p.Commit(oneOp("b"), false); err != nil {
+		t.Fatalf("pipeline unusable after a failed admission: %v", err)
+	}
+}
+
+func TestCloseFailsPendingAndFutureCommits(t *testing.T) {
+	r := newRecordingEnv()
+	r.gate = make(chan struct{})
+	r.entered = make(chan struct{}, 4)
+	closedErr := errors.New("store closed")
+	p := NewPipeline(r.env(), Options{ClosedError: closedErr})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.Commit(oneOp("inflight"), false) }()
+	<-r.entered
+
+	pendingErr := make(chan error, 1)
+	wg.Add(1)
+	go func() { defer wg.Done(); pendingErr <- p.Commit(oneOp("pending"), false) }()
+	for {
+		p.mu.Lock()
+		queued := len(p.queue)
+		p.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeDone := make(chan struct{})
+	go func() { p.Close(); close(closeDone) }()
+	if err := <-pendingErr; !errors.Is(err, closedErr) {
+		t.Fatalf("pending writer err = %v, want closed error", err)
+	}
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a group was in flight")
+	case <-time.After(10 * time.Millisecond):
+	}
+	r.gate <- struct{}{} // let the in-flight group finish
+	<-closeDone
+	wg.Wait()
+
+	if err := p.Commit(oneOp("late"), false); !errors.Is(err, closedErr) {
+		t.Fatalf("commit after close = %v, want closed error", err)
+	}
+	if len(r.sizes) != 1 || r.sizes[0] != 1 {
+		t.Fatalf("committed groups = %v, want just the in-flight one", r.sizes)
+	}
+}
+
+// TestConcurrentCommitStress hammers the pipeline from many goroutines and
+// checks every batch got a unique, contiguous sequence range.
+func TestConcurrentCommitStress(t *testing.T) {
+	r := newRecordingEnv()
+	p := NewPipeline(r.env(), Options{})
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	seqs := make(chan keys.Seq, writers*per)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b := batch.New()
+				b.Set([]byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v"))
+				b.Delete([]byte("x"))
+				if err := p.Commit(b, w%2 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+				seqs <- b.Sequence()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(seqs)
+	seen := map[keys.Seq]bool{}
+	for s := range seqs {
+		if seen[s] {
+			t.Fatalf("sequence %d assigned twice", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("%d unique sequences, want %d", len(seen), writers*per)
+	}
+	m := p.Metrics()
+	if m.Batches != writers*per {
+		t.Fatalf("metrics batches = %d, want %d", m.Batches, writers*per)
+	}
+	if m.Groups > m.Batches {
+		t.Fatalf("groups %d > batches %d", m.Groups, m.Batches)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// BenchmarkConcurrentWriters measures foreground write throughput with 1, 4,
+// and 16 concurrent committers, with the WAL fsync'd per commit (sync=on) and
+// OS-buffered (sync=off). The sync=on variant runs on a filesystem whose WAL
+// Sync costs a fixed latency, standing in for a real device fsync: the number
+// the group-commit pipeline exists to amortize. Results are recorded in
+// BENCH_group_commit.json.
+
+// slowSyncFS charges a fixed latency for every Sync of a .log file,
+// emulating the fsync cost of a real device on top of the in-memory store.
+type slowSyncFS struct {
+	vfs.FS
+	delay time.Duration
+}
+
+func (s *slowSyncFS) Create(name string) (vfs.File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(name, ".log") {
+		return &slowSyncFile{File: f, delay: s.delay}, nil
+	}
+	return f, nil
+}
+
+type slowSyncFile struct {
+	vfs.File
+	delay time.Duration
+}
+
+func (f *slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+func BenchmarkConcurrentWriters(b *testing.B) {
+	for _, syncWAL := range []bool{false, true} {
+		for _, writers := range []int{1, 4, 16} {
+			name := fmt.Sprintf("sync=%v/writers=%d", syncWAL, writers)
+			b.Run(name, func(b *testing.B) {
+				opts := Options{
+					FS:           vfs.Mem(),
+					Policy:       compaction.LDC,
+					MemTableSize: 4 << 20,
+					SSTableSize:  1 << 20,
+					Fanout:       10,
+					Sync:         syncWAL,
+				}
+				if syncWAL {
+					opts.FS = &slowSyncFS{FS: vfs.Mem(), delay: 100 * time.Microsecond}
+				}
+				db, err := Open("/bench", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+
+				val := make([]byte, 100)
+				b.SetBytes(100 + 16)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						n := b.N / writers
+						if w < b.N%writers {
+							n++
+						}
+						for i := 0; i < n; i++ {
+							k := []byte(fmt.Sprintf("w%02d-%09d", w, i))
+							if err := db.Put(k, val); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

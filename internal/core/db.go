@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/cache"
+	"repro/internal/commit"
 	"repro/internal/compaction"
 	"repro/internal/keys"
 	"repro/internal/memtable"
@@ -47,6 +48,12 @@ type DB struct {
 	adaptive   *adaptiveThreshold
 	tables     *tableCache
 	blockCache *cache.Cache
+
+	// pipeline and controller form the commit front end (see write.go):
+	// Apply goes through the pipeline, which groups concurrent writers and
+	// admits each group via the controller's throttle state machine.
+	pipeline   *commit.Pipeline
+	controller *commit.Controller
 
 	mu      sync.Mutex
 	mem     *memtable.MemTable
@@ -133,6 +140,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 
 	db.deleteObsoleteFiles()
+	db.initCommitPipeline()
 	db.startWorkers()
 	return db, nil
 }
@@ -238,18 +246,26 @@ func (db *DB) newLogLocked() error {
 	if err != nil {
 		return err
 	}
-	// Buffer WAL appends: with Sync disabled (the LevelDB default the paper
-	// benchmarks) the OS page cache coalesces log writes; the buffer models
-	// that so the simulated device sees realistic large writes.
-	f := raw
-	if !db.opts.Sync {
-		f = vfs.NewBuffered(raw, 32<<10)
+	if db.logw != nil {
+		// The old writer may hold buffered frames; push them down before the
+		// file is closed so the retiring WAL is complete on disk.
+		if err := db.logw.Flush(); err != nil {
+			return err
+		}
 	}
 	if db.logFile != nil {
 		db.logFile.Close()
 	}
-	db.logFile = f
-	db.logw = wal.NewWriter(f)
+	db.logFile = raw
+	// Buffer WAL appends inside the writer when Sync is off: the OS page
+	// cache coalesces log writes under LevelDB's default, and the buffer
+	// models that so the simulated device sees realistic large writes. With
+	// Sync on, appends go straight through (every group fsyncs anyway).
+	if db.opts.Sync {
+		db.logw = wal.NewWriter(raw)
+	} else {
+		db.logw = wal.NewWriterSize(raw, 32<<10)
+	}
 	db.logNum = num
 	return nil
 }
@@ -265,8 +281,13 @@ func (db *DB) Close() error {
 	db.stopBackgroundLocked()
 	db.mu.Unlock()
 
+	// Drain the commit front end: queued writers fail with ErrClosed; an
+	// in-flight group leader (who observes closed under db.mu or via the
+	// controller) finishes before Close proceeds to tear the WAL down.
+	db.pipeline.Close()
+
 	if db.logFile != nil {
-		db.logFile.Sync()
+		db.logw.Sync()
 		db.logFile.Close()
 		db.logFile = nil
 	}
@@ -308,97 +329,17 @@ func (db *DB) Delete(key []byte) error {
 	return db.Apply(b)
 }
 
-// Apply commits a batch atomically: WAL first, then the memtable.
+// Apply commits a batch atomically through the group-commit pipeline: the
+// batch joins a write group (possibly with other concurrent committers),
+// whose leader appends one WAL record, fsyncs if Options.Sync is set, and
+// applies the group to the memtable (see write.go).
 func (db *DB) Apply(b *batch.Batch) error {
 	if b.Empty() {
 		return nil
 	}
 	start := time.Now()
 	defer func() { db.stats.writeNanos.Add(int64(time.Since(start))) }()
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.makeRoomForWrite(); err != nil {
-		return err
-	}
-	seq := db.set.LastSeq() + 1
-	b.SetSequence(seq)
-	enc := b.Encode()
-	if err := db.logw.AddRecord(enc); err != nil {
-		return err
-	}
-	if db.opts.Sync {
-		if err := db.logw.Sync(); err != nil {
-			return err
-		}
-	}
-	db.stats.walWriteBytes.Add(int64(len(enc)))
-	i := keys.Seq(0)
-	var userBytes int64
-	b.Each(func(kind keys.Kind, key, value []byte) error {
-		db.mem.Add(seq+i, kind, key, value)
-		userBytes += int64(len(key) + len(value))
-		i++
-		return nil
-	})
-	db.stats.userWriteBytes.Add(userBytes)
-	db.set.SetLastSeq(seq + keys.Seq(b.Count()) - 1)
-	if db.adaptive != nil {
-		db.adaptive.observeWrites(int64(b.Count()))
-	}
-	return nil
-}
-
-// makeRoomForWrite implements LevelDB's write throttling: a 1ms slowdown
-// when L0 is crowded, a memtable switch when full, and hard waits when the
-// previous memtable is still flushing or L0 hit the stop trigger. These
-// waits are precisely the paper's write tail latency.
-func (db *DB) makeRoomForWrite() error {
-	allowDelay := true
-	for {
-		if db.bgErr != nil {
-			return db.bgErr
-		}
-		if db.closed {
-			// Close ran while this writer was stalled; don't write into a
-			// store whose WAL is about to be torn down.
-			return ErrClosed
-		}
-		v := db.set.CurrentNoRef()
-		switch {
-		case allowDelay && v.NumFiles(0) >= db.opts.L0SlowdownTrigger:
-			db.mu.Unlock()
-			time.Sleep(time.Millisecond)
-			db.mu.Lock()
-			db.stats.slowdownCount.Add(1)
-			db.stats.stallNanos.Add(int64(time.Millisecond))
-			allowDelay = false
-		case db.mem.ApproximateBytes() < db.opts.MemTableSize:
-			return nil
-		case db.imm != nil:
-			// Previous memtable still flushing.
-			start := time.Now()
-			db.stats.stopCount.Add(1)
-			db.bgCond.Wait()
-			db.stats.stallNanos.Add(int64(time.Since(start)))
-		case v.NumFiles(0) >= db.opts.L0StopTrigger:
-			start := time.Now()
-			db.stats.stopCount.Add(1)
-			db.bgCond.Wait()
-			db.stats.stallNanos.Add(int64(time.Since(start)))
-		default:
-			// Switch to a fresh memtable + WAL; the old one flushes on the
-			// dedicated flush worker.
-			if err := db.newLogLocked(); err != nil {
-				return err
-			}
-			db.imm, db.mem = db.mem, memtable.New(db.icmp)
-			db.flushCond.Signal()
-		}
-	}
+	return db.pipeline.Commit(b, db.opts.Sync)
 }
 
 // ---------------------------------------------------------------------------
@@ -631,8 +572,28 @@ func (db *DB) smallestSnapshot() keys.Seq {
 // ---------------------------------------------------------------------------
 // Misc accessors
 
-// Stats returns a snapshot of internal counters.
-func (db *DB) Stats() Stats { return db.stats.snapshot() }
+// Stats returns a snapshot of internal counters, folding in the commit
+// front end's own metrics (group counts from the pipeline, stall accounting
+// from the controller).
+func (db *DB) Stats() Stats {
+	s := db.stats.snapshot()
+	if db.controller != nil {
+		cm := db.controller.Metrics()
+		s.SlowdownCount = cm.Slowdowns
+		s.StopCount = cm.Stops
+		s.StallTime = time.Duration(cm.StallNanos)
+		s.WriteState = cm.State.String()
+	}
+	if db.pipeline != nil {
+		pm := db.pipeline.Metrics()
+		s.WriteGroupsTotal = pm.Groups
+		s.WriteBatchesTotal = pm.Batches
+		if pm.Groups > 0 {
+			s.AvgGroupSize = float64(pm.Batches) / float64(pm.Groups)
+		}
+	}
+	return s
+}
 
 // LevelProfile describes one level for diagnostics and experiments.
 type LevelProfile struct {

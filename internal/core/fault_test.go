@@ -126,7 +126,7 @@ func TestRecoveryAfterTornWAL(t *testing.T) {
 		db.Put(key(i), value(i))
 	}
 	db.mu.Lock()
-	db.logFile.Sync()
+	db.logw.Sync() // flushes the writer's buffer, then syncs the file
 	logNum := db.logNum
 	db.mu.Unlock()
 	db.Close()

@@ -71,6 +71,11 @@ type Options struct {
 	// files and output key ranges are disjoint.
 	CompactionParallelism int
 
+	// MaxWriteGroupBytes caps the encoded size of one commit group: the
+	// group leader stops absorbing queued writers once the combined WAL
+	// record reaches this size (default 1 MiB).
+	MaxWriteGroupBytes int
+
 	// Sync makes every committed write fsync the WAL (default false, like
 	// LevelDB: the OS buffers).
 	Sync bool
@@ -132,6 +137,9 @@ func (o Options) withDefaults() Options {
 		if o.CompactionParallelism < 1 {
 			o.CompactionParallelism = 1
 		}
+	}
+	if o.MaxWriteGroupBytes <= 0 {
+		o.MaxWriteGroupBytes = 1 << 20
 	}
 	if o.VerifyChecksums == nil {
 		t := true

@@ -39,6 +39,14 @@ type Stats struct {
 	SlowdownCount  int64         // 1ms L0 slowdowns applied
 	StopCount      int64         // hard write stops encountered
 
+	// Commit pipeline (the group-commit front end).
+	WriteGroupsTotal  int64   // write groups committed to the WAL
+	WriteBatchesTotal int64   // member batches across all groups (≥ groups)
+	AvgGroupSize      float64 // batches per group
+	WALSyncNanos      int64   // time spent in WAL fsync (outside db.mu)
+	WALSyncCount      int64   // WAL fsyncs issued by group leaders
+	WriteState        string  // controller admission state: ok|delayed|stopped
+
 	// Concurrency (the parallel engine's effect).
 	MaxConcurrentCompactions int64   // high-water mark of simultaneously executing jobs
 	WorkerCompactions        []int64 // jobs completed per compaction worker
@@ -92,9 +100,8 @@ type dbStats struct {
 	flushNanos      atomic.Int64
 	writeNanos      atomic.Int64
 	readNanos       atomic.Int64
-	stallNanos      atomic.Int64
-	slowdownCount   atomic.Int64
-	stopCount       atomic.Int64
+	walSyncNanos    atomic.Int64
+	walSyncCount    atomic.Int64
 
 	maxConcurrentCompactions atomic.Int64
 	workerJobs               []atomic.Int64 // sized once in initWorkers, before workers start
@@ -138,9 +145,8 @@ func (d *dbStats) snapshot() Stats {
 		FlushTime:            time.Duration(d.flushNanos.Load()),
 		WriteTime:            time.Duration(d.writeNanos.Load()),
 		ReadTime:             time.Duration(d.readNanos.Load()),
-		StallTime:            time.Duration(d.stallNanos.Load()),
-		SlowdownCount:        d.slowdownCount.Load(),
-		StopCount:            d.stopCount.Load(),
+		WALSyncNanos:         d.walSyncNanos.Load(),
+		WALSyncCount:         d.walSyncCount.Load(),
 
 		MaxConcurrentCompactions: d.maxConcurrentCompactions.Load(),
 		WorkerCompactions:        d.workerSnapshot(),

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/commit"
+	"repro/internal/keys"
+	"repro/internal/memtable"
+)
+
+// This file wires the store into the commit pipeline (internal/commit): the
+// group-commit front end that batches concurrent Apply callers into write
+// groups, and the controller that owns the write-throttle state machine.
+// Lock ordering is pipeline lock → db.mu → set.mu; the WAL fsync runs with
+// db.mu released so reads and background work proceed during slow syncs.
+
+// initCommitPipeline builds the controller and pipeline over this store.
+// Called once from Open, before any writer can exist.
+func (db *DB) initCommitPipeline() {
+	db.controller = commit.NewController(
+		commit.ControllerConfig{
+			MemTableSize:      db.opts.MemTableSize,
+			L0SlowdownTrigger: db.opts.L0SlowdownTrigger,
+			L0StopTrigger:     db.opts.L0StopTrigger,
+		},
+		commit.ControllerEnv{
+			Lock:   db.mu.Lock,
+			Unlock: db.mu.Unlock,
+			Err: func() error {
+				if db.bgErr != nil {
+					return db.bgErr
+				}
+				if db.closed {
+					// Close ran while this writer was stalled; don't write
+					// into a store whose WAL is about to be torn down.
+					return ErrClosed
+				}
+				return nil
+			},
+			L0Files:    func() int { return db.set.CurrentNoRef().NumFiles(0) },
+			MemBytes:   func() int64 { return db.mem.ApproximateBytes() },
+			ImmPending: func() bool { return db.imm != nil },
+			Rotate:     db.rotateMemtableLocked,
+			Wait:       db.bgCond.Wait,
+		})
+	db.pipeline = commit.NewPipeline(commit.Env{
+		MakeRoom: db.controller.MakeRoom,
+		Commit:   db.commitGroup,
+	}, commit.Options{
+		MaxGroupBytes: db.opts.MaxWriteGroupBytes,
+		ClosedError:   ErrClosed,
+	})
+}
+
+// rotateMemtableLocked switches to a fresh WAL and memtable, handing the
+// full table to the flush worker. Caller holds db.mu (the controller, or
+// recovery's exclusive section).
+func (db *DB) rotateMemtableLocked() error {
+	if err := db.newLogLocked(); err != nil {
+		return err
+	}
+	db.imm, db.mem = db.mem, memtable.New(db.icmp)
+	db.flushCond.Signal()
+	return nil
+}
+
+// commitGroup durably applies one formed write group: stamp its sequence
+// range, append the concatenated record to the WAL, fsync if requested (with
+// db.mu released), then apply to the memtable and publish the sequence.
+// Memtable application precedes SetLastSeq so no reader can observe a
+// sequence whose entries are not yet visible; for sync groups the fsync
+// precedes application, so nothing becomes visible before it is durable.
+// Only the pipeline calls this, one group at a time.
+func (db *DB) commitGroup(g *batch.Group, sync bool) error {
+	db.mu.Lock()
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	seq := db.set.LastSeq() + 1
+	g.SetSequence(seq)
+	b := g.Batch()
+	rec := b.Encode()
+	if err := db.logw.AddRecord(rec); err != nil {
+		// The log may now hold a partial record for an unpublished sequence
+		// range; poison the store so the range is never reassigned.
+		db.fatal(err)
+		db.mu.Unlock()
+		return err
+	}
+	db.stats.walWriteBytes.Add(int64(len(rec)))
+	if sync {
+		// The leader syncs outside db.mu: readers, the flush worker, and
+		// compactions all proceed during the fsync, and followers piling up
+		// behind this group are exactly how sync cost gets amortized. The
+		// writer cannot be swapped concurrently — rotation only happens on
+		// this (leader-exclusive) path.
+		logw := db.logw
+		db.mu.Unlock()
+		start := time.Now()
+		err := logw.Sync()
+		db.stats.walSyncNanos.Add(int64(time.Since(start)))
+		db.stats.walSyncCount.Add(1)
+		db.mu.Lock()
+		if err != nil {
+			db.fatal(err)
+			db.mu.Unlock()
+			return err
+		}
+	}
+	i := keys.Seq(0)
+	var userBytes int64
+	b.Each(func(kind keys.Kind, key, value []byte) error {
+		db.mem.Add(seq+i, kind, key, value)
+		userBytes += int64(len(key) + len(value))
+		i++
+		return nil
+	})
+	db.stats.userWriteBytes.Add(userBytes)
+	db.set.SetLastSeq(seq + keys.Seq(b.Count()) - 1)
+	if db.adaptive != nil {
+		db.adaptive.observeWrites(int64(b.Count()))
+	}
+	db.mu.Unlock()
+	return nil
+}

@@ -44,6 +44,9 @@ type Config struct {
 	// single-compactor LevelDB baseline; the parallel-compaction benchmark
 	// raises it explicitly.
 	CompactionParallelism int
+	// MaxWriteGroupBytes caps the commit pipeline's write groups; 0 uses the
+	// store default (1 MiB). Only matters with Clients > 1.
+	MaxWriteGroupBytes int
 	// Seed fixes the workload randomness.
 	Seed int64
 

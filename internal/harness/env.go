@@ -42,6 +42,7 @@ func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
 		BloomBitsPerKey:       cfg.BloomBitsPerKey,
 		BlockCacheSize:        cfg.BlockCacheSize,
 		CompactionParallelism: cfg.CompactionParallelism,
+		MaxWriteGroupBytes:    cfg.MaxWriteGroupBytes,
 		AdaptiveThreshold:     cfg.AdaptiveThreshold,
 		DisableTrivialMove:    cfg.DisableTrivialMove,
 	})

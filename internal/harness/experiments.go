@@ -20,9 +20,18 @@ type Table1Row struct {
 	Percent float64
 }
 
-// Table1Result is the regenerated Table I.
+// Table1Result is the regenerated Table I, plus a summary of the commit
+// front end's behavior during the run (group commit and stall accounting).
 type Table1Result struct {
 	Rows []Table1Row
+
+	// Commit-pipeline summary for the run.
+	WriteGroups  int64
+	WriteBatches int64
+	AvgGroupSize float64
+	WALSyncTime  time.Duration
+	StallTime    time.Duration
+	WriteState   string
 }
 
 // RunTable1 inserts cfg.Ops keys under UDC and attributes wall time to the
@@ -66,12 +75,20 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		other = 0
 	}
 	norm := compact + fsTime + write + other
-	return &Table1Result{Rows: []Table1Row{
-		{Module: "DoCompactionWork", Percent: 100 * compact / norm},
-		{Module: "file system (device)", Percent: 100 * fsTime / norm},
-		{Module: "DoWrite", Percent: 100 * write / norm},
-		{Module: "Others", Percent: 100 * other / norm},
-	}}, nil
+	return &Table1Result{
+		Rows: []Table1Row{
+			{Module: "DoCompactionWork", Percent: 100 * compact / norm},
+			{Module: "file system (device)", Percent: 100 * fsTime / norm},
+			{Module: "DoWrite", Percent: 100 * write / norm},
+			{Module: "Others", Percent: 100 * other / norm},
+		},
+		WriteGroups:  s.WriteGroupsTotal,
+		WriteBatches: s.WriteBatchesTotal,
+		AvgGroupSize: s.AvgGroupSize,
+		WALSyncTime:  time.Duration(s.WALSyncNanos),
+		StallTime:    s.StallTime,
+		WriteState:   s.WriteState,
+	}, nil
 }
 
 // Print renders the table.
@@ -82,6 +99,8 @@ func (r *Table1Result) Print(out io.Writer) {
 		fmt.Fprintf(tw, "%s\t%.1f%%\n", row.Module, row.Percent)
 	}
 	tw.Flush()
+	fmt.Fprintf(out, "write front end: %d groups / %d batches (avg %.2f/group), wal sync %v, stalls %v, state %s\n",
+		r.WriteGroups, r.WriteBatches, r.AvgGroupSize, r.WALSyncTime, r.StallTime, r.WriteState)
 }
 
 // ---------------------------------------------------------------------------

@@ -21,7 +21,8 @@ type ErrFS struct {
 
 	mu        sync.Mutex
 	writeOps  int64
-	tornFiles map[string]int // name -> bytes to drop from the tail at Close
+	syncHook  func(name string) // invoked at the top of every File.Sync
+	tornFiles map[string]int    // name -> bytes to drop from the tail at Close
 }
 
 // NewErrFS wraps inner. The returned filesystem behaves identically until
@@ -44,6 +45,53 @@ func (e *ErrFS) FailAfterWrites(n int64, err error) {
 
 // Disarm cancels fault injection.
 func (e *ErrFS) Disarm() { e.armed.Store(false) }
+
+// SetSyncHook installs fn, called with the file's name at the start of every
+// File.Sync before fault accounting or delegation. Tests use it to delay or
+// block fsyncs (e.g. to pin that reads proceed while a WAL sync is slow);
+// nil removes the hook.
+func (e *ErrFS) SetSyncHook(fn func(name string)) {
+	e.mu.Lock()
+	e.syncHook = fn
+	e.mu.Unlock()
+}
+
+// TearFile truncates drop bytes off the tail of the named file through the
+// inner filesystem (no fault accounting), emulating a crash that tore the
+// file mid-write. The handle that wrote the file must be closed or synced
+// first so the bytes to be torn are visible below.
+func (e *ErrFS) TearFile(name string, drop int) error {
+	f, err := e.inner.Open(name)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	keep := size - int64(drop)
+	if keep < 0 {
+		keep = 0
+	}
+	data := make([]byte, keep)
+	if keep > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	f.Close()
+	out, err := e.inner.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(data); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
 
 // WriteOps reports the number of write-class operations observed.
 func (e *ErrFS) WriteOps() int64 {
@@ -72,7 +120,7 @@ func (e *ErrFS) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &errFile{fs: e, f: f}, nil
+	return &errFile{fs: e, f: f, name: name}, nil
 }
 
 // Open implements FS (reads are not failed; recovery reads should see
@@ -105,8 +153,9 @@ func (e *ErrFS) List(dir string) ([]string, error) { return e.inner.List(dir) }
 func (e *ErrFS) MkdirAll(dir string) error { return e.inner.MkdirAll(dir) }
 
 type errFile struct {
-	fs *ErrFS
-	f  File
+	fs   *ErrFS
+	f    File
+	name string
 }
 
 func (f *errFile) Write(p []byte) (int, error) {
@@ -117,6 +166,12 @@ func (f *errFile) Write(p []byte) (int, error) {
 }
 
 func (f *errFile) Sync() error {
+	f.fs.mu.Lock()
+	hook := f.fs.syncHook
+	f.fs.mu.Unlock()
+	if hook != nil {
+		hook(f.name)
+	}
 	if f.fs.step() {
 		return f.fs.FailErr
 	}

@@ -82,3 +82,63 @@ func TestErrFSUnwraps(t *testing.T) {
 		t.Errorf("TotalBytes through ErrFS = %d, %v", got, ok)
 	}
 }
+
+func TestSyncHookObservesSyncs(t *testing.T) {
+	efs := NewErrFS(Mem())
+	var synced []string
+	efs.SetSyncHook(func(name string) { synced = append(synced, name) })
+	f, err := efs.Create("/dir/a.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != "/dir/a.log" {
+		t.Fatalf("hook saw %v, want [/dir/a.log]", synced)
+	}
+	efs.SetSyncHook(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 {
+		t.Fatalf("hook fired after removal: %v", synced)
+	}
+}
+
+func TestTearFileTruncatesTail(t *testing.T) {
+	efs := NewErrFS(Mem())
+	f, err := efs.Create("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("0123456789"))
+	f.Close()
+	if err := efs.TearFile("/t", 4); err != nil {
+		t.Fatal(err)
+	}
+	g, err := efs.Open("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	size, _ := g.Size()
+	if size != 6 {
+		t.Fatalf("size after tear = %d, want 6", size)
+	}
+	buf := make([]byte, 6)
+	g.ReadAt(buf, 0)
+	if string(buf) != "012345" {
+		t.Fatalf("content after tear = %q", buf)
+	}
+	// Tearing more than the file holds empties it rather than erroring.
+	if err := efs.TearFile("/t", 100); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := efs.Open("/t")
+	if size, _ := g2.Size(); size != 0 {
+		t.Fatalf("size after over-tear = %d, want 0", size)
+	}
+	g2.Close()
+}

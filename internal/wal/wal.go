@@ -35,16 +35,61 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // point the log was torn, so records before it are trustworthy.
 var ErrCorrupt = errors.New("wal: corrupt log")
 
-// Writer appends length-prefixed records to a log file.
+// Writer appends length-prefixed records to a log file. The append and
+// durability stages are split: AddRecord stages a record (into the writer's
+// coalescing buffer when one is configured), Flush pushes staged bytes to
+// the OS, and Sync additionally fsyncs — so a commit pipeline can append
+// under its store lock and pay the fsync outside it.
 type Writer struct {
 	f           vfs.File
 	blockOffset int // offset within the current block
 	buf         []byte
+
+	// pending is the owned coalescing buffer (nil = unbuffered). It models
+	// the OS page cache for unsynced WALs: the device below sees large
+	// sequential writes instead of per-record ones.
+	pending []byte
+	bufSize int
 }
 
-// NewWriter starts a log at the beginning of f.
+// NewWriter starts an unbuffered log at the beginning of f; every fragment
+// is written straight through (the MANIFEST uses this mode).
 func NewWriter(f vfs.File) *Writer {
 	return &Writer{f: f}
+}
+
+// NewWriterSize starts a log whose appends coalesce in an owned buffer of
+// roughly bufSize bytes; Flush or Sync push them down. bufSize <= 0 falls
+// back to 32 KiB.
+func NewWriterSize(f vfs.File, bufSize int) *Writer {
+	if bufSize <= 0 {
+		bufSize = 32 << 10
+	}
+	return &Writer{f: f, pending: make([]byte, 0, bufSize), bufSize: bufSize}
+}
+
+// write stages p: buffered writers accumulate until bufSize, unbuffered ones
+// delegate immediately.
+func (w *Writer) write(p []byte) error {
+	if w.bufSize == 0 {
+		_, err := w.f.Write(p)
+		return err
+	}
+	w.pending = append(w.pending, p...)
+	if len(w.pending) >= w.bufSize {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush pushes buffered appends to the OS (no fsync).
+func (w *Writer) Flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.pending)
+	w.pending = w.pending[:0]
+	return err
 }
 
 // AddRecord appends one record and returns when it is buffered in the OS;
@@ -56,7 +101,7 @@ func (w *Writer) AddRecord(rec []byte) error {
 		if leftover < headerLen {
 			// Pad the block tail with zeros; readers skip it.
 			if leftover > 0 {
-				if _, err := w.f.Write(make([]byte, leftover)); err != nil {
+				if err := w.write(make([]byte, leftover)); err != nil {
 					return err
 				}
 			}
@@ -98,15 +143,20 @@ func (w *Writer) writeFragment(typ byte, frag []byte) error {
 	w.buf = encoding.PutFixed32(w.buf, crc)
 	w.buf = append(w.buf, byte(len(frag)), byte(len(frag)>>8), typ)
 	w.buf = append(w.buf, frag...)
-	if _, err := w.f.Write(w.buf); err != nil {
+	if err := w.write(w.buf); err != nil {
 		return err
 	}
 	w.blockOffset += len(w.buf)
 	return nil
 }
 
-// Sync flushes the log to stable storage.
-func (w *Writer) Sync() error { return w.f.Sync() }
+// Sync flushes staged appends and fsyncs the log to stable storage.
+func (w *Writer) Sync() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
 
 // Reader replays records from a log file.
 type Reader struct {

@@ -201,3 +201,101 @@ func BenchmarkAddRecord1K(b *testing.B) {
 		w.AddRecord(rec)
 	}
 }
+
+// countingFile counts Write calls, to observe the buffered writer coalescing.
+type countingFile struct {
+	vfs.File
+	writes int
+}
+
+func (c *countingFile) Write(p []byte) (int, error) {
+	c.writes++
+	return c.File.Write(p)
+}
+
+func TestBufferedWriterCoalescesAndRoundTrips(t *testing.T) {
+	fs := vfs.Mem()
+	raw, err := fs.Create("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &countingFile{File: raw}
+	w := NewWriterSize(cf, 8<<10)
+	var recs [][]byte
+	for i := 0; i < 64; i++ {
+		rec := bytes.Repeat([]byte{byte(i)}, 100)
+		recs = append(recs, rec)
+		if err := w.AddRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 64 records × ~107 bytes stage into an 8 KiB buffer: far fewer device
+	// writes than records.
+	if cf.writes >= 32 {
+		t.Errorf("buffered writer issued %d writes for 64 records; want coalescing", cf.writes)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, fs, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFlushWithoutSyncMakesRecordsReadable(t *testing.T) {
+	fs := vfs.Mem()
+	f, err := fs.Create("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterSize(f, 32<<10)
+	if err := w.AddRecord([]byte("staged")); err != nil {
+		t.Fatal(err)
+	}
+	// Before Flush the record sits in the writer's buffer only.
+	if got, _ := readAll(t, fs, "/log"); len(got) != 0 {
+		t.Fatalf("unflushed record already visible: %d records", len(got))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != 1 || string(got[0]) != "staged" {
+		t.Fatalf("after Flush: records=%v err=%v", got, err)
+	}
+}
+
+func TestBufferedWriterSpanningBlocks(t *testing.T) {
+	fs := vfs.Mem()
+	f, err := fs.Create("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterSize(f, 4<<10)
+	big := bytes.Repeat([]byte{0xAB}, 3*BlockSize+123)
+	if err := w.AddRecord(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRecord([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, fs, "/log")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("records=%d err=%v, want 2 records", len(got), err)
+	}
+	if !bytes.Equal(got[0], big) || string(got[1]) != "after" {
+		t.Fatal("buffered multi-block record corrupted")
+	}
+}
