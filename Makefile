@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-read ci
 
 all: build
 
@@ -26,4 +26,10 @@ bench:
 bench-smoke:
 	$(GO) test -race -run XXX -bench BenchmarkConcurrentWriters -benchtime 1x ./internal/core
 
-ci: vet race bench-smoke
+# One race-checked pass over the concurrent-read benchmarks: exercises the
+# lock-free read state against flush/compaction republication without
+# measuring anything. Real numbers live in BENCH_read_path.json.
+bench-read:
+	$(GO) test -race -run XXX -bench 'BenchmarkGetConcurrent|BenchmarkGetCacheHit' -benchtime 1x ./internal/core
+
+ci: vet race bench-smoke bench-read

@@ -134,10 +134,17 @@ func (r *Reader) restartOffset(i int) int {
 
 // Iter returns an iterator over the block.
 func (r *Reader) Iter() iterator.Iterator {
-	return &blockIter{r: r, offset: -1}
+	it := &Iter{}
+	it.Init(r)
+	return it
 }
 
-type blockIter struct {
+// Iter is the concrete block iterator. The zero value is unpositioned and
+// unusable until Init binds it to a Reader; Init may be called repeatedly to
+// re-bind the same Iter to different blocks, reusing its internal key buffer.
+// Point-read paths exploit this to seek index and data blocks without
+// allocating a fresh iterator per probe.
+type Iter struct {
 	r      *Reader
 	offset int // offset of current entry in r.data; -1 = invalid
 	next   int // offset just past current entry
@@ -146,9 +153,20 @@ type blockIter struct {
 	err    error
 }
 
+// Init binds the iterator to r, resetting position and error state but
+// keeping the key buffer's capacity for reuse.
+func (it *Iter) Init(r *Reader) {
+	it.r = r
+	it.offset = -1
+	it.next = 0
+	it.key = it.key[:0]
+	it.value = nil
+	it.err = nil
+}
+
 // decodeAt decodes the entry at off, using it.key as the prefix carrier.
 // Returns the offset past the entry, or -1 on corruption.
-func (it *blockIter) decodeAt(off int) int {
+func (it *Iter) decodeAt(off int) int {
 	d := it.r.data[off:]
 	shared, n1 := encoding.Uvarint(d)
 	if n1 == 0 {
@@ -175,21 +193,21 @@ func (it *blockIter) decodeAt(off int) int {
 	return off + h + int(unshared) + int(vlen)
 }
 
-func (it *blockIter) corrupt(off int) {
+func (it *Iter) corrupt(off int) {
 	it.err = fmt.Errorf("block: corrupt entry at offset %d", off)
 	it.offset = -1
 }
 
-func (it *blockIter) Valid() bool { return it.err == nil && it.offset >= 0 }
+func (it *Iter) Valid() bool { return it.err == nil && it.offset >= 0 }
 
 // seekRestart positions at restart point i.
-func (it *blockIter) seekRestart(i int) {
+func (it *Iter) seekRestart(i int) {
 	it.key = it.key[:0]
 	it.offset = it.r.restartOffset(i)
 	it.next = it.decodeAt(it.offset)
 }
 
-func (it *blockIter) SeekGE(target []byte) {
+func (it *Iter) SeekGE(target []byte) {
 	if it.err != nil {
 		return
 	}
@@ -213,7 +231,7 @@ func (it *blockIter) SeekGE(target []byte) {
 	}
 }
 
-func (it *blockIter) SeekToFirst() {
+func (it *Iter) SeekToFirst() {
 	if it.err != nil {
 		return
 	}
@@ -224,7 +242,7 @@ func (it *blockIter) SeekToFirst() {
 	it.seekRestart(0)
 }
 
-func (it *blockIter) SeekToLast() {
+func (it *Iter) SeekToLast() {
 	if it.err != nil {
 		return
 	}
@@ -239,7 +257,7 @@ func (it *blockIter) SeekToLast() {
 	}
 }
 
-func (it *blockIter) Next() {
+func (it *Iter) Next() {
 	if !it.Valid() {
 		return
 	}
@@ -252,7 +270,7 @@ func (it *blockIter) Next() {
 }
 
 // Prev re-scans from the preceding restart point, as in LevelDB.
-func (it *blockIter) Prev() {
+func (it *Iter) Prev() {
 	if !it.Valid() {
 		return
 	}
@@ -276,7 +294,7 @@ func (it *blockIter) Prev() {
 	}
 }
 
-func (it *blockIter) Key() []byte   { return it.key }
-func (it *blockIter) Value() []byte { return it.value }
-func (it *blockIter) Error() error  { return it.err }
-func (it *blockIter) Close() error  { return it.err }
+func (it *Iter) Key() []byte   { return it.key }
+func (it *Iter) Value() []byte { return it.value }
+func (it *Iter) Error() error  { return it.err }
+func (it *Iter) Close() error  { return it.err }

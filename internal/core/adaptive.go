@@ -1,6 +1,6 @@
 package core
 
-import "sync"
+import "sync/atomic"
 
 // adaptiveThreshold implements the paper's §III-B-4 self-adaptive SliceLink
 // threshold: write-dominated workloads push T_s up (fewer, bigger merges ⇒
@@ -8,14 +8,19 @@ import "sync"
 // linked slices to probe ⇒ cheaper reads). The controller observes the
 // read/write mix over fixed-size windows of operations and nudges T_s one
 // step per window with hysteresis, bounded to [minTs, 4×fanout].
+//
+// Everything is atomic: threshold() and observe() sit on the lock-free read
+// path (every Get records itself), so neither may take a mutex. Window
+// adjustment is guarded by a CAS flag — one adjuster per window, with other
+// observers simply continuing to count.
 type adaptiveThreshold struct {
-	mu     sync.Mutex
-	ts     int
-	minTs  int
-	maxTs  int
+	ts     atomic.Int64
+	minTs  int64
+	maxTs  int64
 	window int64
 
-	reads, writes int64
+	reads, writes atomic.Int64
+	adjusting     atomic.Bool
 }
 
 // adaptiveWindow is the number of operations between adjustments.
@@ -23,54 +28,58 @@ const adaptiveWindow = 4096
 
 func newAdaptiveThreshold(initial, fanout int) *adaptiveThreshold {
 	a := &adaptiveThreshold{
-		ts:     initial,
 		minTs:  2,
-		maxTs:  4 * fanout,
+		maxTs:  int64(4 * fanout),
 		window: adaptiveWindow,
 	}
-	if a.ts < a.minTs {
-		a.ts = a.minTs
+	ts := int64(initial)
+	if ts < a.minTs {
+		ts = a.minTs
 	}
-	if a.ts > a.maxTs {
-		a.ts = a.maxTs
+	if ts > a.maxTs {
+		ts = a.maxTs
 	}
+	a.ts.Store(ts)
 	return a
 }
 
-func (a *adaptiveThreshold) threshold() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ts
-}
+func (a *adaptiveThreshold) threshold() int { return int(a.ts.Load()) }
 
 func (a *adaptiveThreshold) observeReads(n int64)  { a.observe(n, 0) }
 func (a *adaptiveThreshold) observeWrites(n int64) { a.observe(0, n) }
 
 func (a *adaptiveThreshold) observe(r, w int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.reads += r
-	a.writes += w
-	total := a.reads + a.writes
-	if total < a.window {
+	reads := a.reads.Add(r)
+	writes := a.writes.Add(w)
+	if reads+writes < a.window {
 		return
 	}
-	ratio := float64(a.writes) / float64(total)
-	step := a.ts / 4
-	if step < 1 {
-		step = 1
+	if !a.adjusting.CompareAndSwap(false, true) {
+		return // another observer is mid-adjustment
 	}
-	switch {
-	case ratio > 0.55 && a.ts < a.maxTs:
-		a.ts += step
-		if a.ts > a.maxTs {
-			a.ts = a.maxTs
+	reads = a.reads.Swap(0)
+	writes = a.writes.Swap(0)
+	if total := reads + writes; total > 0 {
+		ratio := float64(writes) / float64(total)
+		ts := a.ts.Load()
+		step := ts / 4
+		if step < 1 {
+			step = 1
 		}
-	case ratio < 0.45 && a.ts > a.minTs:
-		a.ts -= step
-		if a.ts < a.minTs {
-			a.ts = a.minTs
+		switch {
+		case ratio > 0.55 && ts < a.maxTs:
+			ts += step
+			if ts > a.maxTs {
+				ts = a.maxTs
+			}
+			a.ts.Store(ts)
+		case ratio < 0.45 && ts > a.minTs:
+			ts -= step
+			if ts < a.minTs {
+				ts = a.minTs
+			}
+			a.ts.Store(ts)
 		}
 	}
-	a.reads, a.writes = 0, 0
+	a.adjusting.Store(false)
 }

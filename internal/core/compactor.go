@@ -173,6 +173,7 @@ func (db *DB) flushImmLocked() error {
 		return err
 	}
 	db.imm = nil
+	db.publishReadState() // drop imm from the read view; pick up the L0 table
 	db.stats.flushCount.Add(1)
 	return nil
 }
@@ -283,6 +284,7 @@ func (db *DB) execTrivialMove(pick compaction.Pick) error {
 		return err
 	}
 	db.applyPointers(e)
+	db.publishReadState()
 	db.stats.trivialMoveCount.Add(1)
 	return nil
 }
@@ -322,6 +324,7 @@ func (db *DB) execLink(pick compaction.Pick) error {
 		return err
 	}
 	db.applyPointers(e)
+	db.publishReadState()
 	db.stats.linkCount.Add(1)
 	return nil
 }
@@ -559,6 +562,7 @@ func (db *DB) execCompact(pick compaction.Pick) error {
 		return err
 	}
 	db.applyPointers(e)
+	db.publishReadState()
 	db.stats.compactionCount.Add(1)
 	return nil
 }
@@ -603,6 +607,7 @@ func (db *DB) execMerge(pick compaction.Pick) error {
 	if err != nil {
 		return err
 	}
+	db.publishReadState()
 	db.stats.mergeCount.Add(1)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
@@ -54,6 +55,12 @@ type DB struct {
 	// admits each group via the controller's throttle state machine.
 	pipeline   *commit.Pipeline
 	controller *commit.Controller
+
+	// readState is the lock-free snapshot (mem, imm, version) every read
+	// acquires with one atomic load + ref; rebuilt under db.mu whenever a
+	// rotation, flush, or version install changes the view (see
+	// readstate.go). nil once the store is closed.
+	readState atomic.Pointer[readState]
 
 	mu      sync.Mutex
 	mem     *memtable.MemTable
@@ -141,6 +148,10 @@ func Open(dir string, opts Options) (*DB, error) {
 
 	db.deleteObsoleteFiles()
 	db.initCommitPipeline()
+	// Publish the initial read state before the DB (and its workers) become
+	// visible; Open is exclusive, which satisfies publishReadState's locking
+	// contract.
+	db.publishReadState()
 	db.startWorkers()
 	return db, nil
 }
@@ -308,6 +319,12 @@ func (db *DB) stopBackgroundLocked() {
 	for db.workersRunning > 0 {
 		db.bgCond.Wait()
 	}
+	// All republishers are drained (workers exited; rotation and commit are
+	// fenced by closed), so retiring the read state here is final: readers
+	// from now on observe nil and fail with ErrClosed.
+	if old := db.readState.Swap(nil); old != nil {
+		old.unref()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -359,46 +376,57 @@ func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 		db.adaptive.observeReads(1)
 	}
 
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	// Lock-free: one atomic load + ref pins (mem, imm, version) together; the
+	// visible sequence is then read from the Set's atomic counter. Entries at
+	// or below that sequence were applied to a memtable before the sequence
+	// was published, and every published state contains all previously
+	// applied data, so the pair is always consistent.
+	rs := db.loadReadState()
+	if rs == nil {
 		return nil, ErrClosed
 	}
+	defer rs.unref()
 	seq := db.set.LastSeq()
 	if snap != nil {
 		seq = snap.seq
 	}
-	mem, imm := db.mem, db.imm
-	// Current (not CurrentNoRef+Ref): the reference must be acquired under
-	// set.mu, atomically with the pointer read, because LogAndApply installs
-	// new versions outside db.mu and could drop this one to zero refs in
-	// between — resurrecting it would double-release its file references.
-	v := db.set.Current()
-	db.mu.Unlock()
-	defer v.Unref()
 
 	// Memtables.
-	if val, deleted, found := mem.Get(key, seq); found {
+	if val, deleted, found := rs.mem.Get(key, seq); found {
 		if deleted {
 			return nil, ErrNotFound
 		}
 		return val, nil
 	}
-	if imm != nil {
-		if val, deleted, found := imm.Get(key, seq); found {
+	if rs.imm != nil {
+		if val, deleted, found := rs.imm.Get(key, seq); found {
 			if deleted {
 				return nil, ErrNotFound
 			}
 			return val, nil
 		}
 	}
-	return db.getFromVersion(v, key, seq)
+	return db.getFromVersion(rs.v, key, seq)
 }
 
-// getFromVersion searches table files level by level.
+// readScratch carries a point get's search-key buffer; pooled so a
+// steady-state get builds its search key into reused capacity.
+type readScratch struct {
+	sk []byte
+}
+
+var readScratchPool = sync.Pool{New: func() interface{} { return new(readScratch) }}
+
+// getFromVersion searches table files level by level. Values returned by
+// table probes alias cached blocks, so the winner is copied exactly once, at
+// the return site; losers (older versions, tombstones) are never copied.
 func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]byte, error) {
-	point := keys.KeyRange{Lo: key, Hi: key}
 	ucmp := db.icmp.User
+	sc := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(sc)
+	// One search key per get, shared by every probed table.
+	sc.sk = keys.MakeSearchKey(sc.sk[:0], key, seq)
+	sk := keys.InternalKey(sc.sk)
 
 	// L0: newest file first.
 	l0 := v.Levels[0]
@@ -407,7 +435,7 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 		if !f.UserRange().Contains(ucmp, key) {
 			continue
 		}
-		val, deleted, found, err := db.tableGet(f.Num, key, seq)
+		val, deleted, _, found, err := db.tableProbe(f.Num, sk)
 		if err != nil {
 			return nil, err
 		}
@@ -415,7 +443,7 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 			if deleted {
 				return nil, ErrNotFound
 			}
-			return val, nil
+			return append([]byte(nil), val...), nil
 		}
 	}
 
@@ -423,12 +451,22 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 	// several files' effective ranges cover the key (overlapping slice
 	// windows), pick the candidate with the highest visible sequence.
 	for level := 1; level < version.NumLevels; level++ {
-		files := v.EffectiveOverlaps(level, point)
 		if db.opts.Policy == compaction.Tiered {
 			// Tiers hold overlapping runs: check newest (highest num) first.
-			sort.Slice(files, func(i, j int) bool { return files[i].Num > files[j].Num })
+			// The order is precomputed per version, so nothing is sorted or
+			// allocated here. Tiered levels carry no slices, so the files'
+			// own ranges are their effective ranges.
+			files := v.NewestFirst(level)
+			if files == nil {
+				// No overlapping runs in this level: at most one file can
+				// contain the key, so level order works as well.
+				files = v.Levels[level]
+			}
 			for _, f := range files {
-				val, deleted, found, err := db.tableGet(f.Num, key, seq)
+				if !f.UserRange().Contains(ucmp, key) {
+					continue
+				}
+				val, deleted, _, found, err := db.tableProbe(f.Num, sk)
 				if err != nil {
 					return nil, err
 				}
@@ -436,9 +474,18 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 					if deleted {
 						return nil, ErrNotFound
 					}
-					return val, nil
+					return append([]byte(nil), val...), nil
 				}
 			}
+			continue
+		}
+		// Leveled (LDC/UDC): files are disjoint, so the key lives in at most
+		// one file's own range — plus any slice window covering it (windows
+		// of neighbouring files may overlap, so the few sliced files are
+		// checked exhaustively).
+		f := v.FindFile(level, key)
+		sliced := v.Sliced[level]
+		if f == nil && len(sliced) == 0 {
 			continue
 		}
 		var (
@@ -447,75 +494,57 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 			bestDeleted bool
 			bestFound   bool
 		)
-		consider := func(val []byte, deleted bool, entrySeq keys.Seq) {
-			if !bestFound || entrySeq > bestSeq {
-				bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
-			}
-		}
-		for _, f := range files {
+		for _, sf := range sliced {
 			// Slices newest-first.
-			for i := len(f.Slices) - 1; i >= 0; i-- {
-				s := &f.Slices[i]
+			for i := len(sf.Slices) - 1; i >= 0; i-- {
+				s := &sf.Slices[i]
 				if !s.Range.Contains(ucmp, key) {
 					continue
 				}
-				val, deleted, entrySeq, found, err := db.tableGetSeq(s.FrozenNum, key, seq)
+				val, deleted, entrySeq, found, err := db.tableProbe(s.FrozenNum, sk)
 				if err != nil {
 					return nil, err
 				}
-				if found {
-					consider(val, deleted, entrySeq)
+				if found && (!bestFound || entrySeq > bestSeq) {
+					bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
 				}
 			}
-			if f.UserRange().Contains(ucmp, key) {
-				val, deleted, entrySeq, found, err := db.tableGetSeq(f.Num, key, seq)
-				if err != nil {
-					return nil, err
-				}
-				if found {
-					consider(val, deleted, entrySeq)
-				}
+		}
+		if f != nil {
+			val, deleted, entrySeq, found, err := db.tableProbe(f.Num, sk)
+			if err != nil {
+				return nil, err
+			}
+			if found && (!bestFound || entrySeq > bestSeq) {
+				bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
 			}
 		}
 		if bestFound {
 			if bestDeleted {
 				return nil, ErrNotFound
 			}
-			return bestVal, nil
+			return append([]byte(nil), bestVal...), nil
 		}
 	}
 	return nil, ErrNotFound
 }
 
-func (db *DB) tableGet(num uint64, key []byte, seq keys.Seq) (val []byte, deleted, found bool, err error) {
-	val, deleted, _, found, err = db.tableGetSeq(num, key, seq)
-	return val, deleted, found, err
-}
-
-// tableGetSeq additionally reports the sequence of the found entry, needed
-// to order candidates across overlapping slice windows.
-func (db *DB) tableGetSeq(num uint64, key []byte, seq keys.Seq) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+// tableProbe is the per-table point lookup: bloom filter, then the reader's
+// direct index→data-block probe (no iterator construction). The returned
+// value aliases the cached block — callers copy only what they return. The
+// entry sequence orders candidates across overlapping slice windows.
+func (db *DB) tableProbe(num uint64, sk keys.InternalKey) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
 	r, err := db.tables.get(num)
 	if err != nil {
 		return nil, false, 0, false, err
 	}
-	if !r.MayContain(key) {
+	db.stats.bloomProbes.Add(1)
+	if !r.MayContain(sk.UserKey()) {
+		db.stats.bloomNegatives.Add(1)
 		return nil, false, 0, false, nil
 	}
-	it := r.NewIterator()
-	defer it.Close()
-	it.SeekGE(keys.MakeSearchKey(nil, key, seq))
-	if !it.Valid() {
-		return nil, false, 0, false, it.Error()
-	}
-	ik := keys.InternalKey(it.Key())
-	if db.icmp.User.Compare(ik.UserKey(), key) != 0 {
-		return nil, false, 0, false, nil
-	}
-	if ik.Kind() == keys.KindDelete {
-		return nil, true, ik.Seq(), true, nil
-	}
-	return append([]byte(nil), it.Value()...), false, ik.Seq(), true, nil
+	db.stats.tableProbes.Add(1)
+	return r.Probe(sk)
 }
 
 // ---------------------------------------------------------------------------
@@ -590,6 +619,13 @@ func (db *DB) Stats() Stats {
 		s.WriteBatchesTotal = pm.Batches
 		if pm.Groups > 0 {
 			s.AvgGroupSize = float64(pm.Batches) / float64(pm.Groups)
+		}
+	}
+	if db.blockCache != nil {
+		hits, misses := db.blockCache.Stats()
+		s.BlockCacheHits, s.BlockCacheMisses = hits, misses
+		if hits+misses > 0 {
+			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
 		}
 	}
 	return s

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/compaction"
 	"repro/internal/iterator"
@@ -12,28 +13,40 @@ import (
 // levelIter lazily concatenates the table iterators of one sorted level.
 // Files' own ranges are disjoint and sorted, so walking files in order
 // yields internal-key order. (Slice windows are merged separately as their
-// own children of the top-level merging iterator.)
+// own children of the top-level merging iterator.) levelIters are pooled;
+// Close recycles them, so use after Close is invalid.
 type levelIter struct {
-	db    *DB
-	files []*version.FileMeta
-	idx   int
-	cur   iterator.Iterator
-	err   error
+	db     *DB
+	files  []*version.FileMeta
+	idx    int
+	cur    iterator.Iterator
+	err    error
+	closed bool
 }
+
+var levelIterPool = sync.Pool{New: func() interface{} { return new(levelIter) }}
 
 func (db *DB) newLevelIter(files []*version.FileMeta) iterator.Iterator {
-	switch len(files) {
-	case 0:
+	if len(files) == 0 {
 		return iterator.Empty(nil)
 	}
-	return &levelIter{db: db, files: files, idx: -1}
+	l := levelIterPool.Get().(*levelIter)
+	l.db, l.files, l.idx, l.cur, l.err, l.closed = db, files, -1, nil, nil, false
+	return l
 }
 
-// open positions the iterator at file idx with no cursor placement.
+// open positions the iterator at file idx with no cursor placement. The
+// previous cursor, if any, is closed (returning pooled table iterators for
+// reuse).
 func (l *levelIter) open(idx int) bool {
-	l.cur = nil
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.cur = nil
+	}
 	l.idx = idx
-	if idx < 0 || idx >= len(l.files) {
+	if l.err != nil || idx < 0 || idx >= len(l.files) {
 		return false
 	}
 	r, err := l.db.tables.get(l.files[idx].Num)
@@ -138,25 +151,48 @@ func (l *levelIter) Error() error {
 	return nil
 }
 
-func (l *levelIter) Close() error { return l.Error() }
+// Close releases the current table iterator and recycles the levelIter.
+// Double-Close is tolerated; any other use after Close is invalid.
+func (l *levelIter) Close() error {
+	err := l.Error()
+	if l.closed {
+		return err
+	}
+	l.closed = true
+	if l.cur != nil {
+		if cerr := l.cur.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.cur = nil
+	}
+	l.db, l.files, l.err = nil, nil, nil
+	levelIterPool.Put(l)
+	return err
+}
 
 // newInternalIterator assembles the full merged view: memtables, L0 tables
 // (as independent children), one levelIter per sorted level, plus — the LDC
 // read-path modification — one clamped frozen-table iterator per slice.
 // The returned cleanup must be called when the iterator is closed.
 func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
-	db.mu.Lock()
-	mem, imm := db.mem, db.imm
-	v := db.set.Current() // ref acquired under set.mu, atomic with the read
-	db.mu.Unlock()
+	// Lock-free acquisition: the read state pins (mem, imm, version) with a
+	// single atomic load + ref; the ref is held until cleanup runs.
+	rs := db.loadReadState()
+	if rs == nil {
+		return nil, nil, ErrClosed
+	}
+	v := rs.v
 
 	var children []iterator.Iterator
-	children = append(children, mem.NewIterator())
-	if imm != nil {
-		children = append(children, imm.NewIterator())
+	children = append(children, rs.mem.NewIterator())
+	if rs.imm != nil {
+		children = append(children, rs.imm.NewIterator())
 	}
 	fail := func(err error) (iterator.Iterator, func(), error) {
-		v.Unref()
+		for _, c := range children {
+			c.Close()
+		}
+		rs.unref()
 		return nil, nil, err
 	}
 	for i := len(v.Levels[0]) - 1; i >= 0; i-- {
@@ -196,7 +232,7 @@ func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
 		}
 	}
 	merged := iterator.NewMerging(db.icmp.Compare, children...)
-	return merged, func() { v.Unref() }, nil
+	return merged, rs.unref, nil
 }
 
 // ---------------------------------------------------------------------------

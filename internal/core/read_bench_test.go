@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/compaction"
+)
+
+// Read-path benchmarks: concurrent point-get throughput with and without a
+// competing writer (the scenario the read-state refactor targets), plus a
+// single-threaded cache-hit Get for allocs/op tracking. Results are recorded
+// in BENCH_read_path.json.
+
+// benchReadDB opens a store preloaded with n sequential keys, compacted to a
+// steady state. The block cache is sized to hold the whole dataset so the
+// benchmark isolates the read path's engine cost (synchronization +
+// allocations) rather than block-fetch I/O.
+func benchReadDB(b *testing.B, policy compaction.Policy, n int) *DB {
+	b.Helper()
+	opts := benchOpts(policy)
+	opts.BlockCacheSize = 64 << 20
+	db, err := Open("/bench", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	val := make([]byte, 256)
+	for i := 0; i < n; i++ {
+		if err := db.Put(benchReadKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchReadKey(i int) []byte {
+	return []byte(fmt.Sprintf("bench-%012d", i))
+}
+
+func BenchmarkGetConcurrent(b *testing.B) {
+	const n = 50000
+	for _, readers := range []int{1, 4, 16} {
+		for _, withWriter := range []bool{false, true} {
+			name := fmt.Sprintf("readers=%d/writer=%v", readers, withWriter)
+			b.Run(name, func(b *testing.B) {
+				db := benchReadDB(b, compaction.LDC, n)
+				done := make(chan struct{})
+				var writerWG sync.WaitGroup
+				if withWriter {
+					writerWG.Add(1)
+					go func() {
+						defer writerWG.Done()
+						val := make([]byte, 256)
+						rng := rand.New(rand.NewSource(99))
+						for i := 0; ; i++ {
+							select {
+							case <-done:
+								return
+							default:
+							}
+							if err := db.Put(benchReadKey(rng.Intn(n)), val); err != nil {
+								return
+							}
+						}
+					}()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / readers
+				if per == 0 {
+					per = 1
+				}
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < per; i++ {
+							if _, err := db.Get(benchReadKey(rng.Intn(n))); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(int64(r + 1))
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(done)
+				writerWG.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkGetCacheHit measures a single hot key read over and over: every
+// block involved is cache-resident, so allocs/op isolates the per-get
+// allocation cost of the read path itself.
+func BenchmarkGetCacheHit(b *testing.B) {
+	db := benchReadDB(b, compaction.LDC, 50000)
+	key := benchReadKey(12345)
+	if _, err := db.Get(key); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/memtable"
+	"repro/internal/version"
+)
+
+// readState is an immutable snapshot of everything a read needs: the mutable
+// and immutable memtables plus the current version, bundled behind a single
+// atomic pointer so that Get/GetAt, NewIterator, and snapshot reads acquire
+// the whole view with one atomic load and one refcount increment — no mutex.
+//
+// Lifecycle. A readState is built and published (DB.publishReadState) only
+// under db.mu, at the points where the view actually changes: memtable
+// rotation, flush completion, and after every LogAndApply that installs a
+// version. The published state holds one reference on behalf of the pointer
+// itself plus one reference on its version (taken under set.mu by
+// db.set.Current(), which keeps the version's file refcounts pinned).
+// Readers take a reference with loadReadState and drop it with unref when
+// the read or iterator finishes; the publisher drops the pointer's own
+// reference when it swaps in a successor. Whoever drives refs to zero
+// releases the version.
+//
+// The visible sequence is deliberately NOT frozen here: it is read per
+// operation from the Set's atomic lastSeq, preserving read-your-writes
+// (commitGroup applies entries to the memtable before publishing their
+// sequence, and every published state contains all previously applied data,
+// so any sequence a reader observes is fully resolvable in any state loaded
+// afterwards).
+type readState struct {
+	mem *memtable.MemTable
+	imm *memtable.MemTable // nil when no immutable memtable is pending
+	v   *version.Version
+
+	refs atomic.Int32
+	// released guards the version release: a reader racing loadReadState
+	// against republication can momentarily resurrect refs after the
+	// publisher already drove them to zero, producing a second 1→0
+	// crossing. Only the CAS winner may unref the version.
+	released atomic.Bool
+}
+
+func (rs *readState) ref() { rs.refs.Add(1) }
+
+func (rs *readState) unref() {
+	if rs.refs.Add(-1) != 0 {
+		return
+	}
+	if rs.released.CompareAndSwap(false, true) {
+		rs.v.Unref()
+	}
+}
+
+// loadReadState returns the current read state with a reference held, or nil
+// if the store is closed. Lock-free: one atomic load, one increment, and a
+// recheck. If the pointer moved between the load and the increment the
+// incremented state may already be dead, so retry; if it did not move, the
+// publisher's own release necessarily observes our increment (all operations
+// here are sequentially consistent), so the state stays live until our unref.
+func (db *DB) loadReadState() *readState {
+	for {
+		rs := db.readState.Load()
+		if rs == nil {
+			return nil
+		}
+		rs.ref()
+		if db.readState.Load() == rs {
+			return rs
+		}
+		rs.unref()
+	}
+}
+
+// publishReadState rebuilds and swaps in the read state from the DB's
+// current memtables and version. Callers hold db.mu (Open's exclusive
+// section counts); the swap itself is atomic, so readers never block on the
+// rebuild.
+func (db *DB) publishReadState() {
+	rs := &readState{mem: db.mem, imm: db.imm, v: db.set.Current()}
+	rs.refs.Store(1) // the pointer's own reference
+	old := db.readState.Swap(rs)
+	db.stats.readStatePublishes.Add(1)
+	if old != nil {
+		old.unref()
+	}
+}

@@ -53,6 +53,16 @@ type Stats struct {
 
 	// Request counts.
 	Puts, Gets, Deletes, Scans int64
+
+	// Read path (the lock-free read-state refactor's observability).
+	BloomProbes        int64   // bloom-filter consultations by point gets
+	BloomNegatives     int64   // probes skipped by a negative filter answer
+	TableProbes        int64   // tables actually probed (post-filter) by point gets
+	PointReadAmp       float64 // TableProbes per Get — the point read amplification
+	ReadStatePublishes int64   // read-state rebuilds (rotations, flushes, version installs)
+	BlockCacheHits     int64
+	BlockCacheMisses   int64
+	BlockCacheHitRatio float64
 }
 
 // WriteAmplification reports physical table writes per user byte:
@@ -107,6 +117,11 @@ type dbStats struct {
 	workerJobs               []atomic.Int64 // sized once in initWorkers, before workers start
 
 	puts, gets, deletes, scans atomic.Int64
+
+	bloomProbes        atomic.Int64
+	bloomNegatives     atomic.Int64
+	tableProbes        atomic.Int64
+	readStatePublishes atomic.Int64
 }
 
 // initWorkers sizes the per-worker counters; called once before the worker
@@ -127,7 +142,7 @@ func (d *dbStats) noteConcurrency(n int) {
 }
 
 func (d *dbStats) snapshot() Stats {
-	return Stats{
+	s := Stats{
 		FlushWriteBytes:      d.flushWriteBytes.Load(),
 		CompactionReadBytes:  d.compactionReadBytes.Load(),
 		CompactionWriteBytes: d.compactionWriteBytes.Load(),
@@ -155,7 +170,16 @@ func (d *dbStats) snapshot() Stats {
 		Gets:    d.gets.Load(),
 		Deletes: d.deletes.Load(),
 		Scans:   d.scans.Load(),
+
+		BloomProbes:        d.bloomProbes.Load(),
+		BloomNegatives:     d.bloomNegatives.Load(),
+		TableProbes:        d.tableProbes.Load(),
+		ReadStatePublishes: d.readStatePublishes.Load(),
 	}
+	if s.Gets > 0 {
+		s.PointReadAmp = float64(s.TableProbes) / float64(s.Gets)
+	}
+	return s
 }
 
 func (d *dbStats) workerSnapshot() []int64 {

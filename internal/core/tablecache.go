@@ -21,11 +21,12 @@ type tableCache struct {
 	blockCache *cache.Cache
 	verify     bool
 
-	// RWMutex: the hot path (get on an already-open table) is read-only and
-	// runs concurrently from foreground Gets and compaction workers; only
-	// first-open, evict, and close take the write lock.
-	mu      sync.RWMutex
-	readers map[uint64]*sstable.Reader
+	// readers maps file number → *sstable.Reader. A sync.Map because the
+	// hot path (get on an already-open table) sits on the lock-free read
+	// path and must not take any mutex; the map mutates only on first open
+	// and on eviction of a deleted file, the access pattern sync.Map is
+	// built for (stable keys, read-mostly).
+	readers sync.Map
 }
 
 func newTableCache(fs vfs.FS, dir string, icmp keys.InternalComparer, bc *cache.Cache, verify bool) *tableCache {
@@ -35,21 +36,18 @@ func newTableCache(fs vfs.FS, dir string, icmp keys.InternalComparer, bc *cache.
 		icmp:       icmp,
 		blockCache: bc,
 		verify:     verify,
-		readers:    map[uint64]*sstable.Reader{},
 	}
 }
 
 // get returns the shared reader for a table file, opening it on first use.
 // The returned reader must not be closed by the caller.
 func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
-	tc.mu.RLock()
-	if r, ok := tc.readers[num]; ok {
-		tc.mu.RUnlock()
-		return r, nil
+	if r, ok := tc.readers.Load(num); ok {
+		return r.(*sstable.Reader), nil
 	}
-	tc.mu.RUnlock()
 
-	// Open outside the lock; racing opens are reconciled below.
+	// Slow path: open without any lock; racing opens reconcile below, with
+	// losers closing their redundant handle.
 	f, err := tc.fs.Open(version.TableFileName(tc.dir, num))
 	if err != nil {
 		return nil, err
@@ -64,48 +62,37 @@ func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if existing, ok := tc.readers[num]; ok {
+	if existing, loaded := tc.readers.LoadOrStore(num, r); loaded {
 		r.Close()
-		return existing, nil
+		return existing.(*sstable.Reader), nil
 	}
-	tc.readers[num] = r
 	return r, nil
 }
 
 // evict closes and forgets the reader for a deleted file and purges its
 // cached blocks.
 func (tc *tableCache) evict(num uint64) {
-	tc.mu.Lock()
-	r, ok := tc.readers[num]
-	if ok {
-		delete(tc.readers, num)
-	}
-	tc.mu.Unlock()
-	if ok {
-		r.Close()
+	if r, ok := tc.readers.LoadAndDelete(num); ok {
+		r.(*sstable.Reader).Close()
 	}
 	tc.blockCache.EvictFile(num)
 }
 
 // totalBlockReads sums device block fetches across open readers (Fig 13).
 func (tc *tableCache) totalBlockReads() int64 {
-	tc.mu.RLock()
-	defer tc.mu.RUnlock()
 	var n int64
-	for _, r := range tc.readers {
-		n += r.BlockReads()
-	}
+	tc.readers.Range(func(_, r interface{}) bool {
+		n += r.(*sstable.Reader).BlockReads()
+		return true
+	})
 	return n
 }
 
 // close releases every reader.
 func (tc *tableCache) close() {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	for num, r := range tc.readers {
-		r.Close()
-		delete(tc.readers, num)
-	}
+	tc.readers.Range(func(num, r interface{}) bool {
+		r.(*sstable.Reader).Close()
+		tc.readers.Delete(num)
+		return true
+	})
 }

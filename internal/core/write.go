@@ -61,6 +61,7 @@ func (db *DB) rotateMemtableLocked() error {
 		return err
 	}
 	db.imm, db.mem = db.mem, memtable.New(db.icmp)
+	db.publishReadState()
 	db.flushCond.Signal()
 	return nil
 }

@@ -32,6 +32,15 @@ type Table1Result struct {
 	WALSyncTime  time.Duration
 	StallTime    time.Duration
 	WriteState   string
+
+	// Read-path summary for the run (the lock-free read-state refactor's
+	// observability: filter effectiveness, point read amplification, view
+	// republish churn, and block-cache behaviour).
+	BloomProbes        int64
+	BloomNegatives     int64
+	PointReadAmp       float64
+	ReadStatePublishes int64
+	BlockCacheHitRatio float64
 }
 
 // RunTable1 inserts cfg.Ops keys under UDC and attributes wall time to the
@@ -88,6 +97,12 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		WALSyncTime:  time.Duration(s.WALSyncNanos),
 		StallTime:    s.StallTime,
 		WriteState:   s.WriteState,
+
+		BloomProbes:        s.BloomProbes,
+		BloomNegatives:     s.BloomNegatives,
+		PointReadAmp:       s.PointReadAmp,
+		ReadStatePublishes: s.ReadStatePublishes,
+		BlockCacheHitRatio: s.BlockCacheHitRatio,
 	}, nil
 }
 
@@ -101,6 +116,12 @@ func (r *Table1Result) Print(out io.Writer) {
 	tw.Flush()
 	fmt.Fprintf(out, "write front end: %d groups / %d batches (avg %.2f/group), wal sync %v, stalls %v, state %s\n",
 		r.WriteGroups, r.WriteBatches, r.AvgGroupSize, r.WALSyncTime, r.StallTime, r.WriteState)
+	negPct := 0.0
+	if r.BloomProbes > 0 {
+		negPct = 100 * float64(r.BloomNegatives) / float64(r.BloomProbes)
+	}
+	fmt.Fprintf(out, "read path: bloom %d probes (%.1f%% negative), point read-amp %.2f tables/get, %d read-state publishes, block-cache hit ratio %.1f%%\n",
+		r.BloomProbes, negPct, r.PointReadAmp, r.ReadStatePublishes, 100*r.BlockCacheHitRatio)
 }
 
 // ---------------------------------------------------------------------------

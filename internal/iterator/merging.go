@@ -1,15 +1,21 @@
 package iterator
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync"
+)
 
 // CompareFunc orders internal keys (see keys.InternalComparer).
 type CompareFunc func(a, b []byte) int
+
+var mergingPool = sync.Pool{New: func() interface{} { return new(mergingIter) }}
 
 // NewMerging returns an iterator yielding the union of the children in
 // sorted order. Children with equal keys are yielded in child order, so
 // callers should list newer sources first (the store never produces equal
 // internal keys across sources, but the tie rule keeps behaviour defined).
-// Closing the merging iterator closes every child.
+// Closing the merging iterator closes every child and recycles the iterator
+// (they are pooled), so it must not be used after Close.
 func NewMerging(cmp CompareFunc, children ...Iterator) Iterator {
 	switch len(children) {
 	case 0:
@@ -17,8 +23,14 @@ func NewMerging(cmp CompareFunc, children ...Iterator) Iterator {
 	case 1:
 		return children[0]
 	}
-	m := &mergingIter{cmp: cmp, children: children}
+	m := mergingPool.Get().(*mergingIter)
+	m.cmp = cmp
+	m.children = append(m.children[:0], children...)
 	m.heap.m = m
+	m.heap.idx = m.heap.idx[:0]
+	m.dir = forward
+	m.err = nil
+	m.closed = false
 	return m
 }
 
@@ -34,9 +46,10 @@ type mergingIter struct {
 	children []Iterator
 	// heap holds the indexes of valid children, ordered by current key
 	// (min-heap when dir==forward, max-heap when dir==reverse).
-	heap mergeHeap
-	dir  direction
-	err  error
+	heap   mergeHeap
+	dir    direction
+	err    error
+	closed bool
 }
 
 type mergeHeap struct {
@@ -195,14 +208,23 @@ func (m *mergingIter) Error() error {
 	return nil
 }
 
+// Close closes every child and returns the iterator to the pool.
+// Double-Close is tolerated (the second call is a no-op); any other use
+// after Close is invalid.
 func (m *mergingIter) Close() error {
 	err := m.Error()
+	if m.closed {
+		return err
+	}
+	m.closed = true
 	for _, c := range m.children {
 		if cerr := c.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
-	m.children = nil
-	m.heap.idx = nil
+	m.children = m.children[:0]
+	m.heap.idx = m.heap.idx[:0]
+	m.err = nil
+	mergingPool.Put(m)
 	return err
 }

@@ -74,10 +74,14 @@ func (m *MemTable) Add(seq keys.Seq, kind keys.Kind, ukey, value []byte) {
 // found==false means the memtable has no visible version of ukey.
 func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bool) {
 	it := m.list.NewIterator()
-	search := keys.MakeSearchKey(nil, ukey, seq)
-	// The skiplist compares full records; a bare internal key decodes the
-	// same way because GetLengthPrefixed reads only the prefix.
-	rec := encoding.PutLengthPrefixed(nil, search)
+	// Build the length-prefixed search record directly, in one allocation.
+	// The skiplist compares full records; a record holding just the prefixed
+	// internal key (no value) decodes the same way because
+	// GetLengthPrefixed reads only the prefix.
+	ikeyLen := len(ukey) + keys.TrailerLen
+	rec := make([]byte, 0, encoding.UvarintLen(uint64(ikeyLen))+ikeyLen)
+	rec = encoding.PutUvarint(rec, uint64(ikeyLen))
+	rec = keys.MakeSearchKey(rec, ukey, seq)
 	it.SeekGE(rec)
 	if !it.Valid() {
 		return nil, false, false

@@ -3,6 +3,7 @@ package sstable
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/block"
@@ -142,43 +143,99 @@ func (r *Reader) dataBlock(h blockHandle) (*block.Reader, error) {
 
 // Get returns the value of the newest version of ukey visible at snapshot
 // seq. deleted reports a tombstone; found reports whether any visible
-// version exists in this table. The Bloom filter is consulted first.
+// version exists in this table. The Bloom filter is consulted first. The
+// returned value aliases the (cached) data block and must be copied if
+// retained past the next read of this table.
 func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bool, err error) {
 	if !r.MayContain(ukey) {
 		return nil, false, false, nil
 	}
-	it := r.NewIterator()
-	defer it.Close()
-	it.SeekGE(keys.MakeSearchKey(nil, ukey, seq))
-	if !it.Valid() {
-		return nil, false, false, it.Error()
+	value, deleted, _, found, err = r.Probe(keys.MakeSearchKey(nil, ukey, seq))
+	return value, deleted, found, err
+}
+
+// pointProbe carries the two block cursors of one point lookup; pooled so a
+// steady-state probe allocates nothing beyond a possible block fetch.
+type pointProbe struct {
+	idx, data block.Iter
+}
+
+var probePool = sync.Pool{New: func() interface{} { return new(pointProbe) }}
+
+// Probe is the allocation-light point-get fast path: it seeks the pinned
+// index block, fetches exactly one data block (through the cache), and seeks
+// that block directly — no two-level iterator is built. sk is the search key
+// encoding (ukey, snapshot seq); see keys.MakeSearchKey. The Bloom filter is
+// NOT consulted: callers that want filtering call MayContain first (the DB
+// does, so it can count probes and negatives). entrySeq reports the sequence
+// of the found entry. The returned value aliases the cached block; callers
+// copy at their final return site, not here.
+//
+// A single index seek suffices because index keys are exactly the last key
+// of each data block (see Writer.flushPendingIndex): the first index entry
+// >= sk names the one block whose key range can contain sk, and a SeekGE
+// inside it always lands on an entry (its last key is >= sk).
+func (r *Reader) Probe(sk keys.InternalKey) (value []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+	p := probePool.Get().(*pointProbe)
+	defer probePool.Put(p)
+	p.idx.Init(r.index)
+	p.idx.SeekGE(sk)
+	if !p.idx.Valid() {
+		return nil, false, 0, false, p.idx.Error()
 	}
-	ik := keys.InternalKey(it.Key())
-	if r.opts.Cmp.User.Compare(ik.UserKey(), ukey) != 0 {
-		return nil, false, false, nil
+	h, n := decodeBlockHandle(p.idx.Value())
+	if n == 0 {
+		return nil, false, 0, false, fmt.Errorf("%w: bad index entry", ErrCorrupt)
+	}
+	br, err := r.dataBlock(h)
+	if err != nil {
+		return nil, false, 0, false, err
+	}
+	p.data.Init(br)
+	p.data.SeekGE(sk)
+	if !p.data.Valid() {
+		return nil, false, 0, false, p.data.Error()
+	}
+	ik := keys.InternalKey(p.data.Key())
+	if r.opts.Cmp.User.Compare(ik.UserKey(), sk.UserKey()) != 0 {
+		return nil, false, 0, false, nil
 	}
 	if ik.Kind() == keys.KindDelete {
-		return nil, true, true, nil
+		return nil, true, ik.Seq(), true, nil
 	}
-	return append([]byte(nil), it.Value()...), false, true, nil
+	return p.data.Value(), false, ik.Seq(), true, nil
 }
 
-// NewIterator returns a two-level iterator over the table.
+var tableIterPool = sync.Pool{New: func() interface{} { return new(tableIter) }}
+
+// NewIterator returns a two-level iterator over the table. Iterators are
+// pooled: Close returns the iterator for reuse, so it must not be used after
+// Close.
 func (r *Reader) NewIterator() iterator.Iterator {
-	return &tableIter{r: r, index: r.index.Iter()}
+	t := tableIterPool.Get().(*tableIter)
+	t.r = r
+	t.index.Init(r.index)
+	t.dataOK = false
+	t.err = nil
+	t.closed = false
+	return t
 }
 
-// tableIter walks the index block and lazily opens data blocks.
+// tableIter walks the index block and lazily opens data blocks. The block
+// cursors are held by value so a pooled tableIter re-seeks without
+// allocating.
 type tableIter struct {
-	r     *Reader
-	index iterator.Iterator
-	data  iterator.Iterator
-	err   error
+	r      *Reader
+	index  block.Iter
+	data   block.Iter
+	dataOK bool // data is bound to the block of the current index entry
+	err    error
+	closed bool
 }
 
 // loadData opens the data block referenced by the current index entry.
 func (t *tableIter) loadData() bool {
-	t.data = nil
+	t.dataOK = false
 	if !t.index.Valid() {
 		return false
 	}
@@ -192,12 +249,13 @@ func (t *tableIter) loadData() bool {
 		t.err = err
 		return false
 	}
-	t.data = br.Iter()
+	t.data.Init(br)
+	t.dataOK = true
 	return true
 }
 
 func (t *tableIter) Valid() bool {
-	return t.err == nil && t.data != nil && t.data.Valid()
+	return t.err == nil && t.dataOK && t.data.Valid()
 }
 
 func (t *tableIter) SeekGE(target []byte) {
@@ -256,7 +314,7 @@ func (t *tableIter) Prev() {
 
 // skipForwardEmpty advances over exhausted data blocks.
 func (t *tableIter) skipForwardEmpty() {
-	for t.err == nil && t.data != nil && !t.data.Valid() {
+	for t.err == nil && t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
 			return
@@ -270,7 +328,7 @@ func (t *tableIter) skipForwardEmpty() {
 }
 
 func (t *tableIter) skipBackwardEmpty() {
-	for t.err == nil && t.data != nil && !t.data.Valid() {
+	for t.err == nil && t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
 			return
@@ -290,7 +348,7 @@ func (t *tableIter) Error() error {
 	if t.err != nil {
 		return t.err
 	}
-	if t.data != nil {
+	if t.dataOK {
 		if err := t.data.Error(); err != nil {
 			return err
 		}
@@ -298,4 +356,16 @@ func (t *tableIter) Error() error {
 	return t.index.Error()
 }
 
-func (t *tableIter) Close() error { return t.Error() }
+// Close returns the iterator to the pool. Double-Close is tolerated (the
+// second call is a no-op reporting the sticky error), but any other use
+// after Close is invalid.
+func (t *tableIter) Close() error {
+	err := t.Error()
+	if !t.closed {
+		t.closed = true
+		t.r = nil
+		t.dataOK = false
+		tableIterPool.Put(t)
+	}
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/keys"
 	"repro/internal/vfs"
@@ -37,7 +38,11 @@ type Set struct {
 	obsolete []uint64
 
 	nextFileNum uint64
-	lastSeq     keys.Seq
+	// lastSeq is atomic, not mu-guarded: it is the one Set field on the
+	// lock-free read path (every Get and snapshot loads the visible
+	// sequence), so it must be readable without any mutex. Writers advance
+	// it with a CAS-max so publication stays monotonic from any caller.
+	lastSeq     atomic.Uint64
 	logNum      uint64
 	nextLinkSeq uint64
 
@@ -102,19 +107,19 @@ func (s *Set) NewLinkSeq() uint64 {
 	return n
 }
 
-// LastSeq returns the newest committed write sequence.
+// LastSeq returns the newest committed write sequence. Lock-free: this is
+// on the hot read path.
 func (s *Set) LastSeq() keys.Seq {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastSeq
+	return keys.Seq(s.lastSeq.Load())
 }
 
-// SetLastSeq publishes a newer committed sequence.
+// SetLastSeq publishes a newer committed sequence (monotonic CAS-max).
 func (s *Set) SetLastSeq(seq keys.Seq) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if seq > s.lastSeq {
-		s.lastSeq = seq
+	for {
+		cur := s.lastSeq.Load()
+		if uint64(seq) <= cur || s.lastSeq.CompareAndSwap(cur, uint64(seq)) {
+			return
+		}
 	}
 }
 
@@ -213,8 +218,8 @@ func (s *Set) applyAllocators(e *Edit) {
 	if e.hasNextFileNum && e.NextFileNum > s.nextFileNum {
 		s.nextFileNum = e.NextFileNum
 	}
-	if e.hasLastSeq && e.LastSeq > s.lastSeq {
-		s.lastSeq = e.LastSeq
+	if e.hasLastSeq {
+		s.SetLastSeq(e.LastSeq)
 	}
 	if e.hasLogNum && e.LogNum > s.logNum {
 		s.logNum = e.LogNum
@@ -314,7 +319,7 @@ func (s *Set) snapshotEdit() *Edit {
 	defer s.mu.Unlock()
 	e := &Edit{ComparerName: s.icmp.User.Name()}
 	e.SetNextFileNum(s.nextFileNum)
-	e.SetLastSeq(s.lastSeq)
+	e.SetLastSeq(keys.Seq(s.lastSeq.Load()))
 	e.SetLogNum(s.logNum)
 	e.SetNextLinkSeq(s.nextLinkSeq)
 	for level, key := range s.compactPointers {
@@ -346,7 +351,7 @@ func (s *Set) LogAndApply(e *Edit) error {
 
 	s.mu.Lock()
 	e.SetNextFileNum(s.nextFileNum)
-	e.SetLastSeq(s.lastSeq)
+	e.SetLastSeq(keys.Seq(s.lastSeq.Load()))
 	e.SetNextLinkSeq(s.nextLinkSeq)
 	if !e.hasLogNum {
 		e.SetLogNum(s.logNum)

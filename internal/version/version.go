@@ -24,6 +24,11 @@ type Version struct {
 	// runs (the size-tiered policy produces them); range searches fall back
 	// to linear scans there. Derived at build time.
 	overlapping [NumLevels]bool
+	// newestFirst holds, for each overlapping level, the level's files
+	// ordered by descending file number (newest data first). Precomputed at
+	// build time so tiered point lookups probe newest-first without sorting
+	// per get. Nil for levels without overlapping runs.
+	newestFirst [NumLevels][]*FileMeta
 
 	refs atomic.Int32
 	set  *Set // for file refcount release; nil in standalone tests
@@ -144,6 +149,12 @@ func (v *Version) Overlaps(level int, r keys.KeyRange) []*FileMeta {
 	}
 	return out
 }
+
+// NewestFirst returns the level's files ordered newest-first (descending
+// file number) when the level holds overlapping runs, or nil when it does
+// not (then at most one file can contain any given key, so order is moot).
+// The returned slice is shared with the version and must not be modified.
+func (v *Version) NewestFirst(level int) []*FileMeta { return v.newestFirst[level] }
 
 // FindFile returns the unique file in a sorted level (>=1) that could
 // contain ukey, or nil.
@@ -300,6 +311,11 @@ func (b *builder) finish() (*Version, []uint64) {
 				b.icmp.User.Compare(files[i-1].Largest.UserKey(), f.Smallest.UserKey()) >= 0 {
 				v.overlapping[level] = true
 			}
+		}
+		if v.overlapping[level] {
+			nf := append([]*FileMeta(nil), files...)
+			sort.Slice(nf, func(i, j int) bool { return nf[i].Num > nf[j].Num })
+			v.newestFirst[level] = nf
 		}
 	}
 
