@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-read ci
+.PHONY: all build test vet race bench bench-smoke bench-read run-server server-smoke ci
+
+# run-server knobs (make run-server DB=/path PORT=6380)
+DB ?= /tmp/ldcserver-db
+PORT ?= 6380
 
 all: build
 
@@ -21,10 +25,12 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
-# One race-checked pass over the group-commit writer benchmark: catches
-# write-path races and pipeline regressions without measuring anything.
+# One race-checked pass over the group-commit writer benchmark and the
+# serving-layer benchmark: catches write-path and protocol races without
+# measuring anything. Real server numbers live in BENCH_server.json.
 bench-smoke:
 	$(GO) test -race -run XXX -bench BenchmarkConcurrentWriters -benchtime 1x ./internal/core
+	$(GO) test -race -run XXX -bench 'BenchmarkServerPipelinedSet/sync=false/conns=16' -benchtime 1x ./internal/server
 
 # One race-checked pass over the concurrent-read benchmarks: exercises the
 # lock-free read state against flush/compaction republication without
@@ -32,4 +38,13 @@ bench-smoke:
 bench-read:
 	$(GO) test -race -run XXX -bench 'BenchmarkGetConcurrent|BenchmarkGetCacheHit' -benchtime 1x ./internal/core
 
-ci: vet race bench-smoke bench-read
+# Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
+run-server: build
+	$(GO) run ./cmd/ldcserver -db $(DB) -addr 127.0.0.1:$(PORT)
+
+# End-to-end smoke of the real binary: build, start, PING/SET/GET/INFO via
+# the Go client, SIGTERM, require a graceful drain and exit 0.
+server-smoke:
+	$(GO) test -count 1 -run TestServerBinarySmoke ./cmd/ldcserver
+
+ci: vet race bench-smoke bench-read server-smoke

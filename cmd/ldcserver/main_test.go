@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestServerBinarySmoke exercises the real binary end to end: build it,
+// start it on an ephemeral port against a fresh directory, speak RESP to
+// it, then SIGTERM it and require a clean drain (exit 0). This is the
+// `make server-smoke` gate.
+func TestServerBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ldcserver")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-db", filepath.Join(dir, "db"), "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The binary prints "listening on ADDR" once bound.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read banner: %v", err)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "listening on "))
+	if addr == line {
+		t.Fatalf("unexpected banner %q", line)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Set([]byte("smoke"), []byte("ok")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if v, err := c.Get([]byte("smoke")); err != nil || string(v) != "ok" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	info, err := c.Info("engine")
+	if err != nil || !strings.Contains(info, "write_groups_total:") {
+		t.Fatalf("Info = %v, %v", info, err)
+	}
+
+	// SIGTERM must drain gracefully: finish the connection, close the DB,
+	// exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

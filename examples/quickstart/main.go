@@ -59,7 +59,10 @@ func main() {
 	}
 
 	// Snapshots give repeatable reads.
-	snap := db.NewSnapshot()
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
 	db.Put([]byte("user:0040"), []byte("updated"))
 	old, _ := db.GetAt([]byte("user:0040"), snap)
 	cur, _ := db.Get([]byte("user:0040"))

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/resp"
+)
+
+// stubServer answers each received command with the next canned reply,
+// independent of the real server — these tests pin the client's wire
+// behaviour in isolation. The full-stack path is covered by
+// internal/server's tests.
+func stubServer(t *testing.T, replies ...string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		r := resp.NewReader(nc)
+		for _, reply := range replies {
+			if _, err := r.ReadCommand(); err != nil {
+				return
+			}
+			if _, err := nc.Write([]byte(reply)); err != nil {
+				return
+			}
+		}
+		// Drain until the client hangs up.
+		buf := bufio.NewReader(nc)
+		for {
+			if _, err := buf.ReadByte(); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDoReplyTypes(t *testing.T) {
+	addr := stubServer(t,
+		"+PONG\r\n",
+		":42\r\n",
+		"$5\r\nhello\r\n",
+		"$-1\r\n",
+		"*2\r\n$1\r\na\r\n$-1\r\n",
+		"-ERR boom\r\n",
+	)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if v, err := c.Do("X"); err != nil || v.(int64) != 42 {
+		t.Fatalf("int reply = %v, %v", v, err)
+	}
+	if v, err := c.Get([]byte("k")); err != nil || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := c.Get([]byte("k")); !errors.Is(err, ErrNil) {
+		t.Fatalf("null bulk = %v, want ErrNil", err)
+	}
+	vals, err := c.MGet([]byte("a"), []byte("b"))
+	if err != nil || string(vals[0]) != "a" || vals[1] != nil {
+		t.Fatalf("MGet = %q, %v", vals, err)
+	}
+	_, err = c.Do("X")
+	var re resp.Error
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error reply = %v, want resp.Error(boom)", err)
+	}
+}
+
+func TestPipelinePositionalReplies(t *testing.T) {
+	addr := stubServer(t, "+OK\r\n", "-ERR nope\r\n", ":7\r\n")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Do("A")
+	p.Do("B")
+	p.Do("C")
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("got %d replies", len(replies))
+	}
+	if replies[0].(string) != "OK" {
+		t.Fatalf("reply 0 = %v", replies[0])
+	}
+	// Server error replies stay positional, not promoted to Exec's error.
+	if e, ok := replies[1].(resp.Error); !ok || !strings.Contains(string(e), "nope") {
+		t.Fatalf("reply 1 = %#v", replies[1])
+	}
+	if replies[2].(int64) != 7 {
+		t.Fatalf("reply 2 = %v", replies[2])
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pipeline not reset: Len = %d", p.Len())
+	}
+}
+
+func TestPipelineEncodingErrorLatched(t *testing.T) {
+	c := &Client{} // never touches the network: Exec fails before locking
+	p := c.Pipeline()
+	p.Do("SET", "k", 3.14) // unsupported argument type
+	p.Do("GET", "k")       // ignored after the latch
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+	if _, err := p.Exec(); err == nil {
+		t.Fatal("Exec should surface the latched encoding error")
+	}
+	// The pipeline is reusable after the error drains.
+	if p.err != nil || p.Len() != 0 {
+		t.Fatal("pipeline not reset after Exec error")
+	}
+}

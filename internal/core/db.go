@@ -88,11 +88,26 @@ type DB struct {
 	bgErr  error
 	closed bool
 
+	// closeOnce makes Close idempotent: the first caller tears the store
+	// down; later and concurrent callers block inside Do until the teardown
+	// finishes, then observe the same result. The server's graceful drain
+	// depends on this — Shutdown and a deferred test Close may race.
+	closeOnce sync.Once
+	closeErr  error
+	// retired is the final read state, stashed by stopBackgroundLocked;
+	// Close waits for its in-flight readers before closing table readers.
+	retired *readState
+
 	stats dbStats
 }
 
-// Open opens (creating if necessary) a database in dir.
+// Open opens (creating if necessary) a database in dir. Nonsensical
+// configurations are rejected up front with an error wrapping
+// ErrInvalidOptions.
 func Open(dir string, opts Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	icmp := keys.InternalComparer{User: opts.Comparer}
 
@@ -282,28 +297,40 @@ func (db *DB) newLogLocked() error {
 }
 
 // Close flushes the memtable state to disk-safe form (the WAL already holds
-// it) and stops background work, draining the whole worker pool.
+// it) and stops background work, draining the whole worker pool. Close is
+// idempotent and safe to call concurrently: every call returns only after
+// the teardown is complete, and all calls return the same result. After
+// Close, the public entry points (Put, Delete, Apply, Get, GetAt, Scan,
+// NewIterator, NewSnapshot) fail with ErrClosed; Stats and CurrentProfile
+// keep returning the final counters.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	if db.closed {
+	db.closeOnce.Do(func() {
+		db.mu.Lock()
+		db.stopBackgroundLocked()
 		db.mu.Unlock()
-		return ErrClosed
-	}
-	db.stopBackgroundLocked()
-	db.mu.Unlock()
 
-	// Drain the commit front end: queued writers fail with ErrClosed; an
-	// in-flight group leader (who observes closed under db.mu or via the
-	// controller) finishes before Close proceeds to tear the WAL down.
-	db.pipeline.Close()
+		// Drain the commit front end: queued writers fail with ErrClosed; an
+		// in-flight group leader (who observes closed under db.mu or via the
+		// controller) finishes before Close proceeds to tear the WAL down.
+		db.pipeline.Close()
 
-	if db.logFile != nil {
-		db.logw.Sync()
-		db.logFile.Close()
-		db.logFile = nil
-	}
-	db.tables.close()
-	return db.set.Close()
+		if db.logFile != nil {
+			db.logw.Sync()
+			db.logFile.Close()
+			db.logFile = nil
+		}
+		// Reads that acquired the read state before it was retired — point
+		// gets mid-probe, open iterators — still hold table readers. Wait for
+		// them to drain rather than closing files under them. Open iterators
+		// must therefore be closed before (or concurrently with) Close, the
+		// same contract LevelDB enforces.
+		if db.retired != nil {
+			<-db.retired.done
+		}
+		db.tables.close()
+		db.closeErr = db.set.Close()
+	})
+	return db.closeErr
 }
 
 // stopBackgroundLocked marks the store closed and waits until every worker
@@ -321,8 +348,11 @@ func (db *DB) stopBackgroundLocked() {
 	}
 	// All republishers are drained (workers exited; rotation and commit are
 	// fenced by closed), so retiring the read state here is final: readers
-	// from now on observe nil and fail with ErrClosed.
+	// from now on observe nil and fail with ErrClosed. The retired state is
+	// remembered so Close can wait for in-flight readers to drain before the
+	// table cache is torn down.
 	if old := db.readState.Swap(nil); old != nil {
+		db.retired = old
 		old.unref()
 	}
 }
@@ -334,16 +364,22 @@ func (db *DB) stopBackgroundLocked() {
 func (db *DB) Put(key, value []byte) error {
 	b := batch.New()
 	b.Set(key, value)
-	db.stats.puts.Add(1)
-	return db.Apply(b)
+	err := db.Apply(b)
+	if err == nil {
+		db.stats.puts.Add(1)
+	}
+	return err
 }
 
 // Delete writes a tombstone for a key.
 func (db *DB) Delete(key []byte) error {
 	b := batch.New()
 	b.Delete(key)
-	db.stats.deletes.Add(1)
-	return db.Apply(b)
+	err := db.Apply(b)
+	if err == nil {
+		db.stats.deletes.Add(1)
+	}
+	return err
 }
 
 // Apply commits a batch atomically through the group-commit pipeline: the
@@ -561,8 +597,17 @@ type Snapshot struct {
 	seq keys.Seq
 }
 
-// NewSnapshot captures the current state; Release it when done.
-func (db *DB) NewSnapshot() *Snapshot {
+// NewSnapshot captures the current state; Release it when done. Returns
+// ErrClosed after Close — a sequence number captured from a torn-down store
+// would pin nothing.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	// The read-state pointer doubles as the closed gate: it is retired
+	// (swapped to nil) before any state a snapshot relies on is torn down.
+	rs := db.loadReadState()
+	if rs == nil {
+		return nil, ErrClosed
+	}
+	defer rs.unref()
 	db.snapshots.mu.Lock()
 	defer db.snapshots.mu.Unlock()
 	if db.snapshots.seqs == nil {
@@ -570,7 +615,7 @@ func (db *DB) NewSnapshot() *Snapshot {
 	}
 	seq := db.set.LastSeq()
 	db.snapshots.seqs[seq]++
-	return &Snapshot{db: db, seq: seq}
+	return &Snapshot{db: db, seq: seq}, nil
 }
 
 // Release frees the snapshot.

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/compaction"
@@ -332,7 +334,10 @@ func TestSnapshotIsolation(t *testing.T) {
 	db := openTestDB(t, smallOpts(compaction.LDC))
 	defer db.Close()
 	db.Put([]byte("k"), []byte("old"))
-	snap := db.NewSnapshot()
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer snap.Release()
 	db.Put([]byte("k"), []byte("new"))
 	db.Put([]byte("k2"), []byte("after"))
@@ -354,7 +359,10 @@ func TestSnapshotSurvivesCompaction(t *testing.T) {
 	db := openTestDB(t, smallOpts(compaction.LDC))
 	defer db.Close()
 	db.Put([]byte("pinned"), []byte("v-old"))
-	snap := db.NewSnapshot()
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer snap.Release()
 	// Bury the old version under churn and compactions.
 	for i := 0; i < 6000; i++ {
@@ -552,18 +560,121 @@ func TestBatchAtomicity(t *testing.T) {
 	}
 }
 
-func TestClosedDBRejectsOps(t *testing.T) {
+// TestUseAfterClose drives every public entry point against a closed store:
+// each must fail with ErrClosed (or, for Stats/CurrentProfile, keep working
+// on the final counters) rather than racing on torn-down state. The server's
+// graceful drain depends on these semantics.
+func TestUseAfterClose(t *testing.T) {
 	db := openTestDB(t, smallOpts(compaction.UDC))
-	db.Close()
-	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
-		t.Errorf("Put after close: %v", err)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
-		t.Errorf("Get after close: %v", err)
+	if err := db.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
 	}
-	if err := db.Close(); !errors.Is(err, ErrClosed) {
+
+	cases := []struct {
+		name string
+		op   func() error
+	}{
+		{"Put", func() error { return db.Put([]byte("k"), []byte("v")) }},
+		{"Delete", func() error { return db.Delete([]byte("k")) }},
+		{"Apply", func() error {
+			b := batch.New()
+			b.Set([]byte("k"), []byte("v"))
+			return db.Apply(b)
+		}},
+		{"Get", func() error { _, err := db.Get([]byte("k")); return err }},
+		{"GetAt", func() error { _, err := db.GetAt([]byte("k"), nil); return err }},
+		{"NewIterator", func() error { _, err := db.NewIterator(nil); return err }},
+		{"NewSnapshot", func() error { _, err := db.NewSnapshot(); return err }},
+		{"Scan", func() error { _, err := db.Scan(nil, 10); return err }},
+		{"CompactRange", func() error { return db.CompactRange() }},
+	}
+	for _, tc := range cases {
+		if err := tc.op(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s after Close: got %v, want ErrClosed", tc.name, err)
+		}
+	}
+
+	// Stats and CurrentProfile stay usable: drain paths report final counters
+	// after the DB is gone.
+	if s := db.Stats(); s.Puts != 1 {
+		t.Errorf("Stats after Close: Puts = %d, want 1", s.Puts)
+	}
+	if p := db.CurrentProfile(); len(p.Levels) == 0 {
+		t.Error("CurrentProfile after Close returned no levels")
+	}
+
+	// Close is idempotent: repeated and concurrent calls return the first
+	// teardown's result (nil here) once it completes.
+	if err := db.Close(); err != nil {
 		t.Errorf("double Close: %v", err)
 	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := db.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseConcurrentWithOps closes the store while readers and writers are
+// mid-flight: every operation must either succeed or fail with ErrClosed —
+// never crash, race, or corrupt — and WaitIdle/Stats must stay callable
+// throughout.
+func TestCloseConcurrentWithOps(t *testing.T) {
+	db := openTestDB(t, smallOpts(compaction.LDC))
+	for i := 0; i < 500; i++ {
+		db.Put(key(i), value(i))
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				var err error
+				switch i % 4 {
+				case 0:
+					err = db.Put(key(g*1000+i), value(i))
+				case 1:
+					_, err = db.Get(key(i % 500))
+					if errors.Is(err, ErrNotFound) {
+						err = nil
+					}
+				case 2:
+					_, err = db.Scan(key(i%500), 5)
+				case 3:
+					var snap *Snapshot
+					snap, err = db.NewSnapshot()
+					if err == nil {
+						snap.Release()
+					}
+				}
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("op %d: %v", i%4, err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close during traffic: %v", err)
+	}
+	wg.Wait()
+	db.Stats() // must not race with anything above
 }
 
 func TestStallAccounting(t *testing.T) {

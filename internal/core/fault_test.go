@@ -245,7 +245,11 @@ func TestConcurrentReadersWritersIterators(t *testing.T) {
 				return
 			default:
 			}
-			snap := db.NewSnapshot()
+			snap, err := db.NewSnapshot()
+			if err != nil {
+				errs <- err
+				return
+			}
 			db.GetAt(key(1), snap)
 			snap.Release()
 		}

@@ -40,6 +40,11 @@ type readState struct {
 	// publisher already drove them to zero, producing a second 1→0
 	// crossing. Only the CAS winner may unref the version.
 	released atomic.Bool
+	// done closes when the state is fully released (refs drained and the
+	// version unref'd). Close waits on the final state's done before tearing
+	// down the table cache, so an in-flight read or open iterator never sees
+	// a reader closed underneath it.
+	done chan struct{}
 }
 
 func (rs *readState) ref() { rs.refs.Add(1) }
@@ -50,6 +55,7 @@ func (rs *readState) unref() {
 	}
 	if rs.released.CompareAndSwap(false, true) {
 		rs.v.Unref()
+		close(rs.done)
 	}
 }
 
@@ -78,7 +84,7 @@ func (db *DB) loadReadState() *readState {
 // section counts); the swap itself is atomic, so readers never block on the
 // rebuild.
 func (db *DB) publishReadState() {
-	rs := &readState{mem: db.mem, imm: db.imm, v: db.set.Current()}
+	rs := &readState{mem: db.mem, imm: db.imm, v: db.set.Current(), done: make(chan struct{})}
 	rs.refs.Store(1) // the pointer's own reference
 	old := db.readState.Swap(rs)
 	db.stats.readStatePublishes.Add(1)

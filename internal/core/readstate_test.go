@@ -171,7 +171,10 @@ func TestSnapshotConsistencyAcrossCompaction(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			snap := db.NewSnapshot()
+			snap, err := db.NewSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer snap.Release()
 			// An iterator opened at the snapshot, before the overwrites.
 			it, err := db.NewIterator(snap)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidOptions tags every configuration rejection; callers test for it
+// with errors.Is and read the wrapped detail for the specific field.
+var ErrInvalidOptions = errors.New("ldc: invalid options")
+
+// minWriteGroupBytes is the floor for an explicit MaxWriteGroupBytes: a
+// group must comfortably hold at least one small batch (12-byte header plus
+// a key/value pair), and anything under 4 KiB degenerates the pipeline into
+// one-batch groups, silently losing group commit.
+const minWriteGroupBytes = 4 << 10
+
+// Validate rejects nonsensical configurations before they turn into
+// confusing runtime behaviour (a cache that caches nothing, a write group
+// that can never absorb a follower, triggers that stop writes before
+// slowing them). Zero values mean "use the default" throughout Options, so
+// Validate rejects explicit negatives and relations that are inconsistent
+// after defaulting. Open calls it; so does the server's config validation.
+func (o Options) Validate() error {
+	type field struct {
+		name string
+		v    int64
+	}
+	for _, f := range []field{
+		{"MemTableSize", o.MemTableSize},
+		{"SSTableSize", o.SSTableSize},
+		{"Fanout", int64(o.Fanout)},
+		{"BaseLevelBytes", o.BaseLevelBytes},
+		{"SliceLinkThreshold", int64(o.SliceLinkThreshold)},
+		{"L0CompactionTrigger", int64(o.L0CompactionTrigger)},
+		{"L0SlowdownTrigger", int64(o.L0SlowdownTrigger)},
+		{"L0StopTrigger", int64(o.L0StopTrigger)},
+		{"BlockSize", int64(o.BlockSize)},
+		{"BlockCacheSize", o.BlockCacheSize},
+		{"BlockCacheShards", int64(o.BlockCacheShards)},
+		{"CompactionParallelism", int64(o.CompactionParallelism)},
+		{"MaxWriteGroupBytes", int64(o.MaxWriteGroupBytes)},
+	} {
+		// BloomBitsPerKey is deliberately absent: negative there means
+		// "disable filters".
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s is negative (%d); use 0 for the default", ErrInvalidOptions, f.name, f.v)
+		}
+	}
+	if o.MaxWriteGroupBytes > 0 && o.MaxWriteGroupBytes < minWriteGroupBytes {
+		return fmt.Errorf("%w: MaxWriteGroupBytes %d is below the %d-byte floor (a group must hold at least one batch)",
+			ErrInvalidOptions, o.MaxWriteGroupBytes, minWriteGroupBytes)
+	}
+
+	// Relational checks run on the defaulted view, so setting one trigger
+	// explicitly cannot silently invert the ladder against a default.
+	d := o.withDefaults()
+	if d.L0CompactionTrigger > d.L0SlowdownTrigger {
+		return fmt.Errorf("%w: L0CompactionTrigger %d exceeds L0SlowdownTrigger %d",
+			ErrInvalidOptions, d.L0CompactionTrigger, d.L0SlowdownTrigger)
+	}
+	if d.L0SlowdownTrigger > d.L0StopTrigger {
+		return fmt.Errorf("%w: L0SlowdownTrigger %d exceeds L0StopTrigger %d",
+			ErrInvalidOptions, d.L0SlowdownTrigger, d.L0StopTrigger)
+	}
+	if int64(d.BlockSize) > d.SSTableSize {
+		return fmt.Errorf("%w: BlockSize %d exceeds SSTableSize %d",
+			ErrInvalidOptions, d.BlockSize, d.SSTableSize)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string // substring expected in the error
+	}{
+		{"negative MemTableSize", func(o *Options) { o.MemTableSize = -1 }, "MemTableSize"},
+		{"negative SSTableSize", func(o *Options) { o.SSTableSize = -4096 }, "SSTableSize"},
+		{"negative Fanout", func(o *Options) { o.Fanout = -2 }, "Fanout"},
+		{"negative BaseLevelBytes", func(o *Options) { o.BaseLevelBytes = -1 }, "BaseLevelBytes"},
+		{"negative SliceLinkThreshold", func(o *Options) { o.SliceLinkThreshold = -1 }, "SliceLinkThreshold"},
+		{"negative L0CompactionTrigger", func(o *Options) { o.L0CompactionTrigger = -1 }, "L0CompactionTrigger"},
+		{"negative L0SlowdownTrigger", func(o *Options) { o.L0SlowdownTrigger = -1 }, "L0SlowdownTrigger"},
+		{"negative L0StopTrigger", func(o *Options) { o.L0StopTrigger = -1 }, "L0StopTrigger"},
+		{"negative BlockSize", func(o *Options) { o.BlockSize = -512 }, "BlockSize"},
+		{"negative BlockCacheSize", func(o *Options) { o.BlockCacheSize = -1 }, "BlockCacheSize"},
+		{"negative BlockCacheShards", func(o *Options) { o.BlockCacheShards = -8 }, "BlockCacheShards"},
+		{"negative CompactionParallelism", func(o *Options) { o.CompactionParallelism = -4 }, "CompactionParallelism"},
+		{"negative MaxWriteGroupBytes", func(o *Options) { o.MaxWriteGroupBytes = -1 }, "MaxWriteGroupBytes"},
+		{"tiny MaxWriteGroupBytes", func(o *Options) { o.MaxWriteGroupBytes = 100 }, "floor"},
+		{"compaction trigger above slowdown", func(o *Options) { o.L0CompactionTrigger = 20 }, "L0CompactionTrigger"},
+		{"slowdown above stop", func(o *Options) { o.L0SlowdownTrigger, o.L0StopTrigger = 6, 4 }, "L0SlowdownTrigger"},
+		{"block bigger than table", func(o *Options) { o.BlockSize, o.SSTableSize = 1<<20, 64<<10 }, "BlockSize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var o Options
+			tc.mut(&o)
+			err := o.Validate()
+			if !errors.Is(err, ErrInvalidOptions) {
+				t.Fatalf("Validate() = %v, want ErrInvalidOptions", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			// Open must refuse the same configuration.
+			o.FS = vfs.Mem()
+			if _, err := Open("/bad", o); !errors.Is(err, ErrInvalidOptions) {
+				t.Errorf("Open() = %v, want ErrInvalidOptions", err)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+	}{
+		{"zero value (all defaults)", Options{}},
+		{"bloom disabled via negative", Options{BloomBitsPerKey: -1}},
+		{"explicit consistent triggers", Options{L0CompactionTrigger: 2, L0SlowdownTrigger: 4, L0StopTrigger: 6}},
+		{"single trigger below defaults", Options{L0CompactionTrigger: 2}},
+		{"group cap at floor", Options{MaxWriteGroupBytes: 4 << 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.o.Validate(); err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chunkReader yields its data in tiny chunks to exercise refill paths.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestReadCommandArray(t *testing.T) {
+	in := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n*1\r\n$4\r\nPING\r\n"
+	r := NewReader(strings.NewReader(in))
+	cmd, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("SET"), []byte("k"), []byte("hello")}
+	if !reflect.DeepEqual(cmd, want) {
+		t.Fatalf("got %q", cmd)
+	}
+	if r.Buffered() == 0 {
+		t.Fatal("second command should be buffered")
+	}
+	cmd, err = r.ReadCommand()
+	if err != nil || len(cmd) != 1 || string(cmd[0]) != "PING" {
+		t.Fatalf("second command: %q, %v", cmd, err)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered() = %d after draining", r.Buffered())
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+func TestReadCommandChunked(t *testing.T) {
+	// One byte at a time: every fill/grow path runs.
+	in := "*2\r\n$3\r\nGET\r\n$10\r\nabcdefghij\r\n"
+	r := NewReader(&chunkReader{data: []byte(in), n: 1})
+	cmd, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd) != 2 || string(cmd[0]) != "GET" || string(cmd[1]) != "abcdefghij" {
+		t.Fatalf("got %q", cmd)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := NewReader(strings.NewReader("PING\r\n  SET  k   v \r\n\r\nGET k\r\n"))
+	cmd, _ := r.ReadCommand()
+	if len(cmd) != 1 || string(cmd[0]) != "PING" {
+		t.Fatalf("got %q", cmd)
+	}
+	cmd, _ = r.ReadCommand()
+	if len(cmd) != 3 || string(cmd[0]) != "SET" || string(cmd[2]) != "v" {
+		t.Fatalf("got %q", cmd)
+	}
+	cmd, err := r.ReadCommand()
+	if err != nil || len(cmd) != 0 {
+		t.Fatalf("blank line: %q, %v", cmd, err)
+	}
+	cmd, _ = r.ReadCommand()
+	if len(cmd) != 2 || string(cmd[1]) != "k" {
+		t.Fatalf("got %q", cmd)
+	}
+}
+
+func TestReadCommandBinaryValue(t *testing.T) {
+	val := []byte{0, 1, 2, '\r', '\n', 0xff, '*', '$'}
+	var in []byte
+	in, err := AppendCommand(nil, "SET", "bin", val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(in))
+	cmd, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cmd[2], val) {
+		t.Fatalf("binary value mangled: %q", cmd[2])
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	for _, in := range []string{
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk element
+		"*1\r\n$-3\r\nx\r\n",        // negative bulk length
+		"*1\r\n$3\r\nabcXY",         // missing CRLF after bulk
+		"*1\r\n$notanumber\r\n",     // garbage length
+		"*99999999999999999999\r\n", // overflow array length
+	} {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadCommand(); !errors.Is(err, ErrProtocol) {
+			t.Errorf("input %q: want ErrProtocol, got %v", in, err)
+		}
+	}
+}
+
+func TestWriterReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("OK")
+	w.Error("ERR boom")
+	w.Int(-42)
+	w.Bulk([]byte("hi"))
+	w.Bulk(nil)
+	w.BulkString("")
+	w.Array(2)
+	w.Bulk([]byte("a"))
+	w.Bulk([]byte("b"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR boom\r\n:-42\r\n$2\r\nhi\r\n$-1\r\n$0\r\n\r\n*2\r\n$1\r\na\r\n$1\r\nb\r\n"
+	if buf.String() != want {
+		t.Fatalf("got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestReadReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("PONG")
+	w.Error("ERR nope")
+	w.Int(7)
+	w.Bulk([]byte("value"))
+	w.Bulk(nil)
+	w.Array(2)
+	w.Bulk([]byte("k1"))
+	w.Bulk(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if v, _ := r.ReadReply(); v != "PONG" {
+		t.Fatalf("simple: %v", v)
+	}
+	if v, _ := r.ReadReply(); v != Error("ERR nope") {
+		t.Fatalf("error: %v", v)
+	}
+	if v, _ := r.ReadReply(); v != int64(7) {
+		t.Fatalf("int: %v", v)
+	}
+	if v, _ := r.ReadReply(); string(v.([]byte)) != "value" {
+		t.Fatalf("bulk: %v", v)
+	}
+	if v, _ := r.ReadReply(); v.([]byte) != nil {
+		t.Fatalf("null bulk: %v", v)
+	}
+	v, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.([]interface{})
+	if len(arr) != 2 || string(arr[0].([]byte)) != "k1" || arr[1].([]byte) != nil {
+		t.Fatalf("array: %v", arr)
+	}
+}
+
+func TestReplyDoesNotAliasBuffer(t *testing.T) {
+	// Two bulk replies; the first, held across the second read, must not be
+	// clobbered by buffer compaction.
+	in := "$5\r\nfirst\r\n$6\r\nsecond\r\n"
+	r := NewReader(strings.NewReader(in))
+	v1, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadReply(); err != nil {
+		t.Fatal(err)
+	}
+	if string(v1.([]byte)) != "first" {
+		t.Fatalf("first reply corrupted: %q", v1)
+	}
+}
+
+func TestAppendCommandTypes(t *testing.T) {
+	b, err := AppendCommand(nil, "SCAN", []byte("0"), "COUNT", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(b))
+	cmd, err := r.ReadCommand()
+	if err != nil || len(cmd) != 4 || string(cmd[3]) != "10" {
+		t.Fatalf("got %q, %v", cmd, err)
+	}
+	if _, err := AppendCommand(nil, 3.14); err == nil {
+		t.Fatal("float argument should be rejected")
+	}
+}

@@ -1,0 +1,448 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/resp"
+	"repro/internal/vfs"
+)
+
+// smallOpts builds a tiny tree so test workloads exercise flushes and
+// background compaction, not just the memtable.
+func smallOpts() core.Options {
+	return core.Options{
+		FS:                  vfs.Mem(),
+		Policy:              compaction.LDC,
+		MemTableSize:        8 << 10,
+		SSTableSize:         8 << 10,
+		Fanout:              4,
+		SliceLinkThreshold:  3,
+		L0CompactionTrigger: 4,
+		L0SlowdownTrigger:   8,
+		L0StopTrigger:       12,
+		BlockSize:           512,
+		BlockCacheSize:      1 << 20,
+	}
+}
+
+// startServer opens a mem-backed DB, serves it on an ephemeral port, and
+// returns the server, its address, and a channel carrying Serve's return.
+// Callers own shutdown (srv.Shutdown closes the DB).
+func startServer(t testing.TB, cfg Config) (*Server, string, chan error) {
+	t.Helper()
+	db, err := core.Open("/db", smallOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv, err := New(db, cfg)
+	if err != nil {
+		db.Close()
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), serveErr
+}
+
+func dial(t testing.TB, addr string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return c
+}
+
+func TestServerBasicCommands(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	c := dial(t, addr)
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Set([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, err := c.Get([]byte("alpha"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v; want 1", v, err)
+	}
+	if _, err := c.Get([]byte("missing")); !errors.Is(err, client.ErrNil) {
+		t.Fatalf("Get missing = %v; want ErrNil", err)
+	}
+	if n, err := c.Del([]byte("alpha")); err != nil || n != 1 {
+		t.Fatalf("Del = %d, %v; want 1", n, err)
+	}
+	if _, err := c.Get([]byte("alpha")); !errors.Is(err, client.ErrNil) {
+		t.Fatalf("Get after Del = %v; want ErrNil", err)
+	}
+
+	if _, err := c.Do("MSET", "k1", "v1", "k2", "v2", "k3", "v3"); err != nil {
+		t.Fatalf("MSET: %v", err)
+	}
+	vals, err := c.MGet([]byte("k1"), []byte("nope"), []byte("k3"))
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	if string(vals[0]) != "v1" || vals[1] != nil || string(vals[2]) != "v3" {
+		t.Fatalf("MGet = %q", vals)
+	}
+
+	if n, err := c.DBSize(); err != nil || n != 3 {
+		t.Fatalf("DBSize = %d, %v; want 3", n, err)
+	}
+
+	// Command and argument errors come back as resp.Error replies.
+	if _, err := c.Do("NOSUCH"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("NOSUCH err = %v", err)
+	}
+	var respErr resp.Error
+	if _, err := c.Do("GET"); !errors.As(err, &respErr) {
+		t.Fatalf("GET arity err = %v; want resp.Error", err)
+	}
+
+	if v, err := c.Do("ECHO", "hello"); err != nil || string(v.([]byte)) != "hello" {
+		t.Fatalf("ECHO = %v, %v", v, err)
+	}
+	if _, err := c.Do("SELECT", "0"); err != nil {
+		t.Fatalf("SELECT 0: %v", err)
+	}
+	if _, err := c.Do("SELECT", "7"); err == nil {
+		t.Fatal("SELECT 7 should fail on a single-database server")
+	}
+}
+
+func TestServerScanPagination(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	c := dial(t, addr)
+	defer c.Close()
+
+	p := c.Pipeline()
+	for i := 0; i < 100; i++ {
+		p.Do("SET", []byte{'k', byte('0' + i/10), byte('0' + i%10)}, "v")
+	}
+	if _, err := p.Exec(); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+
+	var got []string
+	cursor := []byte("0")
+	rounds := 0
+	for {
+		next, keys, err := c.Scan(cursor, 7)
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		for _, k := range keys {
+			got = append(got, string(k))
+		}
+		rounds++
+		if string(next) == "0" {
+			break
+		}
+		cursor = next
+		if rounds > 100 {
+			t.Fatal("scan did not terminate")
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("scan returned %d keys, want 100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order: %q before %q", got[i-1], got[i])
+		}
+	}
+}
+
+// TestServerPipelineBatching is the coupling acceptance check: a pipelined
+// burst of writes must reach the engine as few batches, not one Apply per
+// command.
+func TestServerPipelineBatching(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	c := dial(t, addr)
+	defer c.Close()
+
+	const sets = 500
+	p := c.Pipeline()
+	for i := 0; i < sets; i++ {
+		p.Do("SET", []byte{byte(i >> 8), byte(i)}, "v")
+	}
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if len(replies) != sets {
+		t.Fatalf("got %d replies, want %d", len(replies), sets)
+	}
+	for i, r := range replies {
+		if s, ok := r.(string); !ok || s != "OK" {
+			t.Fatalf("reply %d = %v, want OK", i, r)
+		}
+	}
+	m := srv.Metrics()
+	if m.ApplyOps < sets {
+		t.Fatalf("ApplyOps = %d, want >= %d", m.ApplyOps, sets)
+	}
+	if m.ApplyBatches*5 > m.ApplyOps {
+		t.Fatalf("batching too weak: %d batches for %d ops", m.ApplyBatches, m.ApplyOps)
+	}
+}
+
+// TestServerReadYourWrites exercises the mid-pipeline flush: a GET between
+// pipelined SETs must observe the SET before it, and replies must stay in
+// command order.
+func TestServerReadYourWrites(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	c := dial(t, addr)
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Do("SET", "x", "1")
+	p.Do("GET", "x")
+	p.Do("SET", "x", "2")
+	p.Do("GET", "x")
+	p.Do("DEL", "x")
+	p.Do("GET", "x")
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	want := []interface{}{"OK", "1", "OK", "2", int64(1), nil}
+	for i, w := range want {
+		got := replies[i]
+		switch w := w.(type) {
+		case string:
+			if s, ok := got.(string); ok && s == w {
+				continue
+			}
+			if b, ok := got.([]byte); ok && string(b) == w {
+				continue
+			}
+			t.Fatalf("reply %d = %#v, want %q", i, got, w)
+		case int64:
+			if n, ok := got.(int64); !ok || n != w {
+				t.Fatalf("reply %d = %#v, want %d", i, got, w)
+			}
+		case nil:
+			if b, ok := got.([]byte); !ok || b != nil {
+				t.Fatalf("reply %d = %#v, want nil bulk", i, got)
+			}
+		}
+	}
+}
+
+func TestServerInfo(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	c := dial(t, addr)
+	defer c.Close()
+
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	info, err := c.Info("")
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	for _, want := range []string{
+		"# Server", "# Clients", "# Stats", "# Commandstats", "# Engine",
+		"connected_clients:1", "write_groups_total:", "avg_group_size:",
+		"apply_batches:", "cmdstat_set:",
+	} {
+		if !strings.Contains(info, want) {
+			t.Errorf("INFO missing %q", want)
+		}
+	}
+	engine, err := c.Info("engine")
+	if err != nil {
+		t.Fatalf("Info engine: %v", err)
+	}
+	if strings.Contains(engine, "# Server") || !strings.Contains(engine, "# Engine") {
+		t.Fatalf("sectioned INFO wrong: %q", engine)
+	}
+}
+
+func TestServerIdleTimeout(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{IdleTimeout: 50 * time.Millisecond})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("expected idle server to close the connection")
+	}
+	waitConns(t, srv, 0)
+}
+
+func TestServerMaxConnsBackpressure(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{MaxConns: 1})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+
+	c1 := dial(t, addr)
+	defer c1.Close()
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	// Second client connects (kernel backlog) but is not served until the
+	// first disconnects.
+	c2 := dial(t, addr)
+	defer c2.Close()
+	pinged := make(chan error, 1)
+	go func() { pinged <- c2.Ping() }()
+	select {
+	case err := <-pinged:
+		t.Fatalf("second client served beyond MaxConns=1 (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c1.Close()
+	select {
+	case err := <-pinged:
+		if err != nil {
+			t.Fatalf("second client ping after slot freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second client never served after slot freed")
+	}
+}
+
+func TestServerProtocolError(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("*abc\r\n")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, _ := nc.Read(buf)
+	if n == 0 || buf[0] != '-' {
+		t.Fatalf("want error reply then close, got %q", buf[:n])
+	}
+	waitConns(t, srv, 0)
+	if srv.Metrics().ProtoErrors != 1 {
+		t.Fatalf("ProtoErrors = %d, want 1", srv.Metrics().ProtoErrors)
+	}
+}
+
+func TestServerShutdownIdempotent(t *testing.T) {
+	srv, addr, serveErr := startServer(t, Config{})
+	c := dial(t, addr)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv.Shutdown(); err != nil {
+			t.Fatalf("Shutdown #%d: %v", i, err)
+		}
+	}
+	if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+	if _, err := srv.db.Get([]byte("k")); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("db.Get after Shutdown = %v, want ErrClosed", err)
+	}
+	if _, err := client.Dial(addr); err == nil {
+		t.Fatal("Dial after Shutdown should fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"explicit", Config{MaxConns: 16, IdleTimeout: time.Second, MaxPipelineBytes: 64 << 10}, true},
+		{"negative MaxConns", Config{MaxConns: -1}, false},
+		{"negative IdleTimeout", Config{IdleTimeout: -time.Second}, false},
+		{"negative WriteTimeout", Config{WriteTimeout: -time.Second}, false},
+		{"negative DrainTimeout", Config{DrainTimeout: -time.Second}, false},
+		{"negative MaxPipelineBytes", Config{MaxPipelineBytes: -1}, false},
+		{"tiny MaxPipelineBytes", Config{MaxPipelineBytes: 100}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate accepted a nonsensical config")
+				}
+				if !errors.Is(err, core.ErrInvalidOptions) {
+					t.Fatalf("error %v does not wrap ErrInvalidOptions", err)
+				}
+				if _, nerr := New(nil, tc.cfg); nerr == nil {
+					t.Fatal("New accepted an invalid config")
+				}
+			}
+		})
+	}
+}
+
+// waitConns polls until the live-connection gauge reaches want.
+func waitConns(t testing.TB, srv *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Metrics().ConnsCurrent == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("ConnsCurrent = %d, want %d", srv.Metrics().ConnsCurrent, want)
+}

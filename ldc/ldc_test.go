@@ -76,7 +76,10 @@ func TestPublicIteratorAndSnapshot(t *testing.T) {
 	db := openMem(t, ldc.PolicyLDC)
 	defer db.Close()
 	db.Put([]byte("a"), []byte("1"))
-	snap := db.NewSnapshot()
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer snap.Release()
 	db.Put([]byte("a"), []byte("2"))
 	db.Put([]byte("b"), []byte("3"))
