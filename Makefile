@@ -1,6 +1,28 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-read run-server server-smoke ci
+# Build-tag and flag threading: every test/bench target honors TAGS and
+# GOFLAGS, so modes compose — `make race TAGS=invariants` runs the race
+# detector with the runtime assertion layer live, `make test GOFLAGS=-v`
+# works as expected. TAGS is a space-separated tag list.
+TAGS ?=
+GOFLAGS ?=
+TAGFLAGS := $(if $(TAGS),-tags '$(TAGS)')
+TESTFLAGS := $(TAGFLAGS) $(GOFLAGS)
+
+# make exports command-line variables into the recipe environment, and the go
+# tool parses a GOFLAGS *environment* variable itself (rejecting "-run X"
+# space-separated form). Keep both out of the environment so the explicit
+# $(TESTFLAGS) splice above is the only channel.
+unexport GOFLAGS
+unexport TAGS
+
+# ldclint is the repo's custom vettool (tools/ldclint): four analyzers that
+# machine-check the engine's concurrency invariants (I/O under mutex,
+# unbalanced refcounts, mixed atomic/plain field access, dropped errors from
+# durability-critical Close/Sync). Built from source on demand.
+LDCLINT := bin/ldclint
+
+.PHONY: all build test vet lint invariants race bench bench-smoke bench-read run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -9,34 +31,49 @@ PORT ?= 6380
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build $(TESTFLAGS) ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(TESTFLAGS) ./...
+
+$(LDCLINT): tools/ldclint/*.go
+	$(GO) build -o $(LDCLINT) ./tools/ldclint
+
+# Run the repo-specific analyzers over every package, plus their own
+# regression suite (fixture packages under tools/ldclint/testdata).
+lint: $(LDCLINT)
+	$(GO) test $(GOFLAGS) ./tools/ldclint
+	$(GO) vet -vettool=$(LDCLINT) $(TESTFLAGS) ./...
+
+# The runtime half of the correctness tooling: rebuild with -tags invariants
+# so refcount poisoning, iterator use-after-close traps, and cache
+# accounting checks are compiled in, then run the short suite under them.
+invariants:
+	$(GO) test -short $(if $(TAGS),-tags 'invariants $(TAGS)',-tags invariants) $(GOFLAGS) ./...
 
 # The concurrent compaction engine must stay race-clean; -short skips the
 # multi-minute stress runs but still covers the pool, claims, and cache.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short $(TESTFLAGS) ./...
 
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x .
+	$(GO) test -run XXX -bench . -benchtime 1x $(TESTFLAGS) .
 
 # One race-checked pass over the group-commit writer benchmark and the
 # serving-layer benchmark: catches write-path and protocol races without
 # measuring anything. Real server numbers live in BENCH_server.json.
 bench-smoke:
-	$(GO) test -race -run XXX -bench BenchmarkConcurrentWriters -benchtime 1x ./internal/core
-	$(GO) test -race -run XXX -bench 'BenchmarkServerPipelinedSet/sync=false/conns=16' -benchtime 1x ./internal/server
+	$(GO) test -race -run XXX -bench BenchmarkConcurrentWriters -benchtime 1x $(TESTFLAGS) ./internal/core
+	$(GO) test -race -run XXX -bench 'BenchmarkServerPipelinedSet/sync=false/conns=16' -benchtime 1x $(TESTFLAGS) ./internal/server
 
 # One race-checked pass over the concurrent-read benchmarks: exercises the
 # lock-free read state against flush/compaction republication without
 # measuring anything. Real numbers live in BENCH_read_path.json.
 bench-read:
-	$(GO) test -race -run XXX -bench 'BenchmarkGetConcurrent|BenchmarkGetCacheHit' -benchtime 1x ./internal/core
+	$(GO) test -race -run XXX -bench 'BenchmarkGetConcurrent|BenchmarkGetCacheHit' -benchtime 1x $(TESTFLAGS) ./internal/core
 
 # Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
 run-server: build
@@ -45,6 +82,6 @@ run-server: build
 # End-to-end smoke of the real binary: build, start, PING/SET/GET/INFO via
 # the Go client, SIGTERM, require a graceful drain and exit 0.
 server-smoke:
-	$(GO) test -count 1 -run TestServerBinarySmoke ./cmd/ldcserver
+	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet race bench-smoke bench-read server-smoke
+ci: vet lint race invariants bench-smoke bench-read server-smoke

@@ -14,6 +14,8 @@ import (
 	"container/list"
 	"runtime"
 	"sync"
+
+	"repro/internal/invariants"
 )
 
 // Key identifies a cached entry.
@@ -45,6 +47,24 @@ type entry struct {
 	key    Key
 	value  interface{}
 	charge int64
+}
+
+// checkAccounting verifies the shard's byte/entry bookkeeping under
+// -tags invariants. Called with s.mu held after every mutation.
+func (s *shard) checkAccounting() {
+	if !invariants.Enabled {
+		return
+	}
+	if s.used < 0 {
+		invariants.Violatedf("cache shard byte accounting went negative: %d", s.used)
+	}
+	if len(s.items) != s.ll.Len() {
+		invariants.Violatedf("cache shard map/list disagree: %d items, %d list entries",
+			len(s.items), s.ll.Len())
+	}
+	if s.ll.Len() == 0 && s.used != 0 {
+		invariants.Violatedf("cache shard empty but %d bytes still charged", s.used)
+	}
 }
 
 // DefaultShards returns the shard count used when none is specified: the
@@ -166,6 +186,7 @@ func (c *Cache) Set(k Key, v interface{}, charge int64) {
 	for s.used > s.capacity && s.ll.Len() > 0 {
 		s.evictOldest()
 	}
+	s.checkAccounting()
 }
 
 func (s *shard) evictOldest() {
@@ -195,6 +216,7 @@ func (c *Cache) EvictFile(fileNum uint64) {
 			}
 			el = next
 		}
+		s.checkAccounting()
 		s.mu.Unlock()
 	}
 }

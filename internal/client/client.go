@@ -49,11 +49,14 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{nc: nc, r: resp.NewReader(nc), w: resp.NewWriter(nc)}, nil
 }
 
-// Close tears the connection down.
+// Close tears the connection down. The socket is closed outside c.mu so a
+// goroutine blocked in Do on a dead peer is unwedged rather than waited for;
+// its pending read fails with "use of closed network connection".
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nc.Close()
+	nc := c.nc
+	c.mu.Unlock()
+	return nc.Close()
 }
 
 // Do sends one command and returns its reply: string (simple status),

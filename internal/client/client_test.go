@@ -20,7 +20,7 @@ func stubServer(t *testing.T, replies ...string) string {
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
-	t.Cleanup(func() { ln.Close() })
+	t.Cleanup(func() { _ = ln.Close() })
 	go func() {
 		nc, err := ln.Accept()
 		if err != nil {

@@ -197,25 +197,25 @@ func (db *DB) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.Inte
 			continue
 		}
 		if err := w.Add(ik, it.Value()); err != nil {
-			f.Close()
-			db.fsMeta.Remove(name)
+			_ = f.Close() // discarding the partial table
+			_ = db.fsMeta.Remove(name)
 			return nil, err
 		}
 	}
 	if err := it.Error(); err != nil {
-		f.Close()
-		db.fsMeta.Remove(name)
+		_ = f.Close() // discarding the partial table
+		_ = db.fsMeta.Remove(name)
 		return nil, err
 	}
 	if w.Entries() == 0 {
-		f.Close()
-		db.fsMeta.Remove(name)
+		_ = f.Close() // empty output: nothing worth keeping
+		_ = db.fsMeta.Remove(name)
 		return nil, nil
 	}
 	props, err := w.Finish()
 	if err != nil {
-		f.Close()
-		db.fsMeta.Remove(name)
+		_ = f.Close() // discarding the partial table
+		_ = db.fsMeta.Remove(name)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
@@ -402,7 +402,7 @@ func (db *DB) compactionReader(num uint64) (*sstable.Reader, error) {
 		VerifyChecksums: *db.opts.VerifyChecksums,
 	})
 	if err != nil {
-		f.Close()
+		_ = f.Close() // reader never took ownership
 		return nil, err
 	}
 	return r, nil
@@ -501,7 +501,7 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 			w = sstable.NewWriter(f, db.tableWriterOptions())
 		}
 		if err := w.Add(ik, merged.Value()); err != nil {
-			f.Close()
+			_ = f.Close() // discarding the partial output
 			return outputs, err
 		}
 		if w.EstimatedSize() >= db.opts.SSTableSize {
@@ -512,7 +512,7 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 	}
 	if err := merged.Error(); err != nil {
 		if f != nil {
-			f.Close()
+			_ = f.Close() // discarding the partial output
 		}
 		return outputs, err
 	}

@@ -280,7 +280,9 @@ func (db *DB) newLogLocked() error {
 		}
 	}
 	if db.logFile != nil {
-		db.logFile.Close()
+		// The retiring WAL's buffered frames were flushed above; a close
+		// error on the old handle cannot lose acknowledged data.
+		_ = db.logFile.Close()
 	}
 	db.logFile = raw
 	// Buffer WAL appends inside the writer when Sync is off: the OS page
@@ -314,9 +316,13 @@ func (db *DB) Close() error {
 		// controller) finishes before Close proceeds to tear the WAL down.
 		db.pipeline.Close()
 
+		// The final WAL sync and close are the last durability points; their
+		// errors are the ones a caller of Close most needs to see.
 		if db.logFile != nil {
-			db.logw.Sync()
-			db.logFile.Close()
+			db.closeErr = db.logw.Sync()
+			if err := db.logFile.Close(); db.closeErr == nil {
+				db.closeErr = err
+			}
 			db.logFile = nil
 		}
 		// Reads that acquired the read state before it was retired — point
@@ -328,7 +334,9 @@ func (db *DB) Close() error {
 			<-db.retired.done
 		}
 		db.tables.close()
-		db.closeErr = db.set.Close()
+		if err := db.set.Close(); db.closeErr == nil {
+			db.closeErr = err
+		}
 	})
 	return db.closeErr
 }

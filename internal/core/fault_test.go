@@ -126,9 +126,14 @@ func TestRecoveryAfterTornWAL(t *testing.T) {
 		db.Put(key(i), value(i))
 	}
 	db.mu.Lock()
-	db.logw.Sync() // flushes the writer's buffer, then syncs the file
+	logw := db.logw
 	logNum := db.logNum
 	db.mu.Unlock()
+	// Flushes the writer's buffer, then syncs the file. Outside db.mu, like
+	// the engine's own commit pipeline; no writers are running.
+	if err := logw.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	db.Close()
 
 	// Tear the last 7 bytes off the WAL.
@@ -140,10 +145,12 @@ func TestRecoveryAfterTornWAL(t *testing.T) {
 	size, _ := f.Size()
 	raw := make([]byte, size-7)
 	f.ReadAt(raw, 0)
-	f.Close()
+	_ = f.Close() // read-only handle
 	out, _ := mem.Create(name)
 	out.Write(raw)
-	out.Close()
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	db2, err := Open("/db", opts)
 	if err != nil {

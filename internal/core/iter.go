@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/compaction"
+	"repro/internal/invariants"
 	"repro/internal/iterator"
 	"repro/internal/keys"
 	"repro/internal/version"
@@ -58,9 +59,24 @@ func (l *levelIter) open(idx int) bool {
 	return true
 }
 
-func (l *levelIter) Valid() bool { return l.err == nil && l.cur != nil && l.cur.Valid() }
+// assertOpen catches use-after-Close under -tags invariants. A closed
+// levelIter may already be recycled by another goroutine, so a stale use is
+// silent cross-iterator corruption in production; with invariants on, Close
+// keeps the carcass out of the pool (poisoning it) and every entry point
+// trips here instead.
+func (l *levelIter) assertOpen() {
+	if invariants.Enabled && l.closed {
+		panic("invariant violated: levelIter used after Close")
+	}
+}
+
+func (l *levelIter) Valid() bool {
+	l.assertOpen()
+	return l.err == nil && l.cur != nil && l.cur.Valid()
+}
 
 func (l *levelIter) SeekGE(target []byte) {
+	l.assertOpen()
 	if l.err != nil {
 		return
 	}
@@ -75,6 +91,7 @@ func (l *levelIter) SeekGE(target []byte) {
 }
 
 func (l *levelIter) SeekToFirst() {
+	l.assertOpen()
 	if l.err != nil {
 		return
 	}
@@ -86,6 +103,7 @@ func (l *levelIter) SeekToFirst() {
 }
 
 func (l *levelIter) SeekToLast() {
+	l.assertOpen()
 	if l.err != nil {
 		return
 	}
@@ -138,8 +156,8 @@ func (l *levelIter) skipBackward() {
 	}
 }
 
-func (l *levelIter) Key() []byte   { return l.cur.Key() }
-func (l *levelIter) Value() []byte { return l.cur.Value() }
+func (l *levelIter) Key() []byte   { l.assertOpen(); return l.cur.Key() }
+func (l *levelIter) Value() []byte { l.assertOpen(); return l.cur.Value() }
 
 func (l *levelIter) Error() error {
 	if l.err != nil {
@@ -166,6 +184,12 @@ func (l *levelIter) Close() error {
 		l.cur = nil
 	}
 	l.db, l.files, l.err = nil, nil, nil
+	if invariants.Enabled {
+		// Keep the closed iterator out of the pool: recycling would reset
+		// closed and let a stale caller silently corrupt the next user. The
+		// poisoned carcass makes any late call trip assertOpen instead.
+		return err
+	}
 	levelIterPool.Put(l)
 	return err
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/invariants"
 	"repro/internal/memtable"
 	"repro/internal/version"
 )
@@ -50,7 +51,11 @@ type readState struct {
 func (rs *readState) ref() { rs.refs.Add(1) }
 
 func (rs *readState) unref() {
-	if rs.refs.Add(-1) != 0 {
+	n := rs.refs.Add(-1)
+	// A second 1→0 crossing is legal (see released above); a negative count
+	// means an unref without a matching ref — a double release.
+	invariants.CheckRefcountNonNegative(int64(n), "core.readState")
+	if n != 0 {
 		return
 	}
 	if rs.released.CompareAndSwap(false, true) {
@@ -73,6 +78,10 @@ func (db *DB) loadReadState() *readState {
 		}
 		rs.ref()
 		if db.readState.Load() == rs {
+			// The recheck passed, so the publisher cannot have dropped the
+			// pointer's own reference yet: a released state here means the
+			// retry protocol itself is broken.
+			invariants.CheckNotReleased(rs.released.Load(), "core.readState")
 			return rs
 		}
 		rs.unref()

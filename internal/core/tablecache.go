@@ -59,11 +59,11 @@ func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
 		VerifyChecksums: tc.verify,
 	})
 	if err != nil {
-		f.Close()
+		_ = f.Close() // reader never took ownership
 		return nil, err
 	}
 	if existing, loaded := tc.readers.LoadOrStore(num, r); loaded {
-		r.Close()
+		_ = r.Close() // lost the race; the winner's reader is the one in use
 		return existing.(*sstable.Reader), nil
 	}
 	return r, nil
@@ -73,7 +73,7 @@ func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
 // cached blocks.
 func (tc *tableCache) evict(num uint64) {
 	if r, ok := tc.readers.LoadAndDelete(num); ok {
-		r.(*sstable.Reader).Close()
+		_ = r.(*sstable.Reader).Close() // file is being deleted; errors are moot
 	}
 	tc.blockCache.EvictFile(num)
 }
@@ -91,7 +91,7 @@ func (tc *tableCache) totalBlockReads() int64 {
 // close releases every reader.
 func (tc *tableCache) close() {
 	tc.readers.Range(func(num, r interface{}) bool {
-		r.(*sstable.Reader).Close()
+		_ = r.(*sstable.Reader).Close() // read-only handles; nothing to sync
 		tc.readers.Delete(num)
 		return true
 	})

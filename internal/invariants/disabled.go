@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package invariants
+
+// Enabled is false in default builds; checks guarded by it compile away.
+const Enabled = false

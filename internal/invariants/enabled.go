@@ -1,0 +1,6 @@
+//go:build invariants
+
+package invariants
+
+// Enabled is true in builds made with -tags invariants.
+const Enabled = true

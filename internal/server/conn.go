@@ -61,7 +61,7 @@ func (c *conn) serve() {
 		// Disconnect mid-pipeline loses the unapplied tail by design (the
 		// client never saw acks for it); drop it rather than committing
 		// writes nobody observed succeed.
-		c.nc.Close()
+		_ = c.nc.Close() // peer may already be gone; nothing to do with the error
 		c.srv.remove(c)
 	}()
 

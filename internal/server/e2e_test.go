@@ -180,7 +180,7 @@ func TestE2EDisconnectMidPipeline(t *testing.T) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetLinger(0) // RST, the rudest disconnect
 	}
-	nc.Close()
+	_ = nc.Close() // RST path: the error is the point
 
 	// No goroutine leak: the dead connection is reaped.
 	waitConns(t, srv, 1)

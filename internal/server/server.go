@@ -236,17 +236,22 @@ func (s *Server) Shutdown() error {
 		s.draining.Store(true)
 		close(s.quit)
 		s.mu.Lock()
-		if s.ln != nil {
-			s.ln.Close()
+		ln := s.ln
+		live := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			live = append(live, c)
+		}
+		s.mu.Unlock()
+		if ln != nil {
+			_ = ln.Close() // unblocks Accept; double-close on a dead listener is harmless
 		}
 		// Wake connections parked in a blocking read: an immediate read
 		// deadline makes the read return now; the connection loop observes
 		// draining, flushes, and exits. Connections mid-command keep going
 		// until their received burst is done.
-		for c := range s.conns {
+		for _, c := range live {
 			c.nc.SetReadDeadline(time.Now())
 		}
-		s.mu.Unlock()
 
 		done := make(chan struct{})
 		go func() {
@@ -260,10 +265,14 @@ func (s *Server) Shutdown() error {
 			// command wedged on a dead socket): sever and wait again —
 			// the loops exit on the resulting I/O errors.
 			s.mu.Lock()
+			stuck := make([]*conn, 0, len(s.conns))
 			for c := range s.conns {
-				c.nc.Close()
+				stuck = append(stuck, c)
 			}
 			s.mu.Unlock()
+			for _, c := range stuck {
+				_ = c.nc.Close() // severing; the conn loop reports its own exit
+			}
 			<-done
 		}
 		s.shutdownErr = s.db.Close()

@@ -25,7 +25,7 @@ func TestCategoryAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Write(make([]byte, 1000))
-	f.Close()
+	_ = f.Close()
 
 	// Read 400 of them as a user read.
 	uf := fs.WithCategory(CatUserRead)
@@ -35,7 +35,7 @@ func TestCategoryAccounting(t *testing.T) {
 	}
 	buf := make([]byte, 400)
 	r.ReadAt(buf, 0)
-	r.Close()
+	_ = r.Close()
 
 	s := dev.Snapshot()
 	if got := s.ByCategory[CatFlush].WriteBytes; got != 1000 {
@@ -141,7 +141,7 @@ func TestFSPassthrough(t *testing.T) {
 	fs := Wrap(vfs.Mem(), dev)
 	f, _ := fs.Create("/x")
 	f.Write([]byte("abc"))
-	f.Close()
+	_ = f.Close()
 	if !fs.Exists("/x") {
 		t.Error("Exists false")
 	}
@@ -158,7 +158,7 @@ func TestFSPassthrough(t *testing.T) {
 	// Size observable through the simulator and TotalBytes unwraps it.
 	f2, _ := fs.Create("/z")
 	f2.Write(make([]byte, 42))
-	f2.Close()
+	_ = f2.Close()
 	if got, ok := vfs.TotalBytes(fs); !ok || got != 42 {
 		t.Errorf("TotalBytes through simulator = %d, %v", got, ok)
 	}

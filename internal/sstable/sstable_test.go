@@ -139,7 +139,7 @@ func TestGetSnapshotAndTombstone(t *testing.T) {
 	if _, err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	_ = f.Close()
 
 	r := openTable(t, fs, "/t.sst", defaultROpts())
 	defer r.Close()
@@ -300,11 +300,11 @@ func TestChecksumCorruptionDetected(t *testing.T) {
 	size, _ := f.Size()
 	raw := make([]byte, size)
 	f.ReadAt(raw, 0)
-	f.Close()
+	_ = f.Close()
 	raw[size/3] ^= 0xff
 	out, _ := fs.Create("/t.sst")
 	out.Write(raw)
-	out.Close()
+	_ = out.Close()
 
 	f2, _ := fs.Open("/t.sst")
 	r, err := OpenReader(f2, defaultROpts())
@@ -318,14 +318,14 @@ func TestChecksumCorruptionDetected(t *testing.T) {
 		t.Error("corruption not detected during scan")
 	}
 	it.Close()
-	r.Close()
+	_ = r.Close()
 }
 
 func TestOpenRejectsTruncatedFile(t *testing.T) {
 	fs := vfs.Mem()
 	f, _ := fs.Create("/t.sst")
 	f.Write([]byte("not a table"))
-	f.Close()
+	_ = f.Close()
 	rf, _ := fs.Open("/t.sst")
 	if _, err := OpenReader(rf, defaultROpts()); err == nil {
 		t.Error("short file accepted")
@@ -357,7 +357,7 @@ func TestLargeValues(t *testing.T) {
 	if _, err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	_ = f.Close()
 	r := openTable(t, fs, "/t.sst", defaultROpts())
 	defer r.Close()
 	v, _, found, err := r.Get([]byte("big"), keys.MaxSeq)
@@ -403,8 +403,8 @@ func BenchmarkTableWrite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.Add(keys.MakeInternalKey(nil, []byte(fmt.Sprintf("key-%012d", i)), keys.Seq(i+1), keys.KindSet), val)
 	}
-	w.Finish()
-	f.Close()
+	_, _ = w.Finish()
+	_ = f.Close()
 }
 
 func BenchmarkTableGet(b *testing.B) {

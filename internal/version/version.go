@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/invariants"
 	"repro/internal/keys"
 )
 
@@ -32,6 +33,12 @@ type Version struct {
 
 	refs atomic.Int32
 	set  *Set // for file refcount release; nil in standalone tests
+	// releasedInv records (for -tags invariants builds) that the last
+	// reference was dropped and the version's files were returned to the
+	// Set. A later Ref is the CurrentNoRef-held-too-long bug: the caller
+	// kept an unreferenced version across a lock release and tried to
+	// resurrect it.
+	releasedInv atomic.Bool
 }
 
 // NewVersion returns an empty version (mainly for tests; real versions come
@@ -41,7 +48,10 @@ func NewVersion(icmp keys.InternalComparer) *Version {
 }
 
 // Ref acquires a reference to the version.
-func (v *Version) Ref() { v.refs.Add(1) }
+func (v *Version) Ref() {
+	invariants.CheckNotReleased(v.releasedInv.Load(), "version.Version")
+	v.refs.Add(1)
+}
 
 // Unref releases a reference; when the last drops, the version's file
 // references are returned to the Set (which may mark files obsolete).
@@ -51,9 +61,15 @@ func (v *Version) Unref() {
 		panic("version: refcount below zero")
 	}
 	if n == 0 && v.set != nil {
+		if invariants.Enabled {
+			v.releasedInv.Store(true)
+		}
 		v.set.releaseVersionFiles(v)
 	}
 }
+
+// Refs reports the current reference count (for tests and assertions).
+func (v *Version) Refs() int32 { return v.refs.Load() }
 
 // NumFiles reports the file count of a level.
 func (v *Version) NumFiles(level int) int { return len(v.Levels[level]) }

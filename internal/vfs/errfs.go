@@ -67,7 +67,7 @@ func (e *ErrFS) TearFile(name string, drop int) error {
 	}
 	size, err := f.Size()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	keep := size - int64(drop)
@@ -77,17 +77,17 @@ func (e *ErrFS) TearFile(name string, drop int) error {
 	data := make([]byte, keep)
 	if keep > 0 {
 		if _, err := f.ReadAt(data, 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
-	f.Close()
+	_ = f.Close()
 	out, err := e.inner.Create(name)
 	if err != nil {
 		return err
 	}
 	if _, err := out.Write(data); err != nil {
-		out.Close()
+		_ = out.Close()
 		return err
 	}
 	return out.Close()

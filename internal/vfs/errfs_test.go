@@ -19,7 +19,7 @@ func TestErrFSPassthroughWhenDisarmed(t *testing.T) {
 	if err := f.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	_ = f.Close()
 	if !fs.Exists("/x") {
 		t.Error("file missing")
 	}
@@ -76,7 +76,7 @@ func TestErrFSUnwraps(t *testing.T) {
 	fs := NewErrFS(inner)
 	f, _ := fs.Create("/x")
 	f.Write(make([]byte, 10))
-	f.Close()
+	_ = f.Close()
 	got, ok := TotalBytes(fs)
 	if !ok || got != 10 {
 		t.Errorf("TotalBytes through ErrFS = %d, %v", got, ok)
@@ -114,7 +114,7 @@ func TestTearFileTruncatesTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Write([]byte("0123456789"))
-	f.Close()
+	_ = f.Close()
 	if err := efs.TearFile("/t", 4); err != nil {
 		t.Fatal(err)
 	}
@@ -140,5 +140,5 @@ func TestTearFileTruncatesTail(t *testing.T) {
 	if size, _ := g2.Size(); size != 0 {
 		t.Fatalf("size after over-tear = %d, want 0", size)
 	}
-	g2.Close()
+	_ = g2.Close()
 }

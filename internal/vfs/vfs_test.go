@@ -68,7 +68,7 @@ func testFS(t *testing.T, fs FS, root string) {
 	if _, err := r.ReadAt(buf, 1000); err != io.EOF {
 		t.Errorf("ReadAt past EOF err = %v", err)
 	}
-	r.Close()
+	_ = r.Close()
 
 	// Rename.
 	name2 := filepath.Join(root, "renamed.dat")
@@ -102,10 +102,10 @@ func TestMemFSCreateTruncates(t *testing.T) {
 	fs := Mem()
 	f, _ := fs.Create("/x")
 	f.Write([]byte("long old content"))
-	f.Close()
+	_ = f.Close()
 	f2, _ := fs.Create("/x")
 	f2.Write([]byte("new"))
-	f2.Close()
+	_ = f2.Close()
 	r, _ := fs.Open("/x")
 	if sz, _ := r.Size(); sz != 3 {
 		t.Errorf("size after truncating create = %d", sz)
@@ -119,7 +119,7 @@ func TestMemFSListScopedToDir(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f.Close()
+		_ = f.Close()
 	}
 	mustCreate("/a/1")
 	mustCreate("/a/2")
@@ -134,10 +134,10 @@ func TestTotalBytes(t *testing.T) {
 	fs := Mem()
 	f, _ := fs.Create("/a")
 	f.Write(make([]byte, 100))
-	f.Close()
+	_ = f.Close()
 	f2, _ := fs.Create("/b")
 	f2.Write(make([]byte, 50))
-	f2.Close()
+	_ = f2.Close()
 	got, ok := TotalBytes(fs)
 	if !ok || got != 150 {
 		t.Errorf("TotalBytes = %d, %v", got, ok)

@@ -26,7 +26,7 @@ func writeLog(t testing.TB, fs vfs.FS, name string, recs ...[]byte) {
 	if err := w.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	_ = f.Close()
 }
 
 func readAll(t testing.TB, fs vfs.FS, name string) ([][]byte, error) {
@@ -110,10 +110,10 @@ func TestTornTailDetected(t *testing.T) {
 	size, _ := f.Size()
 	raw := make([]byte, size-2000)
 	f.ReadAt(raw, 0)
-	f.Close()
+	_ = f.Close()
 	out, _ := fs.Create("/log")
 	out.Write(raw)
-	out.Close()
+	_ = out.Close()
 
 	got, err := readAll(t, fs, "/log")
 	if !errors.Is(err, ErrCorrupt) {
@@ -131,11 +131,11 @@ func TestBitFlipDetected(t *testing.T) {
 	size, _ := f.Size()
 	raw := make([]byte, size)
 	f.ReadAt(raw, 0)
-	f.Close()
+	_ = f.Close()
 	raw[headerLen+1] ^= 0x01 // flip a payload bit of the first record
 	out, _ := fs.Create("/log")
 	out.Write(raw)
-	out.Close()
+	_ = out.Close()
 
 	_, err := readAll(t, fs, "/log")
 	if !errors.Is(err, ErrCorrupt) {

@@ -1,0 +1,277 @@
+package main
+
+// atomicfield enforces the publication rule behind the lock-free read path:
+// a struct field that is ever accessed through sync/atomic must never be
+// read or written plainly — mixed access is a data race the moment the
+// plain access happens off the owning goroutine, and it defeats the
+// happens-before edges the atomic side is paying for.
+//
+// Two styles of atomic use are recognized:
+//
+//   - function style: atomic.LoadInt64(&x.f), atomic.AddInt64(&x.f, 1), …
+//     Any other appearance of x.f in the package (read, write, or aliasing
+//     &x.f that is not an atomic call argument) is flagged.
+//   - typed style: a field of type atomic.Int64 / atomic.Pointer[T] / … .
+//     Method calls (x.f.Load()) are the only legal use; assigning the field
+//     (x.f = y) or copying it out (y := x.f) is flagged. Taking its address
+//     is allowed — passing *atomic.Int64 around is how the typed API is
+//     meant to be shared.
+//
+// Constructor code is exempt: functions named init or New*/new* build
+// objects no other goroutine can see yet, where plain initialization of a
+// function-style atomic field is conventional.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// addrOp is the address-of operator.
+const addrOp = token.AND
+
+var atomicfieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "reports plain reads/writes of struct fields that are elsewhere accessed atomically",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	// Pass 1: find fields published through function-style sync/atomic calls.
+	funcStyle := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fv := addressedField(pass, arg); fv != nil {
+					funcStyle[fv] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag non-atomic uses of those fields, and plain assignment or
+	// copy of typed-atomic fields.
+	for _, f := range pass.Files {
+		v := &atomicVisitor{pass: pass, funcStyle: funcStyle}
+		v.file(f)
+	}
+}
+
+type atomicVisitor struct {
+	pass      *Pass
+	funcStyle map[*types.Var]bool
+}
+
+func (v *atomicVisitor) file(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if isConstructorName(fd.Name.Name) {
+			continue
+		}
+		v.walk(fd.Body, nil)
+	}
+}
+
+// walk visits expressions keeping a parent chain, so a selector's use site
+// (atomic call argument, method receiver, plain read) can be classified.
+func (v *atomicVisitor) walk(n ast.Node, parents []ast.Node) {
+	if n == nil {
+		return
+	}
+	if sel, ok := n.(*ast.SelectorExpr); ok {
+		if fv := v.fieldOf(sel); fv != nil {
+			v.checkUse(sel, fv, parents)
+			// Still descend: x.f where x is itself a flagged field chain.
+		}
+	}
+	parents = append(parents, n)
+	for _, child := range childNodes(n) {
+		v.walk(child, parents)
+	}
+}
+
+// fieldOf resolves a selector to a struct field variable, or nil.
+func (v *atomicVisitor) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	s, ok := v.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv
+}
+
+func (v *atomicVisitor) checkUse(sel *ast.SelectorExpr, fv *types.Var, parents []ast.Node) {
+	isFuncStyle := v.funcStyle[fv]
+	isTyped := isAtomicType(fv.Type())
+	if !isFuncStyle && !isTyped {
+		return
+	}
+
+	// Classify by the immediate parents.
+	var p1, p2 ast.Node
+	if len(parents) > 0 {
+		p1 = parents[len(parents)-1]
+	}
+	if len(parents) > 1 {
+		p2 = parents[len(parents)-2]
+	}
+
+	// &x.f — legal when the address feeds a sync/atomic call (function
+	// style) or is shared as *atomic.T (typed style).
+	if ue, ok := p1.(*ast.UnaryExpr); ok && ue.Op == addrOp && ue.X == ast.Expr(sel) {
+		if isTyped {
+			return
+		}
+		if call, ok := p2.(*ast.CallExpr); ok && isAtomicFuncCall(v.pass, call) {
+			return
+		}
+		v.pass.Reportf(sel.Pos(),
+			"address of %s escapes sync/atomic; this field is atomically accessed and must not be aliased plainly",
+			fieldDesc(fv))
+		return
+	}
+
+	// x.f.Load() — the selector as a method-call receiver base: legal for
+	// typed atomics.
+	if outer, ok := p1.(*ast.SelectorExpr); ok && outer.X == ast.Expr(sel) {
+		if isTyped {
+			return // x.f.Load / x.f.Store / ... (method use checked by the compiler)
+		}
+	}
+
+	// x.f[i] on an array of atomics: indexing an addressable array does not
+	// copy the element — x.f[i].Add(1) is the canonical typed-array idiom.
+	// Copying the *element* out (y := x.f[i]) is still flagged.
+	if ix, ok := p1.(*ast.IndexExpr); ok && ix.X == ast.Expr(sel) && isTyped {
+		if outer, ok := p2.(*ast.SelectorExpr); ok && outer.X == ast.Expr(ix) {
+			return // x.f[i].Load / .Store / .Add ...
+		}
+		if ue, ok := p2.(*ast.UnaryExpr); ok && ue.Op == addrOp && ue.X == ast.Expr(ix) {
+			return // &x.f[i] shared as *atomic.T
+		}
+		v.pass.Reportf(sel.Pos(),
+			"element of %s copied by value; atomic values must be used through their methods, not copied",
+			fieldDesc(fv))
+		return
+	}
+
+	// Remaining uses are plain reads or writes.
+	if isWrite(sel, parents) {
+		v.pass.Reportf(sel.Pos(),
+			"plain write to %s, which is accessed via sync/atomic elsewhere; use the atomic API on every access",
+			fieldDesc(fv))
+		return
+	}
+	if isTyped {
+		v.pass.Reportf(sel.Pos(),
+			"%s copied by value; atomic values must be used through their methods, not copied",
+			fieldDesc(fv))
+		return
+	}
+	v.pass.Reportf(sel.Pos(),
+		"plain read of %s, which is accessed via sync/atomic elsewhere; use the atomic API on every access",
+		fieldDesc(fv))
+}
+
+// isWrite reports whether sel is the target of an assignment or inc/dec.
+func isWrite(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(sel) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == ast.Expr(sel)
+	}
+	return false
+}
+
+func fieldDesc(fv *types.Var) string {
+	return "field " + fv.Name()
+}
+
+// isAtomicFuncCall reports a call to a function in package sync/atomic
+// (Load*/Store*/Add*/Swap*/CompareAndSwap*).
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f to the field variable of x.f.
+func addressedField(pass *Pass, arg ast.Expr) *types.Var {
+	ue, ok := arg.(*ast.UnaryExpr)
+	if !ok || ue.Op != addrOp {
+		return nil
+	}
+	sel, ok := ue.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv
+}
+
+// isAtomicType reports a type from package sync/atomic (atomic.Int64,
+// atomic.Pointer[T], …), possibly inside an array (buckets [n]atomic.Int64).
+func isAtomicType(t types.Type) bool {
+	if arr, ok := t.(*types.Array); ok {
+		t = arr.Elem()
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func isConstructorName(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// childNodes lists a node's immediate children (ast.Inspect cannot easily
+// provide parents, so the visitor walks manually via a generic fan-out).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

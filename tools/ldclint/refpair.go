@@ -1,0 +1,424 @@
+package main
+
+// refpair encodes the refcount discipline that shipped review fixes twice:
+// a reference acquired with Ref()/ref()/Acquire() — or returned already
+// held by version.Set.Current and DB.loadReadState — must be released with
+// the matching Unref()/unref()/Release() on every exit path of the
+// function, unless ownership demonstrably moves elsewhere (the value is
+// returned, stored into longer-lived structure, passed to another function,
+// or captured by a closure).
+//
+// The analysis is intraprocedural and defer-aware:
+//
+//   - E.Ref()-style calls open an obligation keyed by the receiver
+//     expression; v := E.Current()-style calls open one keyed by the bound
+//     identifier, provided the result type actually carries a release
+//     method (so arbitrary methods that happen to be called Current are
+//     ignored).
+//   - A matching release call closes the obligation; a *deferred* release
+//     closes it for every subsequent exit.
+//   - At each return (and at the function's fall-through exit) every still
+//     open obligation whose value is not part of the returned expressions
+//     is reported — once per acquire site.
+//   - A branch taken only when the value is nil (if v == nil { ... })
+//     clears the obligation inside that branch: there is nothing to
+//     release.
+//
+// Escapes are computed function-wide and deliberately generously — an
+// identifier that anywhere in the function is passed as an argument, stored
+// through a selector/index, placed in a composite literal, sent on a
+// channel, or captured by a function literal is treated as handed off, and
+// obligations on it are never reported. The goal is catching the local
+// "took a ref, error-pathed out without dropping it" bug with no false
+// positives on ownership-transfer patterns.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var refpairAnalyzer = &Analyzer{
+	Name: "refpair",
+	Doc:  "reports Ref/Acquire calls lacking a matching Unref/Release on some exit path",
+	Run:  runRefpair,
+}
+
+// acquireMethods open an obligation on their receiver; the value is the
+// release name used in messages.
+var acquireMethods = map[string]string{
+	"Ref":     "Unref",
+	"ref":     "unref",
+	"Acquire": "Release",
+	"acquire": "release",
+}
+
+// acquireFuncs return a value that arrives with a reference already held.
+var acquireFuncs = map[string]bool{
+	"Current":       true,
+	"loadReadState": true,
+}
+
+var releaseMethods = map[string]bool{
+	"Unref": true, "unref": true, "Release": true, "release": true,
+}
+
+func runRefpair(pass *Pass) {
+	for _, fn := range funcsOf(pass.Files) {
+		w := &refWalker{
+			pass:     pass,
+			escaped:  escapingIdents(fn.body),
+			reported: map[token.Pos]bool{},
+		}
+		exit := w.walk(fn.body.List, map[string]*obligation{})
+		if !terminates(fn.body.List) {
+			w.checkExit(exit, nil)
+		}
+	}
+}
+
+// obligation is one open acquire.
+type obligation struct {
+	key     string
+	pos     token.Pos
+	typ     string // type name, for the message
+	release string // expected release method name
+}
+
+type refWalker struct {
+	pass     *Pass
+	escaped  map[string]bool
+	reported map[token.Pos]bool
+}
+
+// hasReleaseMethod reports whether t's method set (including pointer
+// methods) contains any known release method — the gate that keeps the
+// analyzer from tracking unrelated types.
+func hasReleaseMethod(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	for _, tt := range []types.Type{types.Type(n), types.NewPointer(n)} {
+		ms := types.NewMethodSet(tt)
+		for i := 0; i < ms.Len(); i++ {
+			if releaseMethods[ms.At(i).Obj().Name()] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// escapingIdents pre-scans a function body for identifiers whose value is
+// handed off: call arguments, channel sends, stores through non-ident
+// left-hand sides, composite-literal elements, and closure captures.
+// Return statements are intentionally NOT escapes here — handoff-by-return
+// is checked per exit, so a return that leaks on one path is still caught
+// on another.
+func escapingIdents(body *ast.BlockStmt) map[string]bool {
+	esc := map[string]bool{}
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				esc[id.Name] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Release/acquire calls themselves are bookkeeping, not escapes.
+			if name := calleeName(n); releaseMethods[name] || acquireMethods[name] != "" {
+				return true
+			}
+			for _, arg := range n.Args {
+				mark(arg)
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					if _, isIdent := n.Lhs[i].(*ast.Ident); !isIdent {
+						mark(rhs)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				mark(el)
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					esc[id.Name] = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return esc
+}
+
+func (w *refWalker) walk(stmts []ast.Stmt, open map[string]*obligation) map[string]*obligation {
+	for _, s := range stmts {
+		open = w.walkStmt(s, open)
+	}
+	return open
+}
+
+func (w *refWalker) walkStmt(s ast.Stmt, open map[string]*obligation) map[string]*obligation {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.handleCall(call, open)
+		}
+
+	case *ast.DeferStmt:
+		w.handleCall(s.Call, open)
+
+	case *ast.AssignStmt:
+		// v := E.Current() — a result-form acquire, tracked only in the
+		// simple one-to-one binding.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && w.isAcquireFunc(call) {
+					open[id.Name] = &obligation{
+						key:     id.Name,
+						pos:     call.Pos(),
+						typ:     typeString(w.pass, call),
+						release: "Unref/Release",
+					}
+					return open
+				}
+			}
+		}
+		// An assignment overwriting a tracked identifier ends its tracking
+		// (shadowing or reuse; the old value's fate is beyond this pass).
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				delete(open, id.Name)
+			}
+		}
+
+	case *ast.ReturnStmt:
+		w.checkExit(open, s)
+		return open
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			open = w.walkStmt(s.Init, open)
+		}
+		key, isNil := nilCheckedKey(w.pass.Fset, s.Cond)
+		bodyOpen := cloneOb(open)
+		if key != "" && isNil {
+			// if v == nil { ... }: nothing to release inside the nil arm.
+			delete(bodyOpen, key)
+		}
+		bodyOpen = w.walk(s.Body.List, bodyOpen)
+		elseOpen := open
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseOpen = w.walk(e.List, cloneOb(open))
+		case *ast.IfStmt:
+			elseOpen = w.walkStmt(e, cloneOb(open))
+		}
+		if key != "" && !isNil && s.Else == nil {
+			// if v != nil { release(v) } with no else: the skip path holds
+			// nil, so the obligation is satisfied when the body released it.
+			elseOpen = cloneOb(elseOpen)
+			delete(elseOpen, key)
+		}
+		bodyTerm := terminates(s.Body.List)
+		var elseTerm bool
+		if e, ok := s.Else.(*ast.BlockStmt); ok {
+			elseTerm = terminates(e.List)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return map[string]*obligation{}
+		case bodyTerm:
+			return elseOpen
+		case elseTerm:
+			return bodyOpen
+		default:
+			// Open in either branch ⇒ possibly unreleased on some path.
+			return unionOb(bodyOpen, elseOpen)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			open = w.walkStmt(s.Init, open)
+		}
+		w.walk(s.Body.List, cloneOb(open))
+		return open
+
+	case *ast.RangeStmt:
+		w.walk(s.Body.List, cloneOb(open))
+		return open
+
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walk(cc.Body, cloneOb(open))
+			}
+		}
+		return open
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walk(cc.Body, cloneOb(open))
+			}
+		}
+		return open
+
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walk(cc.Body, cloneOb(open))
+			}
+		}
+		return open
+
+	case *ast.BlockStmt:
+		return w.walk(s.List, open)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, open)
+	}
+	return open
+}
+
+// handleCall updates obligations for acquire/release calls.
+func (w *refWalker) handleCall(call *ast.CallExpr, open map[string]*obligation) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	recv := recvType(w.pass.Info, call)
+	if release, isAcq := acquireMethods[name]; isAcq && recv != nil && hasReleaseMethod(recv) {
+		key := exprKey(w.pass.Fset, sel.X)
+		open[key] = &obligation{
+			key:     key,
+			pos:     call.Pos(),
+			typ:     types.TypeString(deref(recv), types.RelativeTo(w.pass.Pkg)),
+			release: release,
+		}
+		return
+	}
+	if releaseMethods[name] && recv != nil {
+		delete(open, exprKey(w.pass.Fset, sel.X))
+	}
+}
+
+// isAcquireFunc reports whether call is a known acquiring function whose
+// result carries a reference (and a release method to prove it).
+func (w *refWalker) isAcquireFunc(call *ast.CallExpr) bool {
+	if !acquireFuncs[calleeName(call)] {
+		return false
+	}
+	tv, ok := w.pass.Info.Types[ast.Expr(call)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return hasReleaseMethod(tv.Type)
+}
+
+func typeString(pass *Pass, call *ast.CallExpr) string {
+	if tv, ok := pass.Info.Types[ast.Expr(call)]; ok && tv.Type != nil {
+		return types.TypeString(deref(tv.Type), types.RelativeTo(pass.Pkg))
+	}
+	return "value"
+}
+
+// checkExit reports every open obligation that neither escaped nor is
+// handed off by the return statement itself.
+func (w *refWalker) checkExit(open map[string]*obligation, ret *ast.ReturnStmt) {
+	for _, ob := range open {
+		if w.escaped[rootIdent(ob.key)] || w.reported[ob.pos] {
+			continue
+		}
+		if ret != nil && returnsKey(ret, rootIdent(ob.key)) {
+			continue
+		}
+		w.reported[ob.pos] = true
+		w.pass.Reportf(ob.pos,
+			"%s reference acquired here is not released on every path; call %s or hand the value off",
+			ob.typ, ob.release)
+	}
+}
+
+// rootIdent extracts the leading identifier of a key like "rs" or "db.set".
+func rootIdent(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// returnsKey reports whether the identifier appears anywhere in the return
+// expressions (ownership transferred to the caller).
+func returnsKey(ret *ast.ReturnStmt, ident string) bool {
+	found := false
+	for _, e := range ret.Results {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == ident {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// nilCheckedKey recognizes `X == nil` / `X != nil` conditions and returns
+// the key for X plus whether the nil case is the true branch.
+func nilCheckedKey(fset *token.FileSet, cond ast.Expr) (key string, isNil bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", false
+	}
+	var x ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		x = be.X
+	case isNilIdent(be.X):
+		x = be.Y
+	default:
+		return "", false
+	}
+	return exprKey(fset, x), be.Op == token.EQL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func cloneOb(m map[string]*obligation) map[string]*obligation {
+	out := make(map[string]*obligation, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// unionOb keeps an obligation open if it is open after either branch —
+// missing a release on one path is exactly the bug class.
+func unionOb(a, b map[string]*obligation) map[string]*obligation {
+	out := cloneOb(a)
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// Package atomicfield_clean holds the legal atomic access shapes; the
+// atomicfield analyzer must stay silent on every one of them.
+package atomicfield_clean
+
+import "sync/atomic"
+
+type counters struct {
+	n       int64 // function-style atomic field
+	typed   atomic.Int64
+	buckets [8]atomic.Int64
+	plain   int64 // never touched atomically; plain access is fine
+}
+
+// Every access of a function-style field goes through sync/atomic.
+func (c *counters) inc() int64 {
+	atomic.AddInt64(&c.n, 1)
+	return atomic.LoadInt64(&c.n)
+}
+
+// Typed atomics used through their methods.
+func (c *counters) typedUse() int64 {
+	c.typed.Store(7)
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// Sharing a typed atomic by address is how *atomic.T is meant to travel.
+func (c *counters) share() *atomic.Int64 {
+	return &c.typed
+}
+
+// Indexing an addressable array of atomics does not copy the element; this
+// is the canonical histogram-bucket idiom.
+func (c *counters) bump(i int) int64 {
+	c.buckets[i].Add(1)
+	return c.buckets[i].Load()
+}
+
+func (c *counters) shareElem(i int) *atomic.Int64 {
+	return &c.buckets[i]
+}
+
+// Constructors run before the value is shared; plain initialization of a
+// function-style field is conventional there.
+func NewCounters(start int64) *counters {
+	c := &counters{}
+	c.n = start
+	return c
+}
+
+// A never-atomic field stays free.
+func (c *counters) usePlain() int64 {
+	c.plain++
+	return c.plain
+}

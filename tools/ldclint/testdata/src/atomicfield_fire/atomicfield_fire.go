@@ -1,0 +1,36 @@
+// Package atomicfield_fire seeds mixed plain/atomic accesses of the same
+// struct field — the data race the atomicfield analyzer exists to catch.
+package atomicfield_fire
+
+import "sync/atomic"
+
+type counters struct {
+	n     int64 // accessed via atomic.AddInt64: function-style atomic field
+	typed atomic.Int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counters) plainRead() int64 {
+	return c.n // want `plain read of field n, which is accessed via sync/atomic elsewhere`
+}
+
+func (c *counters) plainWrite() {
+	c.n = 0 // want `plain write to field n, which is accessed via sync/atomic elsewhere`
+}
+
+func (c *counters) aliased() *int64 {
+	p := &c.n // want `address of field n escapes sync/atomic`
+	return p
+}
+
+func (c *counters) typedCopy() int64 {
+	x := c.typed // want `field typed copied by value; atomic values must be used through their methods`
+	return x.Load()
+}
+
+func (c *counters) typedOverwrite() {
+	c.typed = atomic.Int64{} // want `plain write to field typed`
+}

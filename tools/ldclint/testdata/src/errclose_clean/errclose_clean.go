@@ -1,0 +1,43 @@
+// Package errclose_clean holds the sanctioned error-handling shapes; the
+// errclose analyzer must stay silent on every one of them.
+package errclose_clean
+
+import (
+	"vfs"
+	"wal"
+)
+
+// closer is an application-level type; its Close is out of scope even when
+// dropped (only wal/sstable/vfs/net receivers are durability-critical).
+type closer struct{ f *vfs.File }
+
+func (c *closer) Close() error { return c.f.Close() }
+
+// Handled.
+func handled(f *vfs.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Propagated.
+func propagated(w *wal.Writer) error {
+	return w.Sync()
+}
+
+// Explicitly discarded: `_ =` states intent and is the sanctioned form.
+func discarded(f *vfs.File) {
+	_ = f.Close()
+}
+
+// Deferred Close on a read-only handle is conventional; Go offers no
+// ergonomic error route for it.
+func deferredClose(f *vfs.File) {
+	defer f.Close()
+}
+
+// Out-of-scope receiver: dropping an application-level Close stays legal.
+func appLevel(c *closer) {
+	c.Close()
+}

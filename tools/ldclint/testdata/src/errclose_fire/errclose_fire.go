@@ -1,0 +1,38 @@
+// Package errclose_fire seeds silently dropped errors from the
+// durability-critical release methods.
+package errclose_fire
+
+import (
+	"net"
+	"sstable"
+	"vfs"
+	"wal"
+)
+
+func droppedFileClose(f *vfs.File) {
+	f.Close() // want `error from \(vfs.File\).Close is dropped`
+}
+
+func droppedWALSync(w *wal.Writer) {
+	w.Sync() // want `error from \(wal.Writer\).Sync is dropped`
+}
+
+func droppedWALFlush(w *wal.Writer) {
+	w.Flush() // want `error from \(wal.Writer\).Flush is dropped`
+}
+
+func droppedTableFinish(w *sstable.Writer) {
+	w.Finish() // want `error from \(sstable.Writer\).Finish is dropped`
+}
+
+func droppedReaderClose(r *sstable.Reader) {
+	r.Close() // want `error from \(sstable.Reader\).Close is dropped`
+}
+
+func droppedConnClose(c *net.Conn) {
+	c.Close() // want `error from \(net.Conn\).Close is dropped`
+}
+
+func droppedListenerClose(l *net.Listener) {
+	l.Close() // want `error from \(net.Listener\).Close is dropped`
+}

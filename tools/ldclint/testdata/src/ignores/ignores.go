@@ -1,0 +1,48 @@
+// Package ignores exercises the //ldclint:ignore directive: a well-formed
+// directive suppresses the named analyzer on its own line and the line
+// below; a malformed or unknown-analyzer directive is itself a finding.
+package ignores
+
+import (
+	"sync"
+	"vfs"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *vfs.File
+}
+
+// Suppressed: directive on the line above the violation.
+func sanctionedDrop(f *vfs.File) {
+	//ldclint:ignore errclose scratch file cleanup; the error is meaningless
+	f.Close()
+}
+
+// Suppressed: trailing directive on the violating line itself.
+func sanctionedSync(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.f.Sync() //ldclint:ignore mutexio held deliberately in this fixture
+}
+
+// A directive only covers its named analyzer: errclose is suppressed,
+// mutexio still fires.
+func wrongAnalyzer(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ldclint:ignore errclose only the dropped error is sanctioned here
+	s.f.Sync() // want `call to \(vfs.File\).Sync while "s.mu" is held`
+}
+
+// want(+2) `ldclint:ignore directive needs an analyzer name and a reason`
+func missingReason(f *vfs.File) {
+	//ldclint:ignore errclose
+	f.Close() // want `error from \(vfs.File\).Close is dropped`
+}
+
+// want(+2) `ldclint:ignore names unknown analyzer "bogus"`
+func unknownAnalyzer(f *vfs.File) {
+	//ldclint:ignore bogus some perfectly fine reason
+	f.Close() // want `error from \(vfs.File\).Close is dropped`
+}

@@ -1,0 +1,76 @@
+// Package mutexio_fire seeds every flavor of I/O-under-lock violation the
+// mutexio analyzer exists to catch.
+package mutexio_fire
+
+import (
+	"net"
+	"sstable"
+	"sync"
+	"vfs"
+	"wal"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	logw *wal.Writer
+	f    *vfs.File
+	fs   *vfs.FS
+	tw   *sstable.Writer
+	conn *net.Conn
+}
+
+// Straight-line: fsync between Lock and Unlock.
+func (s *store) syncUnderLock() {
+	s.mu.Lock()
+	_ = s.logw.Sync() // want `call to \(wal.Writer\).Sync while "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// Deferred unlock pins the lock to function exit; everything after the
+// defer runs under it.
+func (s *store) deferHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `call to \(vfs.File\).Sync while "s.mu" is held`
+}
+
+// RLock counts too: a reader lock still blocks writers for the fsync's
+// whole duration.
+func (s *store) readLocked() {
+	s.rw.RLock()
+	_, _ = s.f.ReadAt(nil, 0) // want `call to \(vfs.File\).ReadAt while "s.rw" is held`
+	s.rw.RUnlock()
+}
+
+// Filesystem namespace operations are I/O as much as file writes are.
+func (s *store) fsOpUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.fs.Remove("x") // want `call to \(vfs.FS\).Remove while "s.mu" is held`
+}
+
+// Network writes under a lock serialize the event loop behind the peer.
+func (s *store) netWriteUnderLock(b []byte) {
+	s.mu.Lock()
+	_, _ = s.conn.Write(b) // want `call to \(net.Conn\).Write while "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// SSTable writer calls flush blocks to disk.
+func (s *store) tableAddUnderLock(k, v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.tw.Add(k, v) // want `call to \(sstable.Writer\).Add while "s.mu" is held`
+}
+
+// Held on every non-terminating path through the branch: still flagged
+// after the merge.
+func (s *store) heldOnAllPaths(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.logw = nil
+	}
+	_ = s.f.Sync() // want `call to \(vfs.File\).Sync while "s.mu" is held`
+	s.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+// Package refpair_clean holds every sanctioned acquire/release shape; the
+// refpair analyzer must stay silent on all of them.
+package refpair_clean
+
+import "refs"
+
+type errFail struct{}
+
+func (errFail) Error() string { return "fail" }
+
+func consume(v *refs.Version) {}
+
+type holder struct{ v *refs.Version }
+
+// The straightforward pair.
+func balanced(v *refs.Version) {
+	v.Ref()
+	v.Unref()
+}
+
+// A deferred release covers every subsequent exit.
+func deferred(v *refs.Version, fail bool) error {
+	v.Ref()
+	defer v.Unref()
+	if fail {
+		return errFail{}
+	}
+	return nil
+}
+
+// Released on the error path, released on the main path.
+func bothArms(s *refs.Set, fail bool) error {
+	v := s.Current()
+	if fail {
+		v.Unref()
+		return errFail{}
+	}
+	v.Unref()
+	return nil
+}
+
+// Handoff by return: the caller inherits the reference.
+func handoffReturn(s *refs.Set) *refs.Version {
+	v := s.Current()
+	return v
+}
+
+// Handoff by call: ownership demonstrably moves elsewhere.
+func handoffCall(s *refs.Set) {
+	v := s.Current()
+	consume(v)
+}
+
+// Handoff by store into longer-lived structure.
+func handoffStore(s *refs.Set, h *holder) {
+	v := s.Current()
+	h.v = v
+}
+
+// The nil-guard shape: nothing to release inside the nil arm.
+func nilGuard(s *refs.Set) int {
+	v := s.Current()
+	if v == nil {
+		return 0
+	}
+	v.Unref()
+	return 1
+}
+
+// `if v != nil { release }` with no else: the skip path holds nil.
+func nilGuardInverted(s *refs.Set) {
+	v := s.Current()
+	if v != nil {
+		v.Unref()
+	}
+}
+
+// Current on a type whose result has no release method is not an acquire;
+// tracking it would flag arbitrary getters.
+func notTracked(p *refs.Plain) {
+	t := p.Current()
+	t.Use()
+}

@@ -1,0 +1,38 @@
+// Package refpair_fire seeds reference leaks: acquires with a missing
+// release on at least one exit path.
+package refpair_fire
+
+import "refs"
+
+type errFail struct{}
+
+func (errFail) Error() string { return "fail" }
+
+// Method-form acquire leaked on the error path.
+func leakOnError(v *refs.Version, fail bool) error {
+	v.Ref() // want `refs.Version reference acquired here is not released on every path`
+	if fail {
+		return errFail{}
+	}
+	v.Unref()
+	return nil
+}
+
+// Result-form acquire (Current hands back a referenced version) never
+// released at all.
+func leakCurrent(s *refs.Set) int {
+	v := s.Current() // want `refs.Version reference acquired here is not released on every path`
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Released in one branch arm but not the other: the union merge keeps the
+// obligation open.
+func leakOneArm(s *refs.Set, done bool) {
+	v := s.Current() // want `refs.Version reference acquired here is not released on every path`
+	if done {
+		v.Unref()
+	}
+}

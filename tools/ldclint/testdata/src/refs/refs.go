@@ -1,0 +1,26 @@
+// Package refs supplies refcounted types for the refpair fixtures, shaped
+// like version.Version / version.Set: an explicit Ref/Unref pair plus a
+// Current() acquire-function whose result arrives referenced.
+package refs
+
+type Version struct{ refs int }
+
+func (v *Version) Ref()   { v.refs++ }
+func (v *Version) Unref() { v.refs-- }
+
+type Set struct{ cur *Version }
+
+func (s *Set) Current() *Version {
+	s.cur.Ref()
+	return s.cur
+}
+
+// Plain has a Current method but no release method in its result's method
+// set, so refpair must NOT track it.
+type Plain struct{ cur *Thing }
+
+func (p *Plain) Current() *Thing { return p.cur }
+
+type Thing struct{ x int }
+
+func (t *Thing) Use() {}

@@ -1,0 +1,41 @@
+// Package atomic is a hermetic stand-in for sync/atomic (see the fake sync
+// package for why).
+package atomic
+
+func LoadInt64(addr *int64) int64           { return *addr }
+func StoreInt64(addr *int64, v int64)       { *addr = v }
+func AddInt64(addr *int64, d int64) int64   { *addr += d; return *addr }
+func LoadInt32(addr *int32) int32           { return *addr }
+func StoreInt32(addr *int32, v int32)       { *addr = v }
+func AddInt32(addr *int32, d int32) int32   { *addr += d; return *addr }
+func CompareAndSwapInt64(addr *int64, old, new int64) bool {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64       { return x.v }
+func (x *Int64) Store(v int64)     { x.v = v }
+func (x *Int64) Add(d int64) int64 { x.v += d; return x.v }
+
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32       { return x.v }
+func (x *Int32) Store(v int32)     { x.v = v }
+func (x *Int32) Add(d int32) int32 { x.v += d; return x.v }
+
+type Bool struct{ v bool }
+
+func (x *Bool) Load() bool   { return x.v }
+func (x *Bool) Store(v bool) { x.v = v }
+func (x *Bool) CompareAndSwap(old, new bool) bool {
+	if x.v == old {
+		x.v = new
+		return true
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+// Package sync is a hermetic stand-in for the standard library's sync,
+// carrying just the shapes the analyzers match on. Fixture packages import
+// it by the path "sync", so type-based matching behaves exactly as it does
+// against real code, without needing stdlib export data in the test
+// environment.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,17 @@
+// Package vfs is a hermetic stand-in for repro/internal/vfs.
+package vfs
+
+type File struct{ fd int }
+
+func (f *File) Write(p []byte) (int, error)            { return 0, nil }
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return 0, nil }
+func (f *File) Sync() error                            { return nil }
+func (f *File) Close() error                           { return nil }
+func (f *File) Size() (int64, error)                   { return 0, nil }
+
+type FS struct{ root string }
+
+func (fs *FS) Create(name string) (*File, error) { return nil, nil }
+func (fs *FS) Open(name string) (*File, error)   { return nil, nil }
+func (fs *FS) Remove(name string) error          { return nil }
+func (fs *FS) Exists(name string) bool           { return false }

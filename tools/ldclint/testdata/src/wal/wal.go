@@ -1,0 +1,9 @@
+// Package wal is a hermetic stand-in for repro/internal/wal; the analyzers
+// match it by the "/wal"-suffix package-path rule.
+package wal
+
+type Writer struct{ n int }
+
+func (w *Writer) AddRecord(p []byte) error { return nil }
+func (w *Writer) Flush() error             { return nil }
+func (w *Writer) Sync() error              { return nil }
