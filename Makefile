@@ -22,7 +22,7 @@ unexport TAGS
 # durability-critical Close/Sync). Built from source on demand.
 LDCLINT := bin/ldclint
 
-.PHONY: all build test vet lint invariants race bench bench-smoke bench-read run-server server-smoke ci
+.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -75,6 +75,13 @@ bench-smoke:
 bench-read:
 	$(GO) test -race -run XXX -bench 'BenchmarkGetConcurrent|BenchmarkGetCacheHit' -benchtime 1x $(TESTFLAGS) ./internal/core
 
+# One race-checked pass over the on-disk format sweep (raw vs flate vs lz4
+# fill/scan/footprint): exercises every codec and checksum through flush,
+# compaction, and the block cache without measuring anything. Real numbers
+# live in BENCH_format.json.
+bench-format:
+	$(GO) test -race -run XXX -bench BenchmarkFormat -benchtime 1x $(TESTFLAGS) .
+
 # Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
 run-server: build
 	$(GO) run ./cmd/ldcserver -db $(DB) -addr 127.0.0.1:$(PORT)
@@ -84,4 +91,4 @@ run-server: build
 server-smoke:
 	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet lint race invariants bench-smoke bench-read server-smoke
+ci: vet lint race invariants bench-smoke bench-read bench-format server-smoke

@@ -449,3 +449,42 @@ func BenchmarkAblationBloomFilters(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFormat regenerates the on-disk format sweep (raw vs flate vs
+// lz4 at 100B and 1KiB half-redundant values; BENCH_format.json records a
+// full run): fill throughput, scan throughput, on-disk bytes per key, and
+// write-side compression ratio per codec.
+func BenchmarkFormat(b *testing.B) {
+	// The sweep runs 6 full stores (3 codecs × 2 value sizes); a quarter of
+	// the usual scale keeps the race-checked ci smoke to tens of seconds
+	// while still reaching multi-level trees. BENCH_format.json is measured
+	// at the full default scale via `ldcbench format`.
+	cfg := benchConfig()
+	cfg.Ops /= 4
+	cfg.KeySpace /= 4
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFormat(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var raw, lz4 harness.FormatRow
+		for _, row := range r.Rows {
+			if row.ValueSize < 1024 {
+				continue
+			}
+			switch row.Codec {
+			case "none":
+				raw = row
+			case "lz4":
+				lz4 = row
+			}
+		}
+		if raw.FillOpsPerSec > 0 {
+			b.ReportMetric(lz4.FillOpsPerSec/raw.FillOpsPerSec, "lz4-fill-x")
+		}
+		if raw.OnDiskBytesPerKey > 0 {
+			b.ReportMetric(100*(1-lz4.OnDiskBytesPerKey/raw.OnDiskBytesPerKey), "lz4-disk-saved-%")
+		}
+		b.ReportMetric(lz4.CompressionRatio, "lz4-ratio-x")
+	}
+}

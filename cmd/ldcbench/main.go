@@ -6,7 +6,7 @@
 //	ldcbench [flags] <experiment>...
 //
 // Experiments: table1 fig1 fig7 fig8 fig9 fig10a fig10b fig10c fig11
-// fig12a fig12b fig12c fig13 fig14 fig15, or "all".
+// fig12a fig12b fig12c fig13 fig14 fig15 format, or "all".
 //
 // Flags scale the run; defaults regenerate every shape in a few minutes.
 package main
@@ -54,6 +54,7 @@ var experiments = []experiment{
 	{"fig13", "Bloom bits/key vs data-block reads (paper Fig 13)", wrap(harness.RunFig13)},
 	{"fig14", "scalability with request count (paper Fig 14)", wrap(harness.RunFig14)},
 	{"fig15", "space efficiency (paper Fig 15)", wrap(harness.RunFig15)},
+	{"format", "on-disk format sweep: raw vs flate vs lz4", wrap(harness.RunFormat)},
 }
 
 func main() {

@@ -128,6 +128,14 @@ func NewReader(cmp iterator.CompareFunc, data []byte) (*Reader, error) {
 	}, nil
 }
 
+// Resident reports the bytes the reader keeps alive: the full decoded
+// block (entries + restart array + count). This is the correct cache
+// charge for a cached block — the on-disk form may be compressed and
+// smaller, but THIS is what occupies memory.
+func (r *Reader) Resident() int64 {
+	return int64(len(r.data) + len(r.restarts) + 4)
+}
+
 func (r *Reader) restartOffset(i int) int {
 	return int(encoding.Fixed32(r.restarts[4*i:]))
 }

@@ -165,8 +165,24 @@ func (c *Cache) Get(k Key) (interface{}, bool) {
 }
 
 // Set inserts or replaces the value for k with the given byte charge,
-// evicting least-recently-used entries of k's shard as needed.
+// evicting least-recently-used entries of k's shard as needed. The charge
+// must be the value's resident (in-memory, uncompressed) size: the shard
+// capacity math and ClampShards both reason in charged bytes, so charging
+// a smaller on-disk length would silently let a shard hold many times its
+// budget.
 func (c *Cache) Set(k Key, v interface{}, charge int64) {
+	if invariants.Enabled {
+		if charge < 0 {
+			invariants.Violatedf("cache: negative charge %d", charge)
+		}
+		// Values that know their resident size must be charged exactly it —
+		// this is the accounting check behind compression-aware caching
+		// (cache uncompressed contents, charge real bytes).
+		if rv, ok := v.(interface{ Resident() int64 }); ok && rv.Resident() != charge {
+			invariants.Violatedf("cache: charge %d != resident bytes %d for %v",
+				charge, rv.Resident(), k)
+		}
+	}
 	s := c.shardFor(k)
 	if s.capacity <= 0 {
 		return

@@ -217,3 +217,37 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Used = %d exceeds capacity after concurrent load", c.Used())
 	}
 }
+
+// residentValue models a cached object that knows its in-memory footprint,
+// as decoded data blocks do under compression.
+type residentValue struct{ size int64 }
+
+func (v residentValue) Resident() int64 { return v.size }
+
+// TestResidentChargeAccounting pins the compression-aware contract: the
+// charge is the value's resident (uncompressed) size, and Used() tracks
+// exactly that — never a smaller on-disk length.
+func TestResidentChargeAccounting(t *testing.T) {
+	c := NewSharded(1<<20, 1)
+	// Three "blocks" whose on-disk size would be much smaller; the cache
+	// must account for the decoded footprint.
+	sizes := []int64{4096, 6000, 1024}
+	var want int64
+	for i, sz := range sizes {
+		c.Set(Key{FileNum: 1, Offset: uint64(i * 100)}, residentValue{size: sz}, sz)
+		want += sz
+	}
+	if got := c.Used(); got != want {
+		t.Fatalf("Used() = %d, want %d (sum of resident sizes)", got, want)
+	}
+	// Replacing a block with a differently-sized decode adjusts the total.
+	c.Set(Key{FileNum: 1, Offset: 0}, residentValue{size: 8192}, 8192)
+	want += 8192 - 4096
+	if got := c.Used(); got != want {
+		t.Fatalf("Used() after replace = %d, want %d", got, want)
+	}
+	c.EvictFile(1)
+	if got := c.Used(); got != 0 {
+		t.Fatalf("Used() after EvictFile = %d, want 0", got)
+	}
+}

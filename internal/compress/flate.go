@@ -1,0 +1,83 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Flate encoders are expensive to construct (window + Huffman state), so
+// they are pooled and Reset per block. BestSpeed: the block is 4 KiB and
+// the point of compressing it is to cheapen I/O, not to win a density
+// contest — LZ4 exists for when even BestSpeed is too slow.
+var flateWriterPool = sync.Pool{
+	New: func() interface{} {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+var flateReaderPool = sync.Pool{
+	New: func() interface{} {
+		return flate.NewReader(bytes.NewReader(nil))
+	},
+}
+
+// cappedWriter aborts an encoding once it exceeds budget bytes, letting
+// Compress abandon incompressible blocks without finishing them.
+type cappedWriter struct {
+	buf    []byte
+	budget int
+}
+
+var errBudget = fmt.Errorf("compress: over budget")
+
+func (c *cappedWriter) Write(p []byte) (int, error) {
+	if len(c.buf)+len(p) > c.budget {
+		return 0, errBudget
+	}
+	c.buf = append(c.buf, p...)
+	return len(p), nil
+}
+
+// flateCompress appends the DEFLATE stream of src to dst, reporting false
+// if the encoding exceeded budget total bytes.
+func flateCompress(dst, src []byte, budget int) ([]byte, bool) {
+	cw := &cappedWriter{buf: dst, budget: budget}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(cw)
+	_, err := fw.Write(src)
+	if err == nil {
+		err = fw.Close()
+	}
+	flateWriterPool.Put(fw)
+	if err != nil {
+		return dst, false
+	}
+	return cw.buf, true
+}
+
+// flateDecompress inflates stream into dst, which was sized from the
+// payload's length header; a stream that produces any other number of
+// bytes is corrupt.
+func flateDecompress(dst, stream []byte) error {
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(stream), nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n, err := io.ReadFull(fr, dst)
+	if err != nil || n != len(dst) {
+		return fmt.Errorf("%w: flate stream truncated (%d of %d bytes)", ErrCorrupt, n, len(dst))
+	}
+	// The stream must end cleanly exactly at the declared length: more data
+	// means the header lied, and anything but io.EOF means the stream's
+	// final block marker was truncated away.
+	var one [1]byte
+	if m, err := fr.Read(one[:]); m != 0 || err != io.EOF {
+		return fmt.Errorf("%w: flate stream does not end at declared length %d (%v)", ErrCorrupt, len(dst), err)
+	}
+	return nil
+}

@@ -221,6 +221,8 @@ func (db *DB) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.Inte
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
+	db.stats.blockBytesUncompressed.Add(props.UncompressedBytes)
+	db.stats.blockBytesCompressed.Add(props.CompressedBytes)
 	return &version.FileMeta{
 		Num:      num,
 		Size:     props.FileSize,
@@ -234,6 +236,8 @@ func (db *DB) tableWriterOptions() sstable.WriterOptions {
 		Cmp:             db.icmp,
 		BlockSize:       db.opts.BlockSize,
 		BloomBitsPerKey: db.opts.BloomBitsPerKey,
+		Compression:     db.opts.Compression,
+		Checksum:        db.opts.ChecksumKind,
 	}
 }
 
@@ -482,6 +486,8 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 			Largest:  props.Largest,
 		})
 		db.stats.compactionWriteBytes.Add(props.FileSize)
+		db.stats.blockBytesUncompressed.Add(props.UncompressedBytes)
+		db.stats.blockBytesCompressed.Add(props.CompressedBytes)
 		w, f = nil, nil
 		return nil
 	}

@@ -681,6 +681,9 @@ func (db *DB) Stats() Stats {
 			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
 		}
 	}
+	if db.tables != nil {
+		s.CompressedBytesRead, s.UncompressedBytesRead = db.tables.totalIOBytes()
+	}
 	return s
 }
 

@@ -63,6 +63,20 @@ type Stats struct {
 	BlockCacheHits     int64
 	BlockCacheMisses   int64
 	BlockCacheHitRatio float64
+
+	// On-disk format (per-block compression, the hot-format work).
+	// Read side: totals over block fetches that missed the block cache —
+	// CompressedBytesRead is what came off the device, UncompressedBytesRead
+	// what the blocks decoded to (equal for raw blocks).
+	CompressedBytesRead   int64
+	UncompressedBytesRead int64
+	// Write side: block payload bytes before/after compression across all
+	// flushed and compacted tables.
+	UncompressedBytesWritten int64
+	CompressedBytesWritten   int64
+	// CompressionRatio is uncompressed/compressed over written block
+	// payloads (1.0 when nothing compressed; 0 when nothing written yet).
+	CompressionRatio float64
 }
 
 // WriteAmplification reports physical table writes per user byte:
@@ -122,6 +136,9 @@ type dbStats struct {
 	bloomNegatives     atomic.Int64
 	tableProbes        atomic.Int64
 	readStatePublishes atomic.Int64
+
+	blockBytesUncompressed atomic.Int64 // block payloads written, pre-compression
+	blockBytesCompressed   atomic.Int64 // block payloads written, on-disk form
 }
 
 // initWorkers sizes the per-worker counters; called once before the worker
@@ -175,9 +192,15 @@ func (d *dbStats) snapshot() Stats {
 		BloomNegatives:     d.bloomNegatives.Load(),
 		TableProbes:        d.tableProbes.Load(),
 		ReadStatePublishes: d.readStatePublishes.Load(),
+
+		UncompressedBytesWritten: d.blockBytesUncompressed.Load(),
+		CompressedBytesWritten:   d.blockBytesCompressed.Load(),
 	}
 	if s.Gets > 0 {
 		s.PointReadAmp = float64(s.TableProbes) / float64(s.Gets)
+	}
+	if s.CompressedBytesWritten > 0 {
+		s.CompressionRatio = float64(s.UncompressedBytesWritten) / float64(s.CompressedBytesWritten)
 	}
 	return s
 }

@@ -88,6 +88,19 @@ func (tc *tableCache) totalBlockReads() int64 {
 	return n
 }
 
+// totalIOBytes sums on-disk vs decoded block-fetch bytes across open
+// readers (the read side of the compression stats). Like totalBlockReads,
+// counters of evicted (deleted) files drop out of the sum.
+func (tc *tableCache) totalIOBytes() (compressed, uncompressed int64) {
+	tc.readers.Range(func(_, r interface{}) bool {
+		c, u := r.(*sstable.Reader).IOBytes()
+		compressed += c
+		uncompressed += u
+		return true
+	})
+	return compressed, uncompressed
+}
+
 // close releases every reader.
 func (tc *tableCache) close() {
 	tc.readers.Range(func(num, r interface{}) bool {

@@ -51,6 +51,17 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: MaxWriteGroupBytes %d is below the %d-byte floor (a group must hold at least one batch)",
 			ErrInvalidOptions, o.MaxWriteGroupBytes, minWriteGroupBytes)
 	}
+	// Format knobs are enums, not sizes: any value outside the registry
+	// would be stamped into on-disk trailers/footers and make the table
+	// unreadable, so reject it here rather than at the first flush.
+	if !o.Compression.Valid() {
+		return fmt.Errorf("%w: unknown Compression %d (use compress.None, Flate, or LZ4)",
+			ErrInvalidOptions, uint8(o.Compression))
+	}
+	if !o.ChecksumKind.Valid() {
+		return fmt.Errorf("%w: unknown ChecksumKind %d (use checksum.CRC32C or XXH3)",
+			ErrInvalidOptions, uint8(o.ChecksumKind))
+	}
 
 	// Relational checks run on the defaulted view, so setting one trigger
 	// explicitly cannot silently invert the ladder against a default.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/checksum"
+	"repro/internal/compress"
 	"repro/internal/vfs"
 )
 
@@ -31,6 +33,10 @@ func TestValidateRejections(t *testing.T) {
 		{"compaction trigger above slowdown", func(o *Options) { o.L0CompactionTrigger = 20 }, "L0CompactionTrigger"},
 		{"slowdown above stop", func(o *Options) { o.L0SlowdownTrigger, o.L0StopTrigger = 6, 4 }, "L0SlowdownTrigger"},
 		{"block bigger than table", func(o *Options) { o.BlockSize, o.SSTableSize = 1<<20, 64<<10 }, "BlockSize"},
+		{"unknown Compression", func(o *Options) { o.Compression = compress.Kind(3) }, "Compression"},
+		{"wild Compression", func(o *Options) { o.Compression = compress.Kind(255) }, "Compression"},
+		{"unknown ChecksumKind", func(o *Options) { o.ChecksumKind = checksum.Kind(2) }, "ChecksumKind"},
+		{"wild ChecksumKind", func(o *Options) { o.ChecksumKind = checksum.Kind(255) }, "ChecksumKind"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,6 +68,9 @@ func TestValidateAccepts(t *testing.T) {
 		{"explicit consistent triggers", Options{L0CompactionTrigger: 2, L0SlowdownTrigger: 4, L0StopTrigger: 6}},
 		{"single trigger below defaults", Options{L0CompactionTrigger: 2}},
 		{"group cap at floor", Options{MaxWriteGroupBytes: 4 << 10}},
+		{"flate blocks", Options{Compression: compress.Flate}},
+		{"lz4 with xxh3", Options{Compression: compress.LZ4, ChecksumKind: checksum.XXH3}},
+		{"xxh3 on raw blocks", Options{ChecksumKind: checksum.XXH3}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,7 +9,11 @@
 // see EXPERIMENTS.md for paper-vs-measured.
 package harness
 
-import "repro/internal/ssdsim"
+import (
+	"repro/internal/checksum"
+	"repro/internal/compress"
+	"repro/internal/ssdsim"
+)
 
 // Config scales an experiment. The paper runs 10–30 M requests over an
 // 800 GB SSD; the defaults here shrink the tree proportionally (smaller
@@ -52,6 +56,16 @@ type Config struct {
 
 	// Device is the simulated SSD profile.
 	Device ssdsim.Profile
+
+	// Compression selects the per-block codec for written tables
+	// (default raw, matching the paper's format).
+	Compression compress.Kind
+	// ChecksumKind selects the per-table block checksum (default CRC32C).
+	ChecksumKind checksum.Kind
+	// ValueCompressibility is the redundant fraction of each value
+	// (0 = the incompressible xorshift values of every other experiment;
+	// the format benchmarks use 0.5 so codecs have something to find).
+	ValueCompressibility float64
 
 	// AdaptiveThreshold enables §III-B-4 self-tuning in LDC runs.
 	AdaptiveThreshold bool

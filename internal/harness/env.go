@@ -43,6 +43,8 @@ func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
 		BlockCacheSize:        cfg.BlockCacheSize,
 		CompactionParallelism: cfg.CompactionParallelism,
 		MaxWriteGroupBytes:    cfg.MaxWriteGroupBytes,
+		Compression:           cfg.Compression,
+		ChecksumKind:          cfg.ChecksumKind,
 		AdaptiveThreshold:     cfg.AdaptiveThreshold,
 		DisableTrivialMove:    cfg.DisableTrivialMove,
 	})

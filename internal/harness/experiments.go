@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/compaction"
+	"repro/internal/core"
 	"repro/internal/histogram"
 	"repro/internal/ycsb"
 )
@@ -41,6 +42,12 @@ type Table1Result struct {
 	PointReadAmp       float64
 	ReadStatePublishes int64
 	BlockCacheHitRatio float64
+
+	// On-disk format summary (the per-block compression work): the store's
+	// table footprint per distinct key after the run, and the write-side
+	// compression ratio (1.0 when blocks are stored raw).
+	OnDiskBytesPerKey float64
+	CompressionRatio  float64
 }
 
 // RunTable1 inserts cfg.Ops keys under UDC and attributes wall time to the
@@ -55,6 +62,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	defer env.Close()
 	w := ycsb.WO(cfg.Ops, cfg.KeySpace)
 	w.ValueSize = cfg.ValueSize
+	w.Compressibility = cfg.ValueCompressibility
 	start := time.Now()
 	if _, err := env.Run(w); err != nil {
 		return nil, err
@@ -103,7 +111,21 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		PointReadAmp:       s.PointReadAmp,
 		ReadStatePublishes: s.ReadStatePublishes,
 		BlockCacheHitRatio: s.BlockCacheHitRatio,
+
+		// WO over a uniform key space touches essentially every key, so the
+		// key space is the distinct-key denominator.
+		OnDiskBytesPerKey: float64(env.DB.TableBytes()) / float64(cfg.KeySpace),
+		CompressionRatio:  writeRatio(s),
 	}, nil
+}
+
+// writeRatio is the write-side compression ratio, reading 1.0 (not 0) for
+// an all-raw store so "no compression" prints sensibly.
+func writeRatio(s core.Stats) float64 {
+	if s.CompressedBytesWritten <= 0 {
+		return 1.0
+	}
+	return float64(s.UncompressedBytesWritten) / float64(s.CompressedBytesWritten)
 }
 
 // Print renders the table.
@@ -122,6 +144,8 @@ func (r *Table1Result) Print(out io.Writer) {
 	}
 	fmt.Fprintf(out, "read path: bloom %d probes (%.1f%% negative), point read-amp %.2f tables/get, %d read-state publishes, block-cache hit ratio %.1f%%\n",
 		r.BloomProbes, negPct, r.PointReadAmp, r.ReadStatePublishes, 100*r.BlockCacheHitRatio)
+	fmt.Fprintf(out, "on-disk format: %.0f bytes/key, write compression ratio %.2fx\n",
+		r.OnDiskBytesPerKey, r.CompressionRatio)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/checksum"
+	"repro/internal/compaction"
+	"repro/internal/compress"
+	"repro/internal/ycsb"
+)
+
+// ---------------------------------------------------------------------------
+// On-disk format sweep — raw vs flate vs lz4 (the per-block compression PR)
+//
+// Not a paper exhibit: the paper's store writes raw blocks. This experiment
+// measures what the hot format adds on top of LDC — fill throughput (the
+// simulated device is the bottleneck, so fewer written bytes mean more
+// ops/s), scan throughput, and the on-disk footprint per key.
+
+// FormatRow is one (codec, value size) outcome.
+type FormatRow struct {
+	Codec     string
+	ValueSize int
+	// FillOpsPerSec is WO write throughput into an empty store.
+	FillOpsPerSec float64
+	// ScanOpsPerSec is range-scan throughput over the filled store.
+	ScanOpsPerSec float64
+	// OnDiskBytesPerKey is the compacted table footprint per distinct key.
+	OnDiskBytesPerKey float64
+	// CompressionRatio is uncompressed/compressed over written blocks.
+	CompressionRatio float64
+}
+
+// FormatResult is the codec sweep.
+type FormatResult struct {
+	// Compressibility is the redundant fraction of each value used for the
+	// sweep.
+	Compressibility float64
+	Rows            []FormatRow
+}
+
+// FormatCodecs is the swept codec list.
+var FormatCodecs = []compress.Kind{compress.None, compress.Flate, compress.LZ4}
+
+// RunFormat sweeps the block codec at 100 B and cfg.ValueSize values under
+// LDC. Values are half-redundant unless cfg.ValueCompressibility says
+// otherwise — pure-random values (every other experiment's default) would
+// make every codec bail out to raw and measure nothing.
+func RunFormat(cfg Config) (*FormatResult, error) {
+	compressibility := cfg.ValueCompressibility
+	if compressibility == 0 {
+		compressibility = 0.5
+	}
+	res := &FormatResult{Compressibility: compressibility}
+	for _, valueSize := range []int{100, cfg.ValueSize} {
+		for _, codec := range FormatCodecs {
+			c := cfg
+			c.Compression = codec
+			c.ValueSize = valueSize
+			c.ValueCompressibility = compressibility
+			if codec != compress.None {
+				// Pair the fast hash with the compressed formats, as a
+				// production store would; raw keeps the legacy CRC32C.
+				c.ChecksumKind = checksum.XXH3
+			}
+			row, err := formatRun(c)
+			if err != nil {
+				return nil, fmt.Errorf("harness: format %v/%dB: %w", codec, valueSize, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func formatRun(cfg Config) (FormatRow, error) {
+	env, err := NewEnv(cfg, compaction.LDC)
+	if err != nil {
+		return FormatRow{}, err
+	}
+	defer env.Close()
+
+	// Fill phase: write-only over the whole key space, measured.
+	fill := ycsb.WO(cfg.Ops, cfg.KeySpace)
+	fill.ValueSize = cfg.ValueSize
+	fill.Compressibility = cfg.ValueCompressibility
+	fillRes, err := env.Run(fill)
+	if err != nil {
+		return FormatRow{}, err
+	}
+
+	// Settle to a compacted tree so the footprint is steady-state, not a
+	// snapshot of pending L0 duplicates.
+	if err := env.DB.CompactRange(); err != nil {
+		return FormatRow{}, err
+	}
+	s := env.DB.Stats()
+	row := FormatRow{
+		Codec:             cfg.Compression.String(),
+		ValueSize:         cfg.ValueSize,
+		FillOpsPerSec:     fillRes.Throughput,
+		OnDiskBytesPerKey: float64(env.DB.TableBytes()) / float64(cfg.KeySpace),
+		CompressionRatio:  writeRatio(s),
+	}
+
+	// Scan phase: read-only range scans over the compacted store. Scans are
+	// ~100× heavier than point ops, so run proportionally fewer.
+	scanOps := cfg.Ops / 20
+	if scanOps < 200 {
+		scanOps = 200
+	}
+	scan := ycsb.Workload{
+		Name:        "SCN-RO",
+		ScanQueries: true,
+		Ops:         scanOps,
+		KeySpace:    cfg.KeySpace,
+		ValueSize:   cfg.ValueSize,
+	}
+	scanRes, err := env.Run(scan)
+	if err != nil {
+		return FormatRow{}, err
+	}
+	row.ScanOpsPerSec = scanRes.Throughput
+	return row, nil
+}
+
+// Print renders the sweep.
+func (r *FormatResult) Print(out io.Writer) {
+	fmt.Fprintf(out, "value compressibility: %.0f%%\n", 100*r.Compressibility)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "codec\tvalue\tfill(ops/s)\tscan(ops/s)\tbytes/key\tratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%dB\t%.0f\t%.0f\t%.0f\t%.2fx\n",
+			row.Codec, row.ValueSize, row.FillOpsPerSec, row.ScanOpsPerSec,
+			row.OnDiskBytesPerKey, row.CompressionRatio)
+	}
+	tw.Flush()
+}

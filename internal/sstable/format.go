@@ -9,37 +9,52 @@
 //	[index block]    separator key -> data block handle
 //	[footer]         handles of filter and index blocks + magic
 //
-// Every block is stored as: contents | type byte (0 = raw) | fixed32 CRC,
-// where the CRC covers contents and type. Handles are varint (offset,
-// length-of-contents) pairs. The footer is fixed-size so it can be read
-// with one positioned read from the end of the file.
+// Every block is stored as: payload | type byte | fixed32 checksum, where
+// the checksum covers payload and type. The type byte is the block's codec
+// (compress.Kind: 0 = raw, 1 = flate, 2 = lz4); a table may mix types
+// freely, because incompressible blocks fall back to raw. The checksum
+// function is a per-table choice (checksum.Kind) recorded in the footer.
+// Handles are varint (offset, length-of-payload) pairs, where the length
+// is the ON-DISK payload length — possibly compressed.
+//
+// Two footer versions exist, distinguished by magic number:
+//
+//	v1 (legacy): handles | zero pad | magicV1           (48 bytes)
+//	v2:          handles | zero pad | checksum-kind byte | magicV2 (49 bytes)
+//
+// v1 tables are CRC32C throughout and predate compression (all their
+// blocks are type 0); the reader accepts both versions, the writer emits
+// only v2. The footer is fixed-size per version so it can be read with one
+// positioned read from the end of the file.
 package sstable
 
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 
+	"repro/internal/checksum"
 	"repro/internal/encoding"
 )
 
 const (
-	// blockTrailerLen is the type byte plus the CRC.
+	// blockTrailerLen is the type byte plus the checksum.
 	blockTrailerLen = 5
-	// footerLen holds two max-length handles plus the magic number.
-	footerLen = 2*2*encoding.MaxVarintLen64 + 8
 
-	typeRaw = 0
+	// handlesLen is the maximum encoding of the footer's two handles.
+	handlesLen = 2 * 2 * encoding.MaxVarintLen64
+	// footerLenV1 is the legacy footer: handles, padding, magic.
+	footerLenV1 = handlesLen + 8
+	// footerLenV2 adds the checksum-kind byte between padding and magic.
+	footerLenV2 = handlesLen + 1 + 8
 
-	magic = 0x8773b3a2c2a9d6f1
+	magicV1 = 0x8773b3a2c2a9d6f1
+	magicV2 = 0x8773b3a2c2a9d6f2
 )
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports a checksum or structural failure in a table file.
 var ErrCorrupt = errors.New("sstable: corrupt table")
 
-// blockHandle locates a block's contents within the file.
+// blockHandle locates a block's on-disk payload within the file.
 type blockHandle struct {
 	offset, length uint64
 }
@@ -65,26 +80,61 @@ func decodeBlockHandle(b []byte) (blockHandle, int) {
 type footer struct {
 	filterHandle blockHandle
 	indexHandle  blockHandle
+	// checksum is the per-table checksum function of every block trailer.
+	checksum checksum.Kind
 }
 
+// encode renders the v2 footer.
 func (f footer) encode() []byte {
-	buf := make([]byte, 0, footerLen)
+	buf := make([]byte, 0, footerLenV2)
 	buf = f.filterHandle.encode(buf)
 	buf = f.indexHandle.encode(buf)
-	for len(buf) < footerLen-8 {
+	for len(buf) < handlesLen {
 		buf = append(buf, 0)
 	}
-	return encoding.PutFixed64(buf, magic)
+	buf = append(buf, byte(f.checksum))
+	return encoding.PutFixed64(buf, magicV2)
 }
 
+// encodeV1 renders the legacy footer (no checksum-kind byte, v1 magic).
+// Only the legacyV1Footer test path uses it: it reproduces seed-era files
+// so backward compatibility stays pinned by tests.
+func (f footer) encodeV1() []byte {
+	buf := make([]byte, 0, footerLenV1)
+	buf = f.filterHandle.encode(buf)
+	buf = f.indexHandle.encode(buf)
+	for len(buf) < handlesLen {
+		buf = append(buf, 0)
+	}
+	return encoding.PutFixed64(buf, magicV1)
+}
+
+// decodeFooter parses the tail of a table file. b is the file's last
+// footerLenV2 bytes (or the last footerLenV1 when the file is smaller);
+// the magic value in the final 8 bytes selects the version.
 func decodeFooter(b []byte) (footer, error) {
-	if len(b) != footerLen {
+	if len(b) < footerLenV1 {
 		return footer{}, fmt.Errorf("%w: footer is %d bytes", ErrCorrupt, len(b))
 	}
-	if encoding.Fixed64(b[footerLen-8:]) != magic {
+	var f footer
+	switch encoding.Fixed64(b[len(b)-8:]) {
+	case magicV2:
+		if len(b) < footerLenV2 {
+			return footer{}, fmt.Errorf("%w: v2 footer is %d bytes", ErrCorrupt, len(b))
+		}
+		b = b[len(b)-footerLenV2:]
+		f.checksum = checksum.Kind(b[handlesLen])
+		if !f.checksum.Valid() {
+			return footer{}, fmt.Errorf("%w: unknown checksum kind %d", ErrCorrupt, b[handlesLen])
+		}
+	case magicV1:
+		// Legacy: CRC32C, raw blocks only (the block type byte is still
+		// validated per read).
+		b = b[len(b)-footerLenV1:]
+		f.checksum = checksum.CRC32C
+	default:
 		return footer{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	var f footer
 	fh, n1 := decodeBlockHandle(b)
 	if n1 == 0 {
 		return footer{}, fmt.Errorf("%w: bad filter handle", ErrCorrupt)

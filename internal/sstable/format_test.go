@@ -1,0 +1,271 @@
+package sstable
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/checksum"
+	"repro/internal/compress"
+	"repro/internal/keys"
+	"repro/internal/vfs"
+)
+
+// compressibleKVs returns entries whose values repeat enough to engage
+// any real codec (the incompressible bailout must NOT fire).
+func compressibleKVs(n int) []kv {
+	kvs := make([]kv, n)
+	for i := range kvs {
+		kvs[i] = kv{
+			u:   fmt.Sprintf("key-%06d", i),
+			seq: 1,
+			val: strings.Repeat(fmt.Sprintf("payload-%03d ", i%7), 8),
+		}
+	}
+	return kvs
+}
+
+// formatCombos is the full (compression, checksum) matrix plus the legacy
+// v1 footer — every on-disk shape a reader can meet.
+func formatCombos() []WriterOptions {
+	var combos []WriterOptions
+	for _, comp := range []compress.Kind{compress.None, compress.Flate, compress.LZ4} {
+		for _, ck := range []checksum.Kind{checksum.CRC32C, checksum.XXH3} {
+			o := defaultWOpts()
+			o.Compression = comp
+			o.Checksum = ck
+			combos = append(combos, o)
+		}
+	}
+	legacy := defaultWOpts()
+	legacy.legacyV1Footer = true
+	combos = append(combos, legacy)
+	return combos
+}
+
+func comboName(o WriterOptions) string {
+	if o.legacyV1Footer {
+		return "legacy-v1"
+	}
+	return o.Compression.String() + "-" + o.Checksum.String()
+}
+
+// TestFormatMatrix writes a table with every (compression, checksum)
+// combination — including the legacy raw/CRC32C v1 footer — and reads each
+// back fully: iteration order, point gets, and the footer's checksum kind.
+func TestFormatMatrix(t *testing.T) {
+	kvs := compressibleKVs(800)
+	for _, wopts := range formatCombos() {
+		t.Run(comboName(wopts), func(t *testing.T) {
+			fs := vfs.Mem()
+			props := buildTable(t, fs, "/t.sst", wopts, kvs)
+			if wopts.Compression != compress.None && props.CompressedBytes >= props.UncompressedBytes {
+				t.Errorf("compressible input did not shrink: %d on disk for %d raw",
+					props.CompressedBytes, props.UncompressedBytes)
+			}
+			if wopts.Compression == compress.None && props.CompressedBytes != props.UncompressedBytes {
+				t.Errorf("raw table charged %d on disk for %d raw", props.CompressedBytes, props.UncompressedBytes)
+			}
+
+			r := openTable(t, fs, "/t.sst", defaultROpts())
+			defer r.Close()
+			wantKind := wopts.Checksum
+			if got := r.ChecksumKind(); got != wantKind {
+				t.Errorf("footer checksum kind = %v, want %v", got, wantKind)
+			}
+			it := r.NewIterator()
+			i := 0
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				want := kvs[i]
+				if string(keys.InternalKey(it.Key()).UserKey()) != want.u || string(it.Value()) != want.val {
+					t.Fatalf("entry %d mismatch", i)
+				}
+				i++
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(kvs) {
+				t.Fatalf("iterated %d of %d entries", i, len(kvs))
+			}
+			for _, probe := range []int{0, 1, 99, 500, len(kvs) - 1} {
+				v, deleted, found, err := r.Get([]byte(kvs[probe].u), keys.MaxSeq)
+				if err != nil || deleted || !found || string(v) != kvs[probe].val {
+					t.Fatalf("Get(%q) = %q,%v,%v,%v", kvs[probe].u, v, deleted, found, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFormatMatrixThroughCache re-reads each combo through a block cache
+// and checks the compression-aware accounting: the cache is charged for
+// UNCOMPRESSED resident bytes, which for a compressed table must exceed
+// the on-disk data size it replaced.
+func TestFormatMatrixThroughCache(t *testing.T) {
+	kvs := compressibleKVs(800)
+	for _, wopts := range formatCombos() {
+		t.Run(comboName(wopts), func(t *testing.T) {
+			fs := vfs.Mem()
+			buildTable(t, fs, "/t.sst", wopts, kvs)
+			c := cache.New(32 << 20)
+			ropts := defaultROpts()
+			ropts.Cache = c
+			r := openTable(t, fs, "/t.sst", ropts)
+			defer r.Close()
+			it := r.NewIterator()
+			n := 0
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				n++
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n != len(kvs) {
+				t.Fatalf("iterated %d of %d", n, len(kvs))
+			}
+			comp, uncomp := r.IOBytes()
+			if uncomp < comp {
+				t.Errorf("IOBytes: decoded %d < on-disk %d", uncomp, comp)
+			}
+			if wopts.Compression != compress.None && comp >= uncomp {
+				t.Errorf("compressed table read %d on-disk bytes for %d decoded; expected savings", comp, uncomp)
+			}
+			if used := c.Used(); used <= 0 {
+				t.Errorf("cache charged %d bytes after full scan", used)
+			}
+			// Second scan must come from cache: no new device block reads.
+			before := r.BlockReads()
+			it2 := r.NewIterator()
+			for it2.SeekToFirst(); it2.Valid(); it2.Next() {
+			}
+			if err := it2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.BlockReads(); got != before {
+				t.Errorf("second scan fetched %d blocks from device", got-before)
+			}
+		})
+	}
+}
+
+// TestFormatCorruptionDetected flips a byte at every position of a small
+// table for each combo and requires the read path to either surface
+// ErrCorrupt or return the correct data (flips in slack bytes such as
+// footer padding are legitimately invisible) — never a panic, never a
+// silently wrong result.
+func TestFormatCorruptionDetected(t *testing.T) {
+	kvs := compressibleKVs(60)
+	for _, wopts := range formatCombos() {
+		wopts := wopts
+		t.Run(comboName(wopts), func(t *testing.T) {
+			fs := vfs.Mem()
+			buildTable(t, fs, "/t.sst", wopts, kvs)
+			orig := readAll(t, fs, "/t.sst")
+			for pos := 0; pos < len(orig); pos++ {
+				mut := append([]byte(nil), orig...)
+				mut[pos] ^= 0x40
+				writeAll(t, fs, "/c.sst", mut)
+				verifyCorruptTableIsSafe(t, fs, "/c.sst", kvs, pos)
+			}
+		})
+	}
+}
+
+// verifyCorruptTableIsSafe opens and fully reads a possibly-corrupt table,
+// requiring every failure to be a clean error and every success to return
+// the exact original entries.
+func verifyCorruptTableIsSafe(t *testing.T, fs vfs.FS, name string, kvs []kv, pos int) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(f, defaultROpts())
+	if err != nil {
+		// Structural/checksum failure at open is the expected outcome for
+		// most positions; it must be typed, and the handle stays ours.
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("pos %d: open failed with untyped error: %v", pos, err)
+		}
+		_ = f.Close()
+		return
+	}
+	it := r.NewIterator()
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if i >= len(kvs) {
+			break
+		}
+		if string(keys.InternalKey(it.Key()).UserKey()) != kvs[i].u || string(it.Value()) != kvs[i].val {
+			t.Fatalf("pos %d: silent corruption at entry %d", pos, i)
+		}
+		i++
+	}
+	err = it.Close()
+	if err == nil && i != len(kvs) {
+		t.Fatalf("pos %d: clean read returned %d of %d entries", pos, i, len(kvs))
+	}
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("pos %d: iteration failed with untyped error: %v", pos, err)
+	}
+	_ = r.Close()
+}
+
+func readAll(t *testing.T, fs vfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func writeAll(t *testing.T, fs vfs.FS, name string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterRejectsUnknownKinds pins the eager validation: a writer
+// configured outside the format registry fails before writing anything.
+func TestWriterRejectsUnknownKinds(t *testing.T) {
+	fs := vfs.Mem()
+	for _, o := range []WriterOptions{
+		func() WriterOptions { o := defaultWOpts(); o.Compression = compress.Kind(7); return o }(),
+		func() WriterOptions { o := defaultWOpts(); o.Checksum = checksum.Kind(9); return o }(),
+	} {
+		f, err := fs.Create("/bad.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWriter(f, o)
+		ik := keys.MakeInternalKey(nil, []byte("k"), 1, keys.KindSet)
+		if err := w.Add(ik, []byte("v")); err == nil {
+			t.Error("Add accepted a writer with unknown format kind")
+		}
+		if _, err := w.Finish(); err == nil {
+			t.Error("Finish accepted a writer with unknown format kind")
+		}
+		_ = f.Close()
+	}
+}

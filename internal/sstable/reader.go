@@ -2,13 +2,14 @@ package sstable
 
 import (
 	"fmt"
-	"hash/crc32"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/block"
 	"repro/internal/bloom"
 	"repro/internal/cache"
+	"repro/internal/checksum"
+	"repro/internal/compress"
 	"repro/internal/encoding"
 	"repro/internal/iterator"
 	"repro/internal/keys"
@@ -35,12 +36,21 @@ type ReaderOptions struct {
 type Reader struct {
 	opts   ReaderOptions
 	f      vfs.File
+	size   int64 // file length, fixed at open; bounds-checks block handles
 	index  *block.Reader
 	filter bloom.Filter
+	// cksum is the table's checksum function, read from the footer (legacy
+	// v1 footers imply CRC32C).
+	cksum checksum.Kind
 
 	// BlockReads counts data-block fetches that missed the cache; exposed
 	// for the Fig 13 experiment and tests.
 	blockReads atomic.Int64
+	// compressedBytesRead / uncompressedBytesRead total the on-disk and
+	// post-decompression sizes of every block fetched from the file; their
+	// ratio is the read-side compression ratio surfaced by DB.Stats.
+	compressedBytesRead   atomic.Int64
+	uncompressedBytesRead atomic.Int64
 }
 
 // OpenReader reads the footer, index, and filter of a table file. The
@@ -50,18 +60,24 @@ func OpenReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	if size < footerLen {
+	if size < footerLenV1 {
 		return nil, fmt.Errorf("%w: file of %d bytes", ErrCorrupt, size)
 	}
-	buf := make([]byte, footerLen)
-	if _, err := f.ReadAt(buf, size-footerLen); err != nil {
+	// Read enough tail for the largest footer; decodeFooter selects the
+	// version by magic. Files between the v1 and v2 sizes are v1-only.
+	tailLen := int64(footerLenV2)
+	if size < tailLen {
+		tailLen = footerLenV1
+	}
+	buf := make([]byte, tailLen)
+	if _, err := f.ReadAt(buf, size-tailLen); err != nil {
 		return nil, err
 	}
 	ftr, err := decodeFooter(buf)
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{opts: opts, f: f}
+	r := &Reader{opts: opts, f: f, size: size, cksum: ftr.checksum}
 	idxData, err := r.readBlockContents(ftr.indexHandle)
 	if err != nil {
 		return nil, err
@@ -96,24 +112,50 @@ func (r *Reader) MayContain(ukey []byte) bool {
 // (i.e. cache misses) over the reader's lifetime.
 func (r *Reader) BlockReads() int64 { return r.blockReads.Load() }
 
-// readBlockContents fetches and verifies a block, without caching.
+// IOBytes reports the total on-disk (possibly compressed) and
+// post-decompression sizes of blocks fetched from the file over the
+// reader's lifetime. Equal when the table stores every block raw.
+func (r *Reader) IOBytes() (compressed, uncompressed int64) {
+	return r.compressedBytesRead.Load(), r.uncompressedBytesRead.Load()
+}
+
+// ChecksumKind reports the table's checksum function from its footer.
+func (r *Reader) ChecksumKind() checksum.Kind { return r.cksum }
+
+// readBlockContents fetches, verifies, and decompresses a block, without
+// caching. The checksum (per the table's footer kind) covers the on-disk
+// payload and type byte, so it is verified before any decode touches the
+// bytes; the type byte then names the codec.
 func (r *Reader) readBlockContents(h blockHandle) ([]byte, error) {
+	// A corrupt handle (flipped bit in an index entry or the footer) can
+	// point anywhere; reject it here so a bad length surfaces as ErrCorrupt
+	// rather than a huge allocation or an untyped short-read error.
+	end := h.offset + h.length + blockTrailerLen
+	if end < h.offset || end > uint64(r.size) {
+		return nil, fmt.Errorf("%w: block handle [%d,+%d) beyond file %06d of %d bytes",
+			ErrCorrupt, h.offset, h.length, r.opts.FileNum, r.size)
+	}
 	buf := make([]byte, h.length+blockTrailerLen)
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
 		return nil, fmt.Errorf("sstable %06d: %w", r.opts.FileNum, err)
 	}
-	contents, trailer := buf[:h.length], buf[h.length:]
+	payload, trailer := buf[:h.length], buf[h.length:]
 	if r.opts.VerifyChecksums {
-		crc := crc32.Update(0, crcTable, contents)
-		crc = crc32.Update(crc, crcTable, trailer[:1])
-		if crc != encoding.Fixed32(trailer[1:]) {
-			return nil, fmt.Errorf("%w: checksum mismatch in file %06d at offset %d",
-				ErrCorrupt, r.opts.FileNum, h.offset)
+		if checksum.Sum(r.cksum, payload, trailer[0]) != encoding.Fixed32(trailer[1:]) {
+			return nil, fmt.Errorf("%w: %v mismatch in file %06d at offset %d",
+				ErrCorrupt, r.cksum, r.opts.FileNum, h.offset)
 		}
 	}
-	if trailer[0] != typeRaw {
-		return nil, fmt.Errorf("%w: unknown block type %d", ErrCorrupt, trailer[0])
+	kind := compress.Kind(trailer[0])
+	if !kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown block type %d in file %06d", ErrCorrupt, trailer[0], r.opts.FileNum)
 	}
+	contents, err := compress.Decompress(kind, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: file %06d offset %d: %v", ErrCorrupt, r.opts.FileNum, h.offset, err)
+	}
+	r.compressedBytesRead.Add(int64(len(payload)))
+	r.uncompressedBytesRead.Add(int64(len(contents)))
 	return contents, nil
 }
 
@@ -135,8 +177,12 @@ func (r *Reader) dataBlock(h blockHandle) (*block.Reader, error) {
 		return nil, err
 	}
 	if r.opts.Cache != nil {
+		// The cache holds UNCOMPRESSED block contents (decompressing on
+		// every hit would defeat the cache), so the charge is the real
+		// resident footprint — the decoded size, not the on-disk handle
+		// length, which may be several times smaller under compression.
 		k := cache.Key{FileNum: r.opts.FileNum, Offset: h.offset}
-		r.opts.Cache.Set(k, br, int64(len(contents)))
+		r.opts.Cache.Set(k, br, br.Resident())
 	}
 	return br, nil
 }

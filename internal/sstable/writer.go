@@ -2,10 +2,11 @@ package sstable
 
 import (
 	"fmt"
-	"hash/crc32"
 
 	"repro/internal/block"
 	"repro/internal/bloom"
+	"repro/internal/checksum"
+	"repro/internal/compress"
 	"repro/internal/encoding"
 	"repro/internal/keys"
 	"repro/internal/vfs"
@@ -21,6 +22,18 @@ type WriterOptions struct {
 	RestartInterval int
 	// BloomBitsPerKey sizes the filter; 0 disables the filter block.
 	BloomBitsPerKey int
+	// Compression selects the per-block codec (default compress.None).
+	// Individual blocks that do not compress well enough are stored raw
+	// regardless; the block trailer's type byte records the outcome.
+	Compression compress.Kind
+	// Checksum selects the block checksum function for the whole table
+	// (default checksum.CRC32C); recorded in the footer.
+	Checksum checksum.Kind
+
+	// legacyV1Footer emits the pre-compression v1 footer (tests only: it
+	// reproduces seed-era tables to pin backward compatibility). Requires
+	// Compression == None and Checksum == CRC32C.
+	legacyV1Footer bool
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -43,6 +56,14 @@ type Props struct {
 	FilterBytes int
 	RawKeyBytes int64
 	RawValBytes int64
+	// UncompressedBytes and CompressedBytes are the total block payload
+	// bytes before and after per-block compression (equal when every block
+	// stored raw); their ratio is the table's compression ratio.
+	UncompressedBytes int64
+	CompressedBytes   int64
+	// CompressedBlocks counts blocks that actually stored compressed (the
+	// remainder hit the incompressible bailout or had Compression == None).
+	CompressedBlocks int
 }
 
 // Writer builds one table. Add keys in strictly increasing internal-key
@@ -60,6 +81,9 @@ type Writer struct {
 	pendingKey    []byte
 	havePending   bool
 
+	// compressBuf is the reusable destination for per-block compression.
+	compressBuf []byte
+
 	userKeys [][]byte // for the filter block
 
 	props Props
@@ -70,12 +94,20 @@ type Writer struct {
 // caller owns the handle (and should Sync before Close for durability).
 func NewWriter(f vfs.File, opts WriterOptions) *Writer {
 	opts = opts.withDefaults()
-	return &Writer{
+	w := &Writer{
 		opts:  opts,
 		f:     f,
 		data:  block.Writer{Interval: opts.RestartInterval},
 		index: block.Writer{Interval: 1},
 	}
+	// Reject unknown format knobs before any block hits the disk; the
+	// sticky error surfaces on the first Add or Finish.
+	if !opts.Compression.Valid() {
+		w.err = fmt.Errorf("sstable: unknown compression kind %d", uint8(opts.Compression))
+	} else if !opts.Checksum.Valid() {
+		w.err = fmt.Errorf("sstable: unknown checksum kind %d", uint8(opts.Checksum))
+	}
+	return w
 }
 
 // Add appends an entry. ikey must be strictly greater than all previous.
@@ -133,20 +165,29 @@ func (w *Writer) finishDataBlock() {
 	w.havePending = true
 }
 
-// writeBlock writes contents + trailer, returning its handle.
+// writeBlock compresses contents per the table's codec (with per-block
+// raw fallback), writes payload + trailer, and returns the payload's
+// handle. The trailer checksum covers the on-disk payload and the type
+// byte, computed with the table's checksum kind.
 func (w *Writer) writeBlock(contents []byte) (blockHandle, error) {
-	h := blockHandle{offset: w.offset, length: uint64(len(contents))}
-	trailer := [blockTrailerLen]byte{typeRaw}
-	crc := crc32.Update(0, crcTable, contents)
-	crc = crc32.Update(crc, crcTable, trailer[:1])
-	encoding.PutFixed32(trailer[1:1], crc)
-	if _, err := w.f.Write(contents); err != nil {
+	payload, kind := compress.Compress(w.opts.Compression, w.compressBuf, contents)
+	if kind != compress.None {
+		w.compressBuf = payload[:0] // keep the grown buffer for the next block
+		w.props.CompressedBlocks++
+	}
+	w.props.UncompressedBytes += int64(len(contents))
+	w.props.CompressedBytes += int64(len(payload))
+
+	h := blockHandle{offset: w.offset, length: uint64(len(payload))}
+	trailer := [blockTrailerLen]byte{byte(kind)}
+	encoding.PutFixed32(trailer[1:1], checksum.Sum(w.opts.Checksum, payload, byte(kind)))
+	if _, err := w.f.Write(payload); err != nil {
 		return blockHandle{}, err
 	}
 	if _, err := w.f.Write(trailer[:]); err != nil {
 		return blockHandle{}, err
 	}
-	w.offset += uint64(len(contents)) + blockTrailerLen
+	w.offset += uint64(len(payload)) + blockTrailerLen
 	return h, nil
 }
 
@@ -173,7 +214,7 @@ func (w *Writer) Finish() (Props, error) {
 		return Props{}, w.err
 	}
 
-	var ftr footer
+	ftr := footer{checksum: w.opts.Checksum}
 	if w.opts.BloomBitsPerKey > 0 {
 		filter := bloom.New(w.userKeys, w.opts.BloomBitsPerKey)
 		w.props.FilterBytes = len(filter)
@@ -192,11 +233,19 @@ func (w *Writer) Finish() (Props, error) {
 	}
 	ftr.indexHandle = ih
 
-	if _, err := w.f.Write(ftr.encode()); err != nil {
+	ftrBytes := ftr.encode()
+	if w.opts.legacyV1Footer {
+		if w.opts.Compression != compress.None || w.opts.Checksum != checksum.CRC32C {
+			w.err = fmt.Errorf("sstable: legacy v1 footer requires raw blocks and CRC32C")
+			return Props{}, w.err
+		}
+		ftrBytes = ftr.encodeV1()
+	}
+	if _, err := w.f.Write(ftrBytes); err != nil {
 		w.err = err
 		return Props{}, err
 	}
-	w.offset += footerLen
+	w.offset += uint64(len(ftrBytes))
 	if err := w.f.Sync(); err != nil {
 		w.err = err
 		return Props{}, err

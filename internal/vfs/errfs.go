@@ -1,9 +1,13 @@
 package vfs
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// errOutOfRange reports a FlipBit offset outside the file.
+var errOutOfRange = errors.New("vfs: flip offset out of range")
 
 // ErrFS wraps a filesystem with fault injection for crash and error-path
 // testing: operations can be made to fail after a countdown, and writes can
@@ -82,6 +86,43 @@ func (e *ErrFS) TearFile(name string, drop int) error {
 		}
 	}
 	_ = f.Close()
+	out, err := e.inner.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(data); err != nil {
+		_ = out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// FlipBit XORs one bit at byte offset off of the named file through the
+// inner filesystem (no fault accounting), emulating silent media corruption
+// — the fault block checksums exist to catch. Like TearFile, the handle
+// that wrote the file must be closed or synced first.
+func (e *ErrFS) FlipBit(name string, off int64) error {
+	f, err := e.inner.Open(name)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	_ = f.Close()
+	if off < 0 || off >= size {
+		return errOutOfRange
+	}
+	data[off] ^= 0x04
 	out, err := e.inner.Create(name)
 	if err != nil {
 		return err

@@ -153,15 +153,47 @@ func Key(i int64) []byte {
 }
 
 // Value builds a deterministic pseudo-random value of the given size
-// (the paper uses 1 KiB).
+// (the paper uses 1 KiB). The bytes are xorshift output — incompressible by
+// construction, the worst case for any block codec.
 func Value(i int64, size int) []byte {
 	v := make([]byte, size)
-	state := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	fillRandom(v, uint64(i))
+	return v
+}
+
+// CompressibleValue builds a deterministic value whose leading
+// (1-ratio)·size bytes are pseudo-random and whose tail is a repeated
+// 32-byte fragment, giving block codecs roughly the requested fraction of
+// redundancy. ratio is clamped to [0, 1]; 0 degenerates to Value. Real
+// stored data (JSON, URLs, log lines) sits between the two extremes, which
+// is what the format benchmarks sweep.
+func CompressibleValue(i int64, size int, ratio float64) []byte {
+	if ratio <= 0 {
+		return Value(i, size)
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	v := make([]byte, size)
+	randLen := int(float64(size) * (1 - ratio))
+	fillRandom(v[:randLen], uint64(i))
+	// The repeated fragment varies per key (so cross-value dedup is not the
+	// thing being measured) but tiles within the value.
+	var frag [32]byte
+	fillRandom(frag[:], uint64(i)^0xa076_1d64_78bd_642f)
+	for j := randLen; j < size; j++ {
+		v[j] = frag[(j-randLen)%len(frag)]
+	}
+	return v
+}
+
+// fillRandom fills v with xorshift64 output seeded deterministically.
+func fillRandom(v []byte, seed uint64) {
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	for j := range v {
 		state ^= state << 13
 		state ^= state >> 7
 		state ^= state << 17
 		v[j] = byte(state)
 	}
-	return v
 }

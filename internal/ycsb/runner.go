@@ -73,7 +73,7 @@ func Load(ops Ops, w Workload, ro RunnerOptions) error {
 	perm := rng.Perm(int(w.KeySpace))
 	for i := int64(0); i < w.Preload; i++ {
 		idx := int64(perm[int(i)%len(perm)])
-		if err := ops.Write(Key(idx), Value(idx, w.ValueSize)); err != nil {
+		if err := ops.Write(Key(idx), w.value(idx)); err != nil {
 			return fmt.Errorf("ycsb: preload: %w", err)
 		}
 	}
@@ -141,7 +141,7 @@ func Run(ops Ops, w Workload, ro RunnerOptions) (*Result, error) {
 				var err error
 				switch kind {
 				case OpWrite:
-					err = ops.Write(Key(idx), Value(idx, w.ValueSize))
+					err = ops.Write(Key(idx), w.value(idx))
 				case OpScan:
 					err = ops.Scan(Key(idx), w.ScanLength)
 				default:

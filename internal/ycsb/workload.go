@@ -47,6 +47,10 @@ type Workload struct {
 	KeySpace int64
 	// ValueSize is the value payload (paper: 1 KiB).
 	ValueSize int
+	// Compressibility is the fraction of each value that is redundant
+	// (0 = pure random bytes, the paper's incompressible default; see
+	// CompressibleValue). Used by the on-disk-format benchmarks.
+	Compressibility float64
 	// Ops is the total request count.
 	Ops int64
 	// Preload inserts this many keys before measuring (0 = KeySpace/2,
@@ -74,6 +78,14 @@ func (w Workload) withDefaults() Workload {
 		w.Preload = w.KeySpace / 2
 	}
 	return w
+}
+
+// value renders the payload for item i under the workload's value model.
+func (w Workload) value(i int64) []byte {
+	if w.Compressibility > 0 {
+		return CompressibleValue(i, w.ValueSize, w.Compressibility)
+	}
+	return Value(i, w.ValueSize)
 }
 
 // String names the workload.

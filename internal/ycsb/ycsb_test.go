@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/compress"
 )
 
 func TestUniformCoversSpace(t *testing.T) {
@@ -250,5 +252,41 @@ func TestRunReproducible(t *testing.T) {
 	}
 	if run() != run() {
 		t.Error("same seed produced different op mixes")
+	}
+}
+
+func TestCompressibleValue(t *testing.T) {
+	// Deterministic: same inputs, same bytes.
+	a := CompressibleValue(42, 1024, 0.5)
+	b := CompressibleValue(42, 1024, 0.5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("CompressibleValue is not deterministic")
+	}
+	if len(a) != 1024 {
+		t.Fatalf("len = %d, want 1024", len(a))
+	}
+	// Distinct keys get distinct values.
+	if bytes.Equal(a, CompressibleValue(43, 1024, 0.5)) {
+		t.Fatal("different keys produced identical values")
+	}
+	// Ratio 0 degenerates to the incompressible generator.
+	if !bytes.Equal(CompressibleValue(7, 256, 0), Value(7, 256)) {
+		t.Fatal("ratio 0 should equal Value()")
+	}
+	// The redundancy is real: the requested fraction actually compresses.
+	for _, ratio := range []float64{0.25, 0.5, 0.9} {
+		v := CompressibleValue(1, 4096, ratio)
+		payload, kind := compress.Compress(compress.LZ4, nil, v)
+		if kind != compress.LZ4 {
+			t.Fatalf("ratio %v: lz4 bailed out on a value with %v redundancy", ratio, ratio)
+		}
+		saved := 1 - float64(len(payload))/float64(len(v))
+		if saved < ratio/2 {
+			t.Errorf("ratio %v: lz4 saved only %.0f%%", ratio, saved*100)
+		}
+	}
+	// And the incompressible default really is: lz4 must store it raw.
+	if _, kind := compress.Compress(compress.LZ4, nil, Value(1, 4096)); kind != compress.None {
+		t.Error("pure-random Value compressed; generator is broken")
 	}
 }
