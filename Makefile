@@ -22,7 +22,7 @@ unexport TAGS
 # durability-critical Close/Sync). Built from source on demand.
 LDCLINT := bin/ldclint
 
-.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format run-server server-smoke ci
+.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -82,6 +82,13 @@ bench-read:
 bench-format:
 	$(GO) test -race -run XXX -bench BenchmarkFormat -benchtime 1x $(TESTFLAGS) .
 
+# One race-checked pass over the sharded-writers sweep (shards 1/2/4/8 x 16
+# writers): exercises hash routing, per-shard commit pipelines, and shared
+# WAL-directory recovery under the race detector without measuring
+# anything. Real numbers live in BENCH_shards.json.
+bench-shards:
+	$(GO) test -race -run XXX -bench BenchmarkShardedWriters -benchtime 1x $(TESTFLAGS) ./internal/core
+
 # Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
 run-server: build
 	$(GO) run ./cmd/ldcserver -db $(DB) -addr 127.0.0.1:$(PORT)
@@ -91,4 +98,4 @@ run-server: build
 server-smoke:
 	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet lint race invariants bench-smoke bench-read bench-format server-smoke
+ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards server-smoke

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/resp"
+)
+
+// MovedError is the decoded form of a Redis Cluster "-MOVED <slot> <addr>"
+// redirect: the key's slot lives on another node. The single-process
+// server never sends one today (it owns every slot), but the engine's hash
+// partitioning is the slot map a multi-process deployment would shard by,
+// so the client already speaks the redirect half of the protocol.
+type MovedError struct {
+	Slot int
+	Addr string
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("MOVED %d %s", e.Slot, e.Addr)
+}
+
+// parseMoved decodes a server error reply into a *MovedError when it is a
+// MOVED redirect; otherwise it returns the error unchanged.
+func parseMoved(e resp.Error) error {
+	s := string(e)
+	rest, ok := strings.CutPrefix(s, "MOVED ")
+	if !ok {
+		return e
+	}
+	slotStr, addr, ok := strings.Cut(rest, " ")
+	if !ok || addr == "" {
+		return e
+	}
+	slot, err := strconv.Atoi(slotStr)
+	if err != nil || slot < 0 {
+		return e
+	}
+	return &MovedError{Slot: slot, Addr: addr}
+}
+
+// ClusterInfo fetches the CLUSTER INFO text (cluster_enabled, ldc_shards,
+// and friends as "key:value" lines).
+func (c *Client) ClusterInfo() (string, error) {
+	v, err := c.Do("CLUSTER", "INFO")
+	if err != nil {
+		return "", err
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected CLUSTER INFO reply %T", v)
+	}
+	return string(b), nil
+}
+
+// ClusterMyID fetches this server's stable cluster node ID.
+func (c *Client) ClusterMyID() (string, error) {
+	v, err := c.Do("CLUSTER", "MYID")
+	if err != nil {
+		return "", err
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected CLUSTER MYID reply %T", v)
+	}
+	return string(b), nil
+}
+
+// ClusterKeySlot reports which engine shard (slot) owns key.
+func (c *Client) ClusterKeySlot(key []byte) (int64, error) {
+	v, err := c.Do("CLUSTER", "KEYSLOT", key)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected CLUSTER KEYSLOT reply %T", v)
+	}
+	return n, nil
+}

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/resp"
+)
+
+func TestParseMoved(t *testing.T) {
+	cases := []struct {
+		in   string
+		slot int
+		addr string // "" = not a MOVED redirect
+	}{
+		{"MOVED 3 127.0.0.1:7001", 3, "127.0.0.1:7001"},
+		{"MOVED 0 node-b:6380", 0, "node-b:6380"},
+		{"ERR unknown command 'FOO'", 0, ""},
+		{"MOVED", 0, ""},
+		{"MOVED notanumber 127.0.0.1:7001", 0, ""},
+		{"MOVED 3", 0, ""},
+		{"MOVED -1 127.0.0.1:7001", 0, ""},
+	}
+	for _, tc := range cases {
+		err := parseMoved(resp.Error(tc.in))
+		var moved *MovedError
+		if tc.addr == "" {
+			if errors.As(err, &moved) {
+				t.Errorf("parseMoved(%q) decoded %+v, want passthrough", tc.in, moved)
+			}
+			continue
+		}
+		if !errors.As(err, &moved) {
+			t.Errorf("parseMoved(%q) = %v (%T), want *MovedError", tc.in, err, err)
+			continue
+		}
+		if moved.Slot != tc.slot || moved.Addr != tc.addr {
+			t.Errorf("parseMoved(%q) = %+v, want slot=%d addr=%q", tc.in, moved, tc.slot, tc.addr)
+		}
+		if moved.Error() != tc.in {
+			t.Errorf("MovedError round-trip %q != %q", moved.Error(), tc.in)
+		}
+	}
+}
+
+// TestMovedSurfacesFromDo pins the wire path: a -MOVED error reply from the
+// server surfaces from Do as a typed *MovedError.
+func TestMovedSurfacesFromDo(t *testing.T) {
+	addr := stubServer(t, "-MOVED 42 10.0.0.9:6380\r\n")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do("GET", "k")
+	var moved *MovedError
+	if !errors.As(err, &moved) {
+		t.Fatalf("Do returned %v (%T), want *MovedError", err, err)
+	}
+	if moved.Slot != 42 || moved.Addr != "10.0.0.9:6380" {
+		t.Errorf("MovedError = %+v, want slot=42 addr=10.0.0.9:6380", moved)
+	}
+}

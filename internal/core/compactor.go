@@ -30,7 +30,7 @@ import (
 
 // startWorkers launches the flush worker and the compaction pool. Called
 // once at the end of Open, before the DB is visible to any other goroutine.
-func (db *DB) startWorkers() {
+func (db *store) startWorkers() {
 	n := db.opts.CompactionParallelism
 	db.stats.initWorkers(n)
 	db.mu.Lock()
@@ -44,7 +44,7 @@ func (db *DB) startWorkers() {
 
 // workerExit records a worker goroutine's termination; Close waits for the
 // count to reach zero.
-func (db *DB) workerExit() {
+func (db *store) workerExit() {
 	db.mu.Lock()
 	db.workersRunning--
 	db.bgCond.Broadcast()
@@ -54,7 +54,7 @@ func (db *DB) workerExit() {
 // flushWorker turns immutable memtables into L0 tables, one at a time, for
 // the DB's whole lifetime. Obsolete-file GC runs at the bottom of each
 // iteration with no lock held.
-func (db *DB) flushWorker() {
+func (db *store) flushWorker() {
 	defer db.workerExit()
 	for {
 		db.mu.Lock()
@@ -87,7 +87,7 @@ func (db *DB) flushWorker() {
 // compactionWorker picks, claims, and executes compaction jobs until the DB
 // closes. Multiple workers run this loop concurrently; the claim taken
 // before db.mu is released guarantees their jobs are disjoint.
-func (db *DB) compactionWorker(id int) {
+func (db *store) compactionWorker(id int) {
 	defer db.workerExit()
 	for {
 		db.mu.Lock()
@@ -136,7 +136,7 @@ func (db *DB) compactionWorker(id int) {
 
 // execPick dispatches one claimed unit of compaction work. db.mu held on
 // entry and exit; released during I/O and the version edit.
-func (db *DB) execPick(pick compaction.Pick) error {
+func (db *store) execPick(pick compaction.Pick) error {
 	switch pick.Kind {
 	case compaction.PickTrivialMove:
 		return db.execTrivialMove(pick)
@@ -152,7 +152,7 @@ func (db *DB) execPick(pick compaction.Pick) error {
 // flushImmLocked writes the immutable memtable as an L0 table. db.mu is
 // held on entry and exit; it is released during file I/O and the MANIFEST
 // edit. Also called directly from recovery, before workers start.
-func (db *DB) flushImmLocked() error {
+func (db *store) flushImmLocked() error {
 	imm := db.imm
 	logNum := db.logNum // WAL in use *after* the switch; older logs die with the flush
 	db.mu.Unlock()
@@ -181,7 +181,7 @@ func (db *DB) flushImmLocked() error {
 // buildTable writes the entries of it (already in internal order, possibly
 // filtered by drop) into a new table file. A nil return meta means the
 // input was empty. Called without db.mu.
-func (db *DB) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.InternalKey) bool) (*version.FileMeta, error) {
+func (db *store) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.InternalKey) bool) (*version.FileMeta, error) {
 	defer it.Close()
 	num := db.set.NewFileNum()
 	name := version.TableFileName(db.dir, num)
@@ -231,7 +231,7 @@ func (db *DB) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.Inte
 	}, nil
 }
 
-func (db *DB) tableWriterOptions() sstable.WriterOptions {
+func (db *store) tableWriterOptions() sstable.WriterOptions {
 	return sstable.WriterOptions{
 		Cmp:             db.icmp,
 		BlockSize:       db.opts.BlockSize,
@@ -245,7 +245,7 @@ func (db *DB) tableWriterOptions() sstable.WriterOptions {
 // edit (for recovery and for applyPointers). Pure computation — safe
 // without db.mu; the picker itself is updated by applyPointers only after
 // the edit commits.
-func (db *DB) pointerEdit(e *version.Edit, level int, inputs []*version.FileMeta) {
+func (db *store) pointerEdit(e *version.Edit, level int, inputs []*version.FileMeta) {
 	var largest keys.InternalKey
 	for _, f := range inputs {
 		if largest == nil || db.icmp.Compare(f.Largest, largest) > 0 {
@@ -267,14 +267,14 @@ func (db *DB) pointerEdit(e *version.Edit, level int, inputs []*version.FileMeta
 // persisted in set.compactPointers/MANIFEST. The set's value is updated in
 // commit order, so reading it here always yields the cursor of this job's
 // commit or a later one. Caller holds db.mu.
-func (db *DB) applyPointers(e *version.Edit) {
+func (db *store) applyPointers(e *version.Edit) {
 	for _, cp := range e.CompactPointers {
 		db.picker.SetPointer(cp.Level, db.set.CompactPointer(cp.Level))
 	}
 }
 
 // execTrivialMove reparents a file one level down: metadata only.
-func (db *DB) execTrivialMove(pick compaction.Pick) error {
+func (db *store) execTrivialMove(pick compaction.Pick) error {
 	f := pick.Inputs[0]
 	e := &version.Edit{}
 	e.DeleteFile(pick.Level, f.Num)
@@ -296,7 +296,7 @@ func (db *DB) execTrivialMove(pick compaction.Pick) error {
 // execLink performs LDC's link phase (paper Algorithm 1, lines 1–9):
 // freeze the upper file and attach one slice per overlapped lower file.
 // Pure metadata — this is why LDC's per-action cost is tiny.
-func (db *DB) execLink(pick compaction.Pick) error {
+func (db *store) execLink(pick compaction.Pick) error {
 	su := pick.Inputs[0]
 	overlaps := append([]*version.FileMeta(nil), pick.Overlaps...)
 	windows := compaction.SliceWindows(db.icmp.User, su, overlaps)
@@ -335,7 +335,7 @@ func (db *DB) execLink(pick compaction.Pick) error {
 
 // compactionState carries shared drop logic across compact and merge.
 type compactionState struct {
-	db           *DB
+	db           *store
 	v            *version.Version
 	outputLevel  int
 	smallestSnap keys.Seq
@@ -395,7 +395,7 @@ func (cs *compactionState) isBaseLevelForKey(uk []byte) bool {
 // compactionReader opens a dedicated, uncached reader for an input file so
 // its I/O is charged to the compaction-read category. Returned closers
 // release the handles.
-func (db *DB) compactionReader(num uint64) (*sstable.Reader, error) {
+func (db *store) compactionReader(num uint64) (*sstable.Reader, error) {
 	f, err := db.fsCompR.Open(version.TableFileName(db.dir, num))
 	if err != nil {
 		return nil, err
@@ -428,7 +428,7 @@ func (o *ownedTableIter) Close() error {
 
 // inputIterators builds compaction input iterators for a set of files,
 // including their attached slices (clamped frozen-file views).
-func (db *DB) inputIterators(files []*version.FileMeta) ([]iterator.Iterator, int64, error) {
+func (db *store) inputIterators(files []*version.FileMeta) ([]iterator.Iterator, int64, error) {
 	var its []iterator.Iterator
 	var readBytes int64
 	fail := func(err error) ([]iterator.Iterator, int64, error) {
@@ -461,7 +461,7 @@ func (db *DB) inputIterators(files []*version.FileMeta) ([]iterator.Iterator, in
 }
 
 // writeOutputs streams a merged iterator into size-capped output tables.
-func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*version.FileMeta, error) {
+func (db *store) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*version.FileMeta, error) {
 	defer merged.Close()
 	var outputs []*version.FileMeta
 	var w *sstable.Writer
@@ -529,7 +529,7 @@ func (db *DB) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]*ve
 // L0→L1, or a tiered tier-merge): merge Inputs with Overlaps, write outputs
 // one level down. Slices attached to overlapped files are consumed too.
 // db.mu held on entry/exit; released for the whole merge and version edit.
-func (db *DB) execCompact(pick compaction.Pick) error {
+func (db *store) execCompact(pick compaction.Pick) error {
 	// Current (not CurrentNoRef+Ref) so the reference is acquired under
 	// set.mu, atomically with the pointer read: LogAndApply runs outside
 	// db.mu, so a racing worker could otherwise install a new version and
@@ -580,7 +580,7 @@ func (db *DB) execCompact(pick compaction.Pick) error {
 // compaction I/O of Fig 10(c). The frozen inputs may be shared with other
 // concurrent merges; they are read-only and pinned by the version ref.
 // db.mu held on entry/exit.
-func (db *DB) execMerge(pick compaction.Pick) error {
+func (db *store) execMerge(pick compaction.Pick) error {
 	v := db.set.Current() // ref taken under set.mu; see execCompact
 	smallestSnap := db.smallestSnapshot()
 	db.mu.Unlock()
@@ -621,15 +621,17 @@ func (db *DB) execMerge(pick compaction.Pick) error {
 // deleteObsoleteFiles removes table files no longer referenced by any
 // version. Called without db.mu; safe for any number of concurrent callers
 // (TakeObsolete hands each file number to exactly one of them).
-func (db *DB) deleteObsoleteFiles() {
+func (db *store) deleteObsoleteFiles() {
 	for _, num := range db.set.TakeObsolete() {
 		db.tables.evict(num)
 		if err := db.fsMeta.Remove(version.TableFileName(db.dir, num)); err == nil {
 			db.stats.obsoleteDeleted.Add(1)
 		}
 	}
-	// Old WALs below the covered floor.
-	names, err := db.fsMeta.List(db.dir)
+	// Old WALs below the covered floor. Listing goes through this shard's
+	// name filter, so in a shared WAL directory each shard only ever
+	// touches its own SHARD-<id>-* segments.
+	nums, err := db.listLogs()
 	if err != nil {
 		return
 	}
@@ -637,9 +639,9 @@ func (db *DB) deleteObsoleteFiles() {
 	db.mu.Lock()
 	cur := db.logNum
 	db.mu.Unlock()
-	for _, name := range names {
-		if typ, num := version.ParseFileName(name); typ == version.TypeLog && num < floor && num != cur {
-			db.fsMeta.Remove(version.LogFileName(db.dir, num))
+	for _, num := range nums {
+		if num < floor && num != cur {
+			db.fsMeta.Remove(db.logFileName(num))
 		}
 	}
 }

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"repro/internal/batch"
-	"repro/internal/cache"
 	"repro/internal/commit"
 	"repro/internal/compaction"
 	"repro/internal/keys"
@@ -29,11 +28,25 @@ var (
 	ErrClosed = errors.New("ldc: database closed")
 )
 
-// DB is the key-value store. All methods are safe for concurrent use.
-type DB struct {
+// store is one shard's complete engine: memtable + WAL segment + group-
+// commit pipeline + read state + version set + compaction claim space. It is
+// exactly the pre-sharding DB, made unexported; the public DB (router.go) is
+// a thin hash router over Options.Shards of these. All methods are safe for
+// concurrent use.
+type store struct {
 	opts Options
 	dir  string
 	icmp keys.InternalComparer
+
+	// Shard identity. shardID is this store's index in the router; walDir is
+	// the directory holding its WAL segments. walShared marks the sharded
+	// layout, where all shards' segments live side by side in one directory
+	// under SHARD-<id>-<num>.log names. In the single-shard legacy layout
+	// walDir == dir and segments keep their historical NNNNNN.log names —
+	// byte-identical to the pre-sharding engine.
+	shardID   int
+	walDir    string
+	walShared bool
 
 	// Category-tagged filesystem views (identical when the FS is not an
 	// SSD simulator).
@@ -44,11 +57,10 @@ type DB struct {
 	fsCompW vfs.FS // compaction writes
 	fsMeta  vfs.FS // MANIFEST and housekeeping
 
-	set        *version.Set
-	picker     *compaction.Picker
-	adaptive   *adaptiveThreshold
-	tables     *tableCache
-	blockCache *cache.Cache
+	set      *version.Set
+	picker   *compaction.Picker
+	adaptive *adaptiveThreshold
+	tables   *shardTables
 
 	// pipeline and controller form the commit front end (see write.go):
 	// Apply goes through the pipeline, which groups concurrent writers and
@@ -101,20 +113,31 @@ type DB struct {
 	stats dbStats
 }
 
-// Open opens (creating if necessary) a database in dir. Nonsensical
-// configurations are rejected up front with an error wrapping
-// ErrInvalidOptions.
-func Open(dir string, opts Options) (*DB, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	icmp := keys.InternalComparer{User: opts.Comparer}
+// storeConfig places one shard on disk: its root directory (MANIFEST,
+// CURRENT, tables), its WAL directory and naming mode, and its slot in the
+// shared table cache. The single-shard legacy layout is walDir == dir with
+// walShared off.
+type storeConfig struct {
+	dir       string
+	walDir    string
+	walShared bool
+	shardID   int
+}
 
-	db := &DB{
-		opts: opts,
-		dir:  dir,
-		icmp: icmp,
+// openStore opens (creating if necessary) one shard engine. Options are
+// already validated and defaulted by the router's Open; tables is the
+// database-wide shared table cache (which carries the shared block cache).
+func openStore(cfg storeConfig, opts Options, tables *tableCache) (*store, error) {
+	icmp := keys.InternalComparer{User: opts.Comparer}
+	dir := cfg.dir
+
+	db := &store{
+		opts:      opts,
+		dir:       dir,
+		icmp:      icmp,
+		shardID:   cfg.shardID,
+		walDir:    cfg.walDir,
+		walShared: cfg.walShared,
 	}
 	db.flushCond = sync.NewCond(&db.mu)
 	db.workCond = sync.NewCond(&db.mu)
@@ -125,8 +148,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	db.blockCache = opts.newBlockCache()
-	db.tables = newTableCache(db.fsUser, dir, icmp, db.blockCache, *opts.VerifyChecksums)
+	db.tables = tables.forShard(cfg.shardID, dir)
 	db.set = version.NewSet(db.fsMeta, dir, icmp)
 	db.set.AllowOverlaps = opts.Policy == compaction.Tiered
 	db.picker = compaction.NewPicker(opts.Policy, opts.compactionParams(), icmp)
@@ -173,7 +195,7 @@ func Open(dir string, opts Options) (*DB, error) {
 
 // initFS derives per-category filesystem views when running on the SSD
 // simulator.
-func (db *DB) initFS(fs vfs.FS) {
+func (db *store) initFS(fs vfs.FS) {
 	if sim, ok := fs.(*ssdsim.FS); ok {
 		db.fsUser = sim.WithCategory(ssdsim.CatUserRead)
 		db.fsWAL = sim.WithCategory(ssdsim.CatWAL)
@@ -186,21 +208,59 @@ func (db *DB) initFS(fs vfs.FS) {
 	db.fsUser, db.fsWAL, db.fsFlush, db.fsCompR, db.fsCompW, db.fsMeta = fs, fs, fs, fs, fs, fs
 }
 
+// logFileName returns the path of this shard's WAL file num: the historical
+// NNNNNN.log name in the legacy layout, SHARD-<id>-NNNNNN.log in the shared
+// WAL directory of a sharded database.
+func (db *store) logFileName(num uint64) string {
+	if db.walShared {
+		return version.ShardLogFileName(db.walDir, db.shardID, num)
+	}
+	return version.LogFileName(db.walDir, num)
+}
+
+// listLogs returns the WAL segment numbers belonging to this shard that are
+// present in its WAL directory. In the sharded layout the directory holds
+// every shard's segments; names route each segment to its shard.
+func (db *store) listLogs() ([]uint64, error) {
+	names, err := db.fsMeta.List(db.walDir)
+	if err != nil {
+		return nil, err
+	}
+	var logs []uint64
+	for _, name := range names {
+		if num, ok := db.parseLogName(name); ok {
+			logs = append(logs, num)
+		}
+	}
+	return logs, nil
+}
+
+// parseLogName reports whether a bare file name is one of this shard's WAL
+// segments, and its number.
+func (db *store) parseLogName(name string) (uint64, bool) {
+	if db.walShared {
+		sh, num, ok := version.ParseShardLogName(name)
+		return num, ok && sh == db.shardID
+	}
+	typ, num := version.ParseFileName(name)
+	return num, typ == version.TypeLog
+}
+
 // recover loads the MANIFEST then replays WALs newer than its floor.
-func (db *DB) recover() error {
+func (db *store) recover() error {
 	if err := db.set.Recover(); err != nil {
 		return err
 	}
 	db.mem = memtable.New(db.icmp)
 
-	names, err := db.fsMeta.List(db.dir)
+	all, err := db.listLogs()
 	if err != nil {
 		return err
 	}
 	floor := db.set.LogNum()
 	var logs []uint64
-	for _, name := range names {
-		if typ, num := version.ParseFileName(name); typ == version.TypeLog && num >= floor {
+	for _, num := range all {
+		if num >= floor {
 			logs = append(logs, num)
 		}
 	}
@@ -224,8 +284,8 @@ func (db *DB) recover() error {
 	return nil
 }
 
-func (db *DB) replayLog(num uint64) error {
-	f, err := db.fsWAL.Open(version.LogFileName(db.dir, num))
+func (db *store) replayLog(num uint64) error {
+	f, err := db.fsWAL.Open(db.logFileName(num))
 	if err != nil {
 		if err == vfs.ErrNotExist {
 			return nil
@@ -266,9 +326,9 @@ func (db *DB) replayLog(num uint64) error {
 
 // newLogLocked switches to a fresh WAL file. Callers guarantee exclusivity
 // (Open, or write path holding mu).
-func (db *DB) newLogLocked() error {
+func (db *store) newLogLocked() error {
 	num := db.set.NewFileNum()
-	raw, err := db.fsWAL.Create(version.LogFileName(db.dir, num))
+	raw, err := db.fsWAL.Create(db.logFileName(num))
 	if err != nil {
 		return err
 	}
@@ -305,7 +365,7 @@ func (db *DB) newLogLocked() error {
 // Close, the public entry points (Put, Delete, Apply, Get, GetAt, Scan,
 // NewIterator, NewSnapshot) fail with ErrClosed; Stats and CurrentProfile
 // keep returning the final counters.
-func (db *DB) Close() error {
+func (db *store) Close() error {
 	db.closeOnce.Do(func() {
 		db.mu.Lock()
 		db.stopBackgroundLocked()
@@ -333,7 +393,7 @@ func (db *DB) Close() error {
 		if db.retired != nil {
 			<-db.retired.done
 		}
-		db.tables.close()
+		db.tables.closeShard()
 		if err := db.set.Close(); db.closeErr == nil {
 			db.closeErr = err
 		}
@@ -346,7 +406,7 @@ func (db *DB) Close() error {
 // version edits resolve normally); idle workers wake, observe closed, and
 // return. Callers hold db.mu. Also used by crash-simulation tests, which
 // abandon the handle without a clean Close.
-func (db *DB) stopBackgroundLocked() {
+func (db *store) stopBackgroundLocked() {
 	db.closed = true
 	db.flushCond.Broadcast()
 	db.workCond.Broadcast()
@@ -369,7 +429,7 @@ func (db *DB) stopBackgroundLocked() {
 // Writes
 
 // Put inserts or updates a key.
-func (db *DB) Put(key, value []byte) error {
+func (db *store) Put(key, value []byte) error {
 	b := batch.New()
 	b.Set(key, value)
 	err := db.Apply(b)
@@ -380,7 +440,7 @@ func (db *DB) Put(key, value []byte) error {
 }
 
 // Delete writes a tombstone for a key.
-func (db *DB) Delete(key []byte) error {
+func (db *store) Delete(key []byte) error {
 	b := batch.New()
 	b.Delete(key)
 	err := db.Apply(b)
@@ -394,7 +454,7 @@ func (db *DB) Delete(key []byte) error {
 // batch joins a write group (possibly with other concurrent committers),
 // whose leader appends one WAL record, fsyncs if Options.Sync is set, and
 // applies the group to the memtable (see write.go).
-func (db *DB) Apply(b *batch.Batch) error {
+func (db *store) Apply(b *batch.Batch) error {
 	if b.Empty() {
 		return nil
 	}
@@ -407,12 +467,13 @@ func (db *DB) Apply(b *batch.Batch) error {
 // Reads
 
 // Get returns the value of key, or ErrNotFound.
-func (db *DB) Get(key []byte) ([]byte, error) {
-	return db.GetAt(key, nil)
+func (db *store) Get(key []byte) ([]byte, error) {
+	return db.getAt(key, nil)
 }
 
-// GetAt reads at a snapshot (nil = latest).
-func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+// getAt reads at a pinned sequence (nil = latest). The router resolves a
+// public Snapshot to this shard's captured sequence before calling in.
+func (db *store) getAt(key []byte, snapSeq *keys.Seq) ([]byte, error) {
 	start := time.Now()
 	defer func() { db.stats.readNanos.Add(int64(time.Since(start))) }()
 	db.stats.gets.Add(1)
@@ -431,8 +492,8 @@ func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 	}
 	defer rs.unref()
 	seq := db.set.LastSeq()
-	if snap != nil {
-		seq = snap.seq
+	if snapSeq != nil {
+		seq = *snapSeq
 	}
 
 	// Memtables.
@@ -464,7 +525,7 @@ var readScratchPool = sync.Pool{New: func() interface{} { return new(readScratch
 // getFromVersion searches table files level by level. Values returned by
 // table probes alias cached blocks, so the winner is copied exactly once, at
 // the return site; losers (older versions, tombstones) are never copied.
-func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]byte, error) {
+func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]byte, error) {
 	ucmp := db.icmp.User
 	sc := readScratchPool.Get().(*readScratch)
 	defer readScratchPool.Put(sc)
@@ -577,7 +638,7 @@ func (db *DB) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]by
 // direct index→data-block probe (no iterator construction). The returned
 // value aliases the cached block — callers copy only what they return. The
 // entry sequence orders candidates across overlapping slice windows.
-func (db *DB) tableProbe(num uint64, sk keys.InternalKey) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+func (db *store) tableProbe(num uint64, sk keys.InternalKey) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
 	r, err := db.tables.get(num)
 	if err != nil {
 		return nil, false, 0, false, err
@@ -599,21 +660,16 @@ type snapshotList struct {
 	seqs map[keys.Seq]int
 }
 
-// Snapshot pins a point-in-time view for reads and iterators.
-type Snapshot struct {
-	db  *DB
-	seq keys.Seq
-}
-
-// NewSnapshot captures the current state; Release it when done. Returns
-// ErrClosed after Close — a sequence number captured from a torn-down store
-// would pin nothing.
-func (db *DB) NewSnapshot() (*Snapshot, error) {
+// snapshotSeq captures and registers this shard's current sequence for a
+// snapshot. Returns ErrClosed after Close — a sequence number captured from
+// a torn-down store would pin nothing. The public Snapshot (router.go)
+// bundles one captured sequence per shard.
+func (db *store) snapshotSeq() (keys.Seq, error) {
 	// The read-state pointer doubles as the closed gate: it is retired
 	// (swapped to nil) before any state a snapshot relies on is torn down.
 	rs := db.loadReadState()
 	if rs == nil {
-		return nil, ErrClosed
+		return 0, ErrClosed
 	}
 	defer rs.unref()
 	db.snapshots.mu.Lock()
@@ -623,23 +679,23 @@ func (db *DB) NewSnapshot() (*Snapshot, error) {
 	}
 	seq := db.set.LastSeq()
 	db.snapshots.seqs[seq]++
-	return &Snapshot{db: db, seq: seq}, nil
+	return seq, nil
 }
 
-// Release frees the snapshot.
-func (s *Snapshot) Release() {
-	s.db.snapshots.mu.Lock()
-	defer s.db.snapshots.mu.Unlock()
-	if n := s.db.snapshots.seqs[s.seq]; n <= 1 {
-		delete(s.db.snapshots.seqs, s.seq)
+// releaseSeq drops one registration of a captured snapshot sequence.
+func (db *store) releaseSeq(seq keys.Seq) {
+	db.snapshots.mu.Lock()
+	defer db.snapshots.mu.Unlock()
+	if n := db.snapshots.seqs[seq]; n <= 1 {
+		delete(db.snapshots.seqs, seq)
 	} else {
-		s.db.snapshots.seqs[s.seq] = n - 1
+		db.snapshots.seqs[seq] = n - 1
 	}
 }
 
 // smallestSnapshot reports the oldest sequence any snapshot still needs;
 // compactions must preserve versions visible at it.
-func (db *DB) smallestSnapshot() keys.Seq {
+func (db *store) smallestSnapshot() keys.Seq {
 	db.snapshots.mu.Lock()
 	defer db.snapshots.mu.Unlock()
 	smallest := db.set.LastSeq()
@@ -654,10 +710,15 @@ func (db *DB) smallestSnapshot() keys.Seq {
 // ---------------------------------------------------------------------------
 // Misc accessors
 
-// Stats returns a snapshot of internal counters, folding in the commit
-// front end's own metrics (group counts from the pipeline, stall accounting
-// from the controller).
-func (db *DB) Stats() Stats {
+// Stats returns this shard's counters as one coherent snapshot: the atomic
+// counter block, the commit front end's metrics (group counts from the
+// pipeline, stall accounting from the controller), and this shard's table-
+// reader I/O are all gathered in a single pass here, so the router's
+// aggregation reads each shard exactly once and derives every ratio from
+// the summed raw counters — no field-by-field reads that could tear against
+// concurrent writers. Shared-resource counters (the block cache) are folded
+// in once by the router, not per shard.
+func (db *store) Stats() Stats {
 	s := db.stats.snapshot()
 	if db.controller != nil {
 		cm := db.controller.Metrics()
@@ -672,13 +733,6 @@ func (db *DB) Stats() Stats {
 		s.WriteBatchesTotal = pm.Batches
 		if pm.Groups > 0 {
 			s.AvgGroupSize = float64(pm.Batches) / float64(pm.Groups)
-		}
-	}
-	if db.blockCache != nil {
-		hits, misses := db.blockCache.Stats()
-		s.BlockCacheHits, s.BlockCacheMisses = hits, misses
-		if hits+misses > 0 {
-			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
 		}
 	}
 	if db.tables != nil {
@@ -704,7 +758,7 @@ type Profile struct {
 }
 
 // CurrentProfile captures the tree's current shape.
-func (db *DB) CurrentProfile() Profile {
+func (db *store) CurrentProfile() Profile {
 	v := db.set.Current()
 	defer v.Unref()
 	p := Profile{SliceThreshold: db.picker.SliceThreshold()}
@@ -722,11 +776,11 @@ func (db *DB) CurrentProfile() Profile {
 }
 
 // BlockReads reports cumulative data-block fetches from storage (Fig 13).
-func (db *DB) BlockReads() int64 { return db.tables.totalBlockReads() }
+func (db *store) BlockReads() int64 { return db.tables.totalBlockReads() }
 
 // TableBytes reports the total size of live table files plus the frozen
 // region — the store's disk footprint (Fig 15).
-func (db *DB) TableBytes() int64 {
+func (db *store) TableBytes() int64 {
 	v := db.set.Current()
 	defer v.Unref()
 	var n int64
@@ -737,12 +791,12 @@ func (db *DB) TableBytes() int64 {
 }
 
 // SliceThreshold reports the current T_s (possibly adaptive).
-func (db *DB) SliceThreshold() int { return db.picker.SliceThreshold() }
+func (db *store) SliceThreshold() int { return db.picker.SliceThreshold() }
 
 // CompactRange forces compaction work until the tree is quiescent — used by
 // tests and experiments to reach a steady state. It drives the worker pool
 // even when DisableAutoCompaction is set.
-func (db *DB) CompactRange() error {
+func (db *store) CompactRange() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.manualWant++
@@ -771,7 +825,7 @@ func (db *DB) CompactRange() error {
 // pickable: the flush worker is idle with no pending immutable memtable and
 // every compaction worker has drained. Returns early if the store is closed
 // or poisoned by a background error.
-func (db *DB) WaitIdle() {
+func (db *store) WaitIdle() {
 	db.mu.Lock()
 	for !db.closed && db.bgErr == nil {
 		if db.imm == nil && !db.flushActive && db.compActive == 0 {
@@ -788,7 +842,7 @@ func (db *DB) WaitIdle() {
 	db.mu.Unlock()
 }
 
-func (db *DB) fatal(err error) {
+func (db *store) fatal(err error) {
 	if db.bgErr == nil {
 		db.bgErr = fmt.Errorf("ldc: background error: %w", err)
 	}

@@ -450,10 +450,10 @@ func TestObsoleteFilesDeleted(t *testing.T) {
 	}
 	db.CompactRange()
 	db.WaitIdle()
-	db.deleteObsoleteFiles()
+	db.shards[0].deleteObsoleteFiles()
 
 	// Every .sst on disk must be referenced by the live version.
-	live := db.set.LiveFileNums()
+	live := db.shards[0].set.LiveFileNums()
 	names, _ := opts.FS.List("/db")
 	for _, name := range names {
 		if typ, num := version.ParseFileName(name); typ == version.TypeTable && !live[num] {

@@ -51,9 +51,9 @@ func TestCrashRecoveryAtEveryWriteBudget(t *testing.T) {
 				}
 				// Crash: abandon the handle without a clean Close.
 				efs.Disarm()
-				db.mu.Lock()
-				db.stopBackgroundLocked()
-				db.mu.Unlock()
+				db.shards[0].mu.Lock()
+				db.shards[0].stopBackgroundLocked()
+				db.shards[0].mu.Unlock()
 
 				// Reboot on the surviving bytes.
 				opts2 := opts
@@ -125,11 +125,12 @@ func TestRecoveryAfterTornWAL(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		db.Put(key(i), value(i))
 	}
-	db.mu.Lock()
-	logw := db.logw
-	logNum := db.logNum
-	db.mu.Unlock()
-	// Flushes the writer's buffer, then syncs the file. Outside db.mu, like
+	st := db.shards[0]
+	st.mu.Lock()
+	logw := st.logw
+	logNum := st.logNum
+	st.mu.Unlock()
+	// Flushes the writer's buffer, then syncs the file. Outside st.mu, like
 	// the engine's own commit pipeline; no writers are running.
 	if err := logw.Sync(); err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ import (
 // own children of the top-level merging iterator.) levelIters are pooled;
 // Close recycles them, so use after Close is invalid.
 type levelIter struct {
-	db     *DB
+	db     *store
 	files  []*version.FileMeta
 	idx    int
 	cur    iterator.Iterator
@@ -27,7 +27,7 @@ type levelIter struct {
 
 var levelIterPool = sync.Pool{New: func() interface{} { return new(levelIter) }}
 
-func (db *DB) newLevelIter(files []*version.FileMeta) iterator.Iterator {
+func (db *store) newLevelIter(files []*version.FileMeta) iterator.Iterator {
 	if len(files) == 0 {
 		return iterator.Empty(nil)
 	}
@@ -198,7 +198,7 @@ func (l *levelIter) Close() error {
 // (as independent children), one levelIter per sorted level, plus — the LDC
 // read-path modification — one clamped frozen-table iterator per slice.
 // The returned cleanup must be called when the iterator is closed.
-func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
+func (db *store) newInternalIterator() (iterator.Iterator, func(), error) {
 	// Lock-free acquisition: the read state pins (mem, imm, version) with a
 	// single atomic load + ref; the ref is held until cleanup runs.
 	rs := db.loadReadState()
@@ -262,10 +262,12 @@ func (db *DB) newInternalIterator() (iterator.Iterator, func(), error) {
 // ---------------------------------------------------------------------------
 // User-facing iterator
 
-// Iterator walks user keys in order, exposing the newest visible version of
-// each and skipping tombstones.
-type Iterator struct {
-	db      *DB
+// storeIter walks one shard's user keys in order, exposing the newest
+// visible version of each and skipping tombstones. The public Iterator
+// (router_iter.go) is either one of these (Shards=1) or an ordered k-way
+// merge of them.
+type storeIter struct {
+	db      *store
 	it      iterator.Iterator
 	cleanup func()
 	seq     keys.Seq
@@ -277,29 +279,29 @@ type Iterator struct {
 	err        error
 }
 
-// NewIterator returns an iterator over the snapshot (nil = latest state).
-// Close it when done.
-func (db *DB) NewIterator(snap *Snapshot) (*Iterator, error) {
+// newIter returns an iterator over the pinned sequence (nil = latest
+// state). Close it when done.
+func (db *store) newIter(snapSeq *keys.Seq) (*storeIter, error) {
 	db.stats.scans.Add(1)
 	if db.adaptive != nil {
 		db.adaptive.observeReads(1)
 	}
 	seq := db.set.LastSeq()
-	if snap != nil {
-		seq = snap.seq
+	if snapSeq != nil {
+		seq = *snapSeq
 	}
 	it, cleanup, err := db.newInternalIterator()
 	if err != nil {
 		return nil, err
 	}
-	return &Iterator{db: db, it: it, cleanup: cleanup, seq: seq}, nil
+	return &storeIter{db: db, it: it, cleanup: cleanup, seq: seq}, nil
 }
 
 // Valid reports whether the iterator is positioned on an entry.
-func (i *Iterator) Valid() bool { return i.valid }
+func (i *storeIter) Valid() bool { return i.valid }
 
 // Error returns the first error encountered.
-func (i *Iterator) Error() error {
+func (i *storeIter) Error() error {
 	if i.err != nil {
 		return i.err
 	}
@@ -307,7 +309,7 @@ func (i *Iterator) Error() error {
 }
 
 // Close releases the iterator.
-func (i *Iterator) Close() error {
+func (i *storeIter) Close() error {
 	err := i.Error()
 	i.it.Close()
 	if i.cleanup != nil {
@@ -319,7 +321,7 @@ func (i *Iterator) Close() error {
 }
 
 // Key returns the current user key, valid until the next positioning call.
-func (i *Iterator) Key() []byte {
+func (i *storeIter) Key() []byte {
 	if i.dir == 0 {
 		return keys.InternalKey(i.it.Key()).UserKey()
 	}
@@ -327,7 +329,7 @@ func (i *Iterator) Key() []byte {
 }
 
 // Value returns the current value, valid until the next positioning call.
-func (i *Iterator) Value() []byte {
+func (i *storeIter) Value() []byte {
 	if i.dir == 0 {
 		return i.it.Value()
 	}
@@ -335,28 +337,28 @@ func (i *Iterator) Value() []byte {
 }
 
 // SeekToFirst positions at the smallest key.
-func (i *Iterator) SeekToFirst() {
+func (i *storeIter) SeekToFirst() {
 	i.dir = 0
 	i.it.SeekToFirst()
 	i.findNextUserEntry(false)
 }
 
 // Seek positions at the first key >= target.
-func (i *Iterator) Seek(target []byte) {
+func (i *storeIter) Seek(target []byte) {
 	i.dir = 0
 	i.it.SeekGE(keys.MakeSearchKey(nil, target, i.seq))
 	i.findNextUserEntry(false)
 }
 
 // SeekToLast positions at the largest key.
-func (i *Iterator) SeekToLast() {
+func (i *storeIter) SeekToLast() {
 	i.dir = 1
 	i.it.SeekToLast()
 	i.findPrevUserEntry()
 }
 
 // Next advances to the following user key.
-func (i *Iterator) Next() {
+func (i *storeIter) Next() {
 	if !i.valid {
 		return
 	}
@@ -379,7 +381,7 @@ func (i *Iterator) Next() {
 
 // findNextUserEntry advances to the newest visible, non-deleted version of
 // the next user key; when skipping, entries for savedKey are passed over.
-func (i *Iterator) findNextUserEntry(skipping bool) {
+func (i *storeIter) findNextUserEntry(skipping bool) {
 	ucmp := i.db.icmp.User
 	for ; i.it.Valid(); i.it.Next() {
 		ik := keys.InternalKey(i.it.Key())
@@ -402,7 +404,7 @@ func (i *Iterator) findNextUserEntry(skipping bool) {
 }
 
 // Prev retreats to the preceding user key.
-func (i *Iterator) Prev() {
+func (i *storeIter) Prev() {
 	if !i.valid {
 		return
 	}
@@ -430,7 +432,7 @@ func (i *Iterator) Prev() {
 // findPrevUserEntry scans backwards and leaves savedKey/savedValue holding
 // the newest visible version of the nearest preceding non-deleted user key
 // (ports LevelDB's DBIter::FindPrevUserEntry).
-func (i *Iterator) findPrevUserEntry() {
+func (i *storeIter) findPrevUserEntry() {
 	ucmp := i.db.icmp.User
 	deleted := true
 	i.savedKey = i.savedKey[:0]
@@ -463,10 +465,11 @@ type KV struct {
 	Key, Value []byte
 }
 
-// Scan returns up to limit pairs with keys >= start, at the latest state
-// (the paper's SCAN operation, covering ~100 pairs per request).
-func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
-	it, err := db.NewIterator(nil)
+// scan returns up to limit pairs with keys >= start, at the latest state
+// (the paper's SCAN operation, covering ~100 pairs per request). Single-
+// shard fast path; the router's Scan merges shards.
+func (db *store) scan(start []byte, limit int) ([]KV, error) {
+	it, err := db.newIter(nil)
 	if err != nil {
 		return nil, err
 	}

@@ -93,7 +93,7 @@ func TestLDCFrozenFilesReleasedEventually(t *testing.T) {
 	db.CompactRange()
 	db.WaitIdle()
 
-	v := db.set.Current()
+	v := db.shards[0].set.Current()
 	defer v.Unref()
 	// Invariant (also enforced in CheckInvariants): every frozen file is
 	// referenced by at least one slice.

@@ -29,6 +29,17 @@ type Options struct {
 	// Policy selects the compaction algorithm (UDC, LDC, Tiered).
 	Policy compaction.Policy
 
+	// Shards hash-partitions the store into this many independent engines —
+	// each with its own memtable, WAL segment, group-commit pipeline, read
+	// state, stall controller, and compaction claim space — behind one DB
+	// facade, sharing a single block cache and table cache. 0 or 1 means
+	// unsharded: the literal single engine with its historical on-disk
+	// layout. Counts are rounded up to the next power of two (mirroring the
+	// block cache's shard clamping) so key routing is a mask, and clamped to
+	// MaxShards. The count is fixed at creation and recorded on disk
+	// (LDC_SHARDS); reopening with a conflicting explicit value fails.
+	Shards int
+
 	// MemTableSize triggers a flush when the memtable reaches it (default 4 MiB).
 	MemTableSize int64
 	// SSTableSize is the paper's b: target table file size (default 2 MiB).
@@ -108,6 +119,7 @@ func (o Options) withDefaults() Options {
 	if o.FS == nil {
 		o.FS = vfs.OS()
 	}
+	o.Shards = normalizeShards(o.Shards)
 	if o.Comparer == nil {
 		o.Comparer = keys.BytewiseComparer{}
 	}
@@ -161,6 +173,30 @@ func (o Options) withDefaults() Options {
 		o.VerifyChecksums = &t
 	}
 	return o
+}
+
+// MaxShards caps Options.Shards. Past this point per-shard memtables and
+// WAL segments stop buying concurrency and start costing memory and file
+// handles; a process wanting more partitions should run more processes
+// (the CLUSTER direction).
+const MaxShards = 256
+
+// normalizeShards maps the user's requested shard count to the effective
+// one: 0 (and 1) mean unsharded, other counts round up to the next power of
+// two — mirroring cache.ClampShards' power-of-two discipline — and clamp to
+// MaxShards. Negative counts are rejected by Validate before this runs.
+func normalizeShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func (o Options) compactionParams() compaction.Params {

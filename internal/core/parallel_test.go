@@ -184,10 +184,10 @@ func TestWaitIdleDrainsPool(t *testing.T) {
 	runWorkload(t, db, 11, 1000)
 	db.WaitIdle()
 
-	db.mu.Lock()
-	busy := db.imm != nil || db.flushActive || db.compActive != 0
-	inflight := db.picker.InFlight()
-	db.mu.Unlock()
+	db.shards[0].mu.Lock()
+	busy := db.shards[0].imm != nil || db.shards[0].flushActive || db.shards[0].compActive != 0
+	inflight := db.shards[0].picker.InFlight()
+	db.shards[0].mu.Unlock()
 	if busy || inflight != 0 {
 		t.Errorf("WaitIdle returned with work in flight (busy=%v inflight=%d)", busy, inflight)
 	}

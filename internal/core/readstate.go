@@ -70,7 +70,7 @@ func (rs *readState) unref() {
 // incremented state may already be dead, so retry; if it did not move, the
 // publisher's own release necessarily observes our increment (all operations
 // here are sequentially consistent), so the state stays live until our unref.
-func (db *DB) loadReadState() *readState {
+func (db *store) loadReadState() *readState {
 	for {
 		rs := db.readState.Load()
 		if rs == nil {
@@ -92,7 +92,7 @@ func (db *DB) loadReadState() *readState {
 // current memtables and version. Callers hold db.mu (Open's exclusive
 // section counts); the swap itself is atomic, so readers never block on the
 // rebuild.
-func (db *DB) publishReadState() {
+func (db *store) publishReadState() {
 	rs := &readState{mem: db.mem, imm: db.imm, v: db.set.Current(), done: make(chan struct{})}
 	rs.refs.Store(1) // the pointer's own reference
 	old := db.readState.Swap(rs)

@@ -89,7 +89,7 @@ func TestReadStateChurnUnderLoad(t *testing.T) {
 					return
 				default:
 				}
-				rs := db.loadReadState()
+				rs := db.shards[0].loadReadState()
 				if rs == nil {
 					return
 				}
@@ -159,7 +159,7 @@ func TestVersionRefAfterReleaseCaught(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	v := db.set.Current() // refs the current version
+	v := db.shards[0].set.Current() // refs the current version
 	v.Unref()             // returns it; the Set still holds its own ref
 	// Force the Set to drop the version by installing successors: fill past
 	// the memtable bound so a flush runs LogAndApply, then drain background

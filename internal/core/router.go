@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/cache"
+	"repro/internal/keys"
+	"repro/internal/ssdsim"
+	"repro/internal/version"
+	"repro/internal/vfs"
+)
+
+// DB is the public key-value store: a thin router over Options.Shards
+// hash-partitioned engines (see store in db.go). Every user key lives in
+// exactly one shard — routing hashes the key and masks into the shard
+// table — so point operations forward to one engine, batches split into
+// per-shard sub-batches committed through each shard's own group-commit
+// pipeline, and ordered scans merge the shards' iterators. Shards share
+// one block cache and one table cache; everything else (memtable, WAL
+// segment, commit pipeline, read state, stall controller, version set,
+// compaction claim space) is per shard, so shards flush, commit, and
+// compact independently.
+//
+// Cross-shard semantics (the sequence/visibility rule):
+//
+//   - Sequence numbers are per shard and never compared across shards.
+//   - A batch is atomic and crash-durable per shard. Apply returns only
+//     after every sub-batch has committed (and fsynced, when Options.Sync
+//     is set) on its shard, so a caller always reads its own completed
+//     writes. A crash in the middle of a multi-shard Apply may persist
+//     some shards' sub-batches and not others' — cross-shard atomicity
+//     under crash is deliberately relaxed.
+//   - A Snapshot captures every shard's sequence in one acquisition pass.
+//     Any Apply that returned before NewSnapshot began is fully visible in
+//     the snapshot; an Apply racing NewSnapshot may be partially visible
+//     (per-shard consistent, not a single global cut).
+//
+// With Shards <= 1 the router routes everything to one engine rooted at
+// the database directory itself: the identical pre-sharding engine, same
+// files on disk, same behavior. All methods are safe for concurrent use.
+type DB struct {
+	opts Options
+	dir  string
+
+	shards []*store
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	blockCache *cache.Cache
+	tables     *tableCache
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// shardsFileName is the marker recording a sharded database's partition
+// count; created only when Shards > 1, so an unsharded database's
+// directory stays byte-identical to the pre-sharding engine's.
+const shardsFileName = "LDC_SHARDS"
+
+// Open opens (creating if necessary) a database in dir. Nonsensical
+// configurations are rejected up front with an error wrapping
+// ErrInvalidOptions. The shard count is fixed at creation: reopening a
+// sharded database adopts the recorded count when Options.Shards is zero
+// and fails on an explicit mismatch (rehashing keys into a different
+// partition count would silently orphan data).
+func Open(dir string, opts Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	requested := opts.Shards
+	opts = opts.withDefaults()
+	icmp := keys.InternalComparer{User: opts.Comparer}
+	meta := metaFS(opts.FS)
+
+	if err := meta.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	n, err := resolveShardCount(meta, dir, requested, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	opts.Shards = n
+
+	db := &DB{
+		opts: opts,
+		dir:  dir,
+		mask: uint64(n - 1),
+	}
+	db.blockCache = opts.newBlockCache()
+	db.tables = newTableCache(userFS(opts.FS), icmp, db.blockCache, *opts.VerifyChecksums)
+
+	if n == 1 {
+		st, err := openStore(storeConfig{dir: dir, walDir: dir}, opts, db.tables)
+		if err != nil {
+			return nil, err
+		}
+		db.shards = []*store{st}
+		return db, nil
+	}
+
+	walDir := filepath.Join(dir, "wal")
+	if err := meta.MkdirAll(walDir); err != nil {
+		return nil, err
+	}
+	if err := writeShardsMarker(meta, dir, n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		st, err := openStore(storeConfig{
+			dir:       filepath.Join(dir, fmt.Sprintf("shard-%d", i)),
+			walDir:    walDir,
+			walShared: true,
+			shardID:   i,
+		}, opts, db.tables)
+		if err != nil {
+			for _, prev := range db.shards {
+				_ = prev.Close() // unwind the partial open; the open error wins
+			}
+			return nil, fmt.Errorf("ldc: open shard %d: %w", i, err)
+		}
+		db.shards = append(db.shards, st)
+	}
+	return db, nil
+}
+
+// metaFS derives the housekeeping I/O view (marker file, directories) from
+// the configured filesystem, mirroring store.initFS's category tagging.
+func metaFS(fs vfs.FS) vfs.FS {
+	if sim, ok := fs.(*ssdsim.FS); ok {
+		return sim.WithCategory(ssdsim.CatOther)
+	}
+	return fs
+}
+
+// userFS derives the user/table-read I/O view for the shared table cache.
+func userFS(fs vfs.FS) vfs.FS {
+	if sim, ok := fs.(*ssdsim.FS); ok {
+		return sim.WithCategory(ssdsim.CatUserRead)
+	}
+	return fs
+}
+
+// resolveShardCount reconciles the requested shard count with the
+// database's recorded one. requested is the raw Options.Shards (0 = "use
+// whatever the database has"), normalized its defaulted form.
+func resolveShardCount(fs vfs.FS, dir string, requested, normalized int) (int, error) {
+	recorded, found, err := readShardsMarker(fs, dir)
+	if err != nil {
+		return 0, err
+	}
+	if found {
+		if requested != 0 && normalized != recorded {
+			return 0, fmt.Errorf("%w: Shards %d (effective %d) conflicts with the database's recorded shard count %d",
+				ErrInvalidOptions, requested, normalized, recorded)
+		}
+		return recorded, nil
+	}
+	// No marker: a pre-existing unsharded database must not be silently
+	// re-partitioned — its keys would hash into shards that cannot see the
+	// legacy files.
+	if normalized > 1 && fs.Exists(version.CurrentFileName(dir)) {
+		return 0, fmt.Errorf("%w: Shards %d requested but %s holds an existing unsharded database",
+			ErrInvalidOptions, requested, dir)
+	}
+	return normalized, nil
+}
+
+// readShardsMarker parses the LDC_SHARDS marker ("shards <n>\n").
+func readShardsMarker(fs vfs.FS, dir string) (n int, found bool, err error) {
+	name := filepath.Join(dir, shardsFileName)
+	f, err := fs.Open(name)
+	if err != nil {
+		if err == vfs.ErrNotExist {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return 0, false, err
+	}
+	if size > 128 {
+		return 0, false, fmt.Errorf("ldc: corrupt %s (size %d)", shardsFileName, size)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return 0, false, err
+	}
+	fields := strings.Fields(string(buf))
+	if len(fields) != 2 || fields[0] != "shards" {
+		return 0, false, fmt.Errorf("ldc: corrupt %s (%q)", shardsFileName, string(buf))
+	}
+	n, err = strconv.Atoi(fields[1])
+	if err != nil || n < 2 || n > MaxShards || n != normalizeShards(n) {
+		return 0, false, fmt.Errorf("ldc: corrupt %s (shard count %q)", shardsFileName, fields[1])
+	}
+	return n, true, nil
+}
+
+// writeShardsMarker records the partition count; idempotent (Create
+// truncates and rewrites the same content).
+func writeShardsMarker(fs vfs.FS, dir string, n int) error {
+	f, err := fs.Create(filepath.Join(dir, shardsFileName))
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "shards %d\n", n); err != nil {
+		_ = f.Close() // discarding the partial marker
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // sync failed; its error is the one to report
+		return err
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+// fnv64a is FNV-1a: a fast, allocation-free, stable hash. Stability across
+// processes and versions matters — the hash decides which shard owns a key,
+// and that assignment is persistent.
+func fnv64a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardIndex returns the owning shard's index for a user key.
+func (db *DB) shardIndex(key []byte) int {
+	if db.mask == 0 {
+		return 0
+	}
+	return int(fnv64a(key) & db.mask)
+}
+
+// shardOf returns the owning shard for a user key.
+func (db *DB) shardOf(key []byte) *store { return db.shards[db.shardIndex(key)] }
+
+// NumShards reports the effective partition count.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// ShardOf reports which shard owns a key — the engine-level analogue of
+// Redis Cluster's KEYSLOT, exposed so the serving layer's CLUSTER stubs
+// can answer slot queries.
+func (db *DB) ShardOf(key []byte) int { return db.shardIndex(key) }
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// Put inserts or updates a key.
+func (db *DB) Put(key, value []byte) error { return db.shardOf(key).Put(key, value) }
+
+// Delete writes a tombstone for a key.
+func (db *DB) Delete(key []byte) error { return db.shardOf(key).Delete(key) }
+
+// Apply commits a batch through the group-commit pipelines. A batch whose
+// keys all hash to one shard commits atomically through that shard's
+// pipeline with no copying. A multi-shard batch is split into per-shard
+// sub-batches committed concurrently; Apply returns after every sub-batch
+// is committed (per-shard atomic and durable — see the DB doc comment for
+// the cross-shard relaxation), with the first error reported.
+func (db *DB) Apply(b *batch.Batch) error {
+	if b.Empty() {
+		return nil
+	}
+	if len(db.shards) == 1 {
+		return db.shards[0].Apply(b)
+	}
+	// First pass: find the owning shard set without copying anything.
+	first, multi := -1, false
+	_ = b.Each(func(_ keys.Kind, key, _ []byte) error {
+		if i := db.shardIndex(key); first == -1 {
+			first = i
+		} else if i != first {
+			multi = true
+		}
+		return nil
+	})
+	if !multi {
+		return db.shards[first].Apply(b)
+	}
+	// Split and fan out. Entries keep their relative order within each
+	// shard (a key's updates all land in one sub-batch, in batch order).
+	subs := make([]*batch.Batch, len(db.shards))
+	_ = b.Each(func(kind keys.Kind, key, value []byte) error {
+		i := db.shardIndex(key)
+		if subs[i] == nil {
+			subs[i] = batch.New()
+		}
+		if kind == keys.KindDelete {
+			subs[i].Delete(key)
+		} else {
+			subs[i].Set(key, value)
+		}
+		return nil
+	})
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i, sb := range subs {
+		if sb == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sb *batch.Batch) {
+			defer wg.Done()
+			errs[i] = db.shards[i].Apply(sb)
+		}(i, sb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// Get returns the value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.shardOf(key).Get(key) }
+
+// GetAt reads at a snapshot (nil = latest).
+func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	i := db.shardIndex(key)
+	if snap == nil {
+		return db.shards[i].getAt(key, nil)
+	}
+	return db.shards[i].getAt(key, &snap.seqs[i])
+}
+
+// Scan returns up to limit pairs with keys >= start, at the latest state.
+// With multiple shards the result is the ordered merge of every shard's
+// keyspace.
+func (db *DB) Scan(start []byte, limit int) ([]KV, error) {
+	if len(db.shards) == 1 {
+		return db.shards[0].scan(start, limit)
+	}
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []KV
+	for it.Seek(start); it.Valid() && len(out) < limit; it.Next() {
+		out = append(out, KV{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Error()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// Snapshot pins a point-in-time view for reads and iterators: one captured
+// sequence per shard, acquired in a single pass over the shards. Writes
+// that completed before NewSnapshot are fully visible; a multi-shard Apply
+// racing the acquisition may be partially visible (see the DB doc
+// comment).
+type Snapshot struct {
+	db   *DB
+	seqs []keys.Seq
+}
+
+// NewSnapshot captures the current state of every shard; Release it when
+// done. Returns ErrClosed after Close.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	seqs := make([]keys.Seq, len(db.shards))
+	for i, st := range db.shards {
+		seq, err := st.snapshotSeq()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				db.shards[j].releaseSeq(seqs[j])
+			}
+			return nil, err
+		}
+		seqs[i] = seq
+	}
+	return &Snapshot{db: db, seqs: seqs}, nil
+}
+
+// Release frees the snapshot on every shard.
+func (s *Snapshot) Release() {
+	for i, st := range s.db.shards {
+		st.releaseSeq(s.seqs[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle and maintenance
+
+// Close flushes and stops every shard. Idempotent and safe for concurrent
+// use; every call returns the same result (the first error any shard
+// reported).
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		for _, st := range db.shards {
+			if err := st.Close(); db.closeErr == nil {
+				db.closeErr = err
+			}
+		}
+	})
+	return db.closeErr
+}
+
+// CompactRange forces compaction work until every shard's tree is
+// quiescent — used by tests and experiments to reach a steady state.
+func (db *DB) CompactRange() error {
+	for _, st := range db.shards {
+		if err := st.CompactRange(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitIdle blocks until no shard has background work running or
+// immediately pickable.
+func (db *DB) WaitIdle() {
+	for _, st := range db.shards {
+		st.WaitIdle()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Stats aggregates all shards' counters plus the shared block cache into
+// one snapshot. Each shard is read exactly once (its Stats method gathers
+// everything in a single pass) and derived ratios are recomputed from the
+// summed raw counters, so the aggregate never mixes numerators and
+// denominators torn from different moments. Per-shard breakdowns come from
+// ShardStats.
+func (db *DB) Stats() Stats {
+	per := make([]Stats, len(db.shards))
+	for i, st := range db.shards {
+		per[i] = st.Stats()
+	}
+	s := aggregateStats(per)
+	if db.blockCache != nil {
+		hits, misses := db.blockCache.Stats()
+		s.BlockCacheHits, s.BlockCacheMisses = hits, misses
+		if hits+misses > 0 {
+			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
+		}
+	}
+	return s
+}
+
+// ShardStats returns one Stats snapshot per shard — the per-shard
+// breakdown behind the aggregated Stats. Block-cache fields are zero in
+// the breakdown: the cache is shared, so its counters appear once, in
+// Stats.
+func (db *DB) ShardStats() []Stats {
+	per := make([]Stats, len(db.shards))
+	for i, st := range db.shards {
+		per[i] = st.Stats()
+	}
+	return per
+}
+
+// CurrentProfile captures the tree's current shape, summed across shards.
+// SliceThreshold reports shard 0's (thresholds only diverge under adaptive
+// tuning, and then only slightly).
+func (db *DB) CurrentProfile() Profile {
+	p := db.shards[0].CurrentProfile()
+	for _, st := range db.shards[1:] {
+		q := st.CurrentProfile()
+		for i := range p.Levels {
+			p.Levels[i].Files += q.Levels[i].Files
+			p.Levels[i].Bytes += q.Levels[i].Bytes
+			p.Levels[i].Slices += q.Levels[i].Slices
+		}
+		p.FrozenFiles += q.FrozenFiles
+		p.FrozenBytes += q.FrozenBytes
+	}
+	return p
+}
+
+// BlockReads reports cumulative data-block fetches from storage across all
+// shards (Fig 13).
+func (db *DB) BlockReads() int64 {
+	var n int64
+	for _, st := range db.shards {
+		n += st.BlockReads()
+	}
+	return n
+}
+
+// TableBytes reports the total size of live table files plus the frozen
+// region across all shards — the store's disk footprint (Fig 15).
+func (db *DB) TableBytes() int64 {
+	var n int64
+	for _, st := range db.shards {
+		n += st.TableBytes()
+	}
+	return n
+}
+
+// SliceThreshold reports the current T_s (shard 0's when adaptive tuning
+// has let shards diverge).
+func (db *DB) SliceThreshold() int { return db.shards[0].SliceThreshold() }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/iterator"
+	"repro/internal/keys"
+)
+
+// Iterator is the public ordered cursor over the whole database. Over one
+// shard it wraps the engine iterator directly (zero overhead — the literal
+// pre-sharding iterator). Over N shards it is an ordered k-way merge of the
+// per-shard iterators through the pooled merging iterator: hash routing
+// makes every user key live in exactly one shard, so the per-shard
+// iterators — which already collapse versions and tombstones down to live
+// user entries — never produce duplicate keys, and merging by user key
+// alone is exact. Not safe for concurrent use.
+type Iterator struct {
+	single *storeIter        // Shards==1 fast path
+	merged iterator.Iterator // k-way merge over subs
+	subs   []*shardUserIter
+	err    error
+}
+
+// NewIterator returns an iterator over the database at snap (nil = the
+// latest state, capturing each shard as it is first touched by the merge's
+// initial positioning pass). The iterator starts unpositioned; call Seek,
+// SeekToFirst, or SeekToLast.
+func (db *DB) NewIterator(snap *Snapshot) (*Iterator, error) {
+	if len(db.shards) == 1 {
+		var seqp *keys.Seq
+		if snap != nil {
+			seqp = &snap.seqs[0]
+		}
+		si, err := db.shards[0].newIter(seqp)
+		if err != nil {
+			return nil, err
+		}
+		return &Iterator{single: si}, nil
+	}
+	subs := make([]*shardUserIter, 0, len(db.shards))
+	children := make([]iterator.Iterator, 0, len(db.shards))
+	for i, st := range db.shards {
+		var seqp *keys.Seq
+		if snap != nil {
+			seqp = &snap.seqs[i]
+		}
+		si, err := st.newIter(seqp)
+		if err != nil {
+			for _, sub := range subs {
+				_ = sub.Close() // unwind the partial build; the open error wins
+			}
+			return nil, err
+		}
+		sub := &shardUserIter{it: si}
+		subs = append(subs, sub)
+		children = append(children, sub)
+	}
+	return &Iterator{
+		merged: iterator.NewMerging(db.opts.Comparer.Compare, children...),
+		subs:   subs,
+	}, nil
+}
+
+// Seek positions at the first key >= target.
+func (i *Iterator) Seek(target []byte) {
+	if i.single != nil {
+		i.single.Seek(target)
+		return
+	}
+	i.merged.SeekGE(target)
+}
+
+// SeekToFirst positions at the smallest key.
+func (i *Iterator) SeekToFirst() {
+	if i.single != nil {
+		i.single.SeekToFirst()
+		return
+	}
+	i.merged.SeekToFirst()
+}
+
+// SeekToLast positions at the largest key.
+func (i *Iterator) SeekToLast() {
+	if i.single != nil {
+		i.single.SeekToLast()
+		return
+	}
+	i.merged.SeekToLast()
+}
+
+// Next advances; no-op when invalid.
+func (i *Iterator) Next() {
+	if i.single != nil {
+		i.single.Next()
+		return
+	}
+	if i.merged.Valid() {
+		i.merged.Next()
+	}
+}
+
+// Prev steps backward; no-op when invalid.
+func (i *Iterator) Prev() {
+	if i.single != nil {
+		i.single.Prev()
+		return
+	}
+	if i.merged.Valid() {
+		i.merged.Prev()
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (i *Iterator) Valid() bool {
+	if i.single != nil {
+		return i.single.Valid()
+	}
+	return i.merged.Valid()
+}
+
+// Key returns the current key; valid until the next move.
+func (i *Iterator) Key() []byte {
+	if i.single != nil {
+		return i.single.Key()
+	}
+	return i.merged.Key()
+}
+
+// Value returns the current value; valid until the next move.
+func (i *Iterator) Value() []byte {
+	if i.single != nil {
+		return i.single.Value()
+	}
+	return i.merged.Value()
+}
+
+// Error reports the first error the iterator encountered.
+func (i *Iterator) Error() error {
+	if i.err != nil {
+		return i.err
+	}
+	if i.single != nil {
+		return i.single.Error()
+	}
+	if err := i.merged.Error(); err != nil {
+		return err
+	}
+	for _, sub := range i.subs {
+		if err := sub.it.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the iterator's pinned resources on every shard.
+func (i *Iterator) Close() error {
+	if i.single != nil {
+		return i.single.Close()
+	}
+	i.err = i.Error()
+	if err := i.merged.Close(); err != nil && i.err == nil {
+		i.err = err
+	}
+	return i.err
+}
+
+// shardUserIter adapts one shard's engine iterator (seek-style API over
+// user keys) to the internal iterator.Iterator interface the merging
+// iterator consumes. The adapter surfaces user keys directly: per-shard
+// sequence numbers are incomparable across shards, but they never need
+// comparing — key uniqueness across shards makes the user key a total
+// order by itself.
+type shardUserIter struct {
+	it *storeIter
+}
+
+func (a *shardUserIter) Valid() bool          { return a.it.Valid() }
+func (a *shardUserIter) SeekGE(target []byte) { a.it.Seek(target) }
+func (a *shardUserIter) SeekToFirst()         { a.it.SeekToFirst() }
+func (a *shardUserIter) SeekToLast()          { a.it.SeekToLast() }
+func (a *shardUserIter) Next()                { a.it.Next() }
+func (a *shardUserIter) Prev()                { a.it.Prev() }
+func (a *shardUserIter) Key() []byte          { return a.it.Key() }
+func (a *shardUserIter) Value() []byte        { return a.it.Value() }
+func (a *shardUserIter) Error() error         { return a.it.Error() }
+func (a *shardUserIter) Close() error         { return a.it.Close() }

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// shardOpts returns smallOpts with a shard count, each DB on its own
+// in-memory filesystem.
+func shardOpts(shards int) Options {
+	opts := smallOpts(compaction.LDC)
+	opts.Shards = shards
+	return opts
+}
+
+// TestShardScanEquivalence is the cross-shard ordering property test: the
+// same workload written at Shards=1, 2, and 8 must yield byte-identical
+// ordered results from Scan, forward iteration, seeks, and reverse
+// iteration. Sharding partitions the keyspace but must never reorder,
+// drop, or duplicate what a cursor observes.
+func TestShardScanEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 2000
+	keys := make([][]byte, n)
+	for i := range keys {
+		// Random lengths and bytes so shard routing sees a spread of
+		// hashes; duplicates across iterations overwrite, as in real load.
+		k := make([]byte, 4+rng.Intn(12))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(26))
+		}
+		keys[i] = k
+	}
+
+	open := func(shards int) *DB {
+		t.Helper()
+		db, err := Open(fmt.Sprintf("/db-%d", shards), shardOpts(shards))
+		if err != nil {
+			t.Fatalf("Open(shards=%d): %v", shards, err)
+		}
+		return db
+	}
+	counts := []int{1, 2, 8}
+	dbs := make([]*DB, len(counts))
+	for i, c := range counts {
+		dbs[i] = open(c)
+		defer dbs[i].Close()
+		if got := dbs[i].NumShards(); got != c {
+			t.Fatalf("NumShards() = %d, want %d", got, c)
+		}
+	}
+	for _, db := range dbs {
+		for i, k := range keys {
+			if err := db.Put(k, []byte(fmt.Sprintf("val-%d-%s", i, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tombstones must collapse identically across shard counts.
+		for i := 0; i < n; i += 7 {
+			if err := db.Delete(keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ref, err := dbs[0].Scan(nil, n+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference scan is empty")
+	}
+	for di, db := range dbs[1:] {
+		got, err := db.Scan(nil, n+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: Scan returned %d pairs, want %d", counts[di+1], len(got), len(ref))
+		}
+		for i := range ref {
+			if !bytes.Equal(got[i].Key, ref[i].Key) || !bytes.Equal(got[i].Value, ref[i].Value) {
+				t.Fatalf("shards=%d: Scan[%d] = %q=%q, want %q=%q",
+					counts[di+1], i, got[i].Key, got[i].Value, ref[i].Key, ref[i].Value)
+			}
+		}
+	}
+
+	// Reverse iteration: SeekToLast + Prev must walk the reference backward.
+	for di, db := range dbs[1:] {
+		it, err := db.NewIterator(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := len(ref) - 1
+		for it.SeekToLast(); it.Valid(); it.Prev() {
+			if i < 0 {
+				t.Fatalf("shards=%d: reverse iteration yielded extra key %q", counts[di+1], it.Key())
+			}
+			if !bytes.Equal(it.Key(), ref[i].Key) || !bytes.Equal(it.Value(), ref[i].Value) {
+				t.Fatalf("shards=%d: reverse[%d] = %q, want %q", counts[di+1], i, it.Key(), ref[i].Key)
+			}
+			i--
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if i != -1 {
+			t.Fatalf("shards=%d: reverse iteration stopped %d entries early", counts[di+1], i+1)
+		}
+	}
+
+	// Random seeks, forward and with direction switches.
+	for di, db := range dbs[1:] {
+		it, err := db.NewIterator(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			target := keys[rng.Intn(n)]
+			ri := 0
+			for ri < len(ref) && bytes.Compare(ref[ri].Key, target) < 0 {
+				ri++
+			}
+			it.Seek(target)
+			for step := 0; step < 5 && ri < len(ref); step++ {
+				if !it.Valid() {
+					t.Fatalf("shards=%d: Seek(%q)+%d invalid, want %q", counts[di+1], target, step, ref[ri].Key)
+				}
+				if !bytes.Equal(it.Key(), ref[ri].Key) {
+					t.Fatalf("shards=%d: Seek(%q)+%d = %q, want %q", counts[di+1], target, step, it.Key(), ref[ri].Key)
+				}
+				it.Next()
+				ri++
+			}
+			// Switch direction mid-stream.
+			if it.Valid() && ri > 0 {
+				it.Prev()
+				ri--
+				if !it.Valid() || !bytes.Equal(it.Key(), ref[ri].Key) {
+					t.Fatalf("shards=%d: Prev after Seek(%q) mismatch", counts[di+1], target)
+				}
+			}
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardCrashRecovery is the multi-shard analogue of the ErrFS
+// torn-write fault tests: inject a write failure mid-load against a
+// 4-shard store with a synced WAL, crash without a clean Close, reboot on
+// the surviving bytes, and require every acknowledged write back — each
+// shard's WAL segment must replay into the right shard.
+func TestShardCrashRecovery(t *testing.T) {
+	errInjected := errors.New("injected write failure")
+	for _, budget := range []int64{200, 800, 3000} {
+		mem := vfs.Mem()
+		efs := vfs.NewErrFS(mem)
+		opts := shardOpts(4)
+		opts.FS = efs
+		opts.Sync = true
+
+		db, err := Open("/db", opts)
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		efs.FailAfterWrites(budget, errInjected)
+
+		acked := map[string]string{}
+		rng := rand.New(rand.NewSource(budget))
+		for i := 0; i < 100000; i++ {
+			k := fmt.Sprintf("key-%05d", rng.Intn(2000))
+			v := fmt.Sprintf("v-%d-%d", budget, i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				break
+			}
+			acked[k] = v
+		}
+		// Crash: abandon every shard without a clean Close.
+		efs.Disarm()
+		for _, st := range db.shards {
+			st.mu.Lock()
+			st.stopBackgroundLocked()
+			st.mu.Unlock()
+		}
+
+		// Reboot on the surviving bytes; the shard count comes from the
+		// marker, not the options.
+		opts2 := shardOpts(0)
+		opts2.FS = mem
+		opts2.Sync = true
+		db2, err := Open("/db", opts2)
+		if err != nil {
+			t.Fatalf("budget %d: reopen: %v", budget, err)
+		}
+		if got := db2.NumShards(); got != 4 {
+			t.Fatalf("budget %d: recovered NumShards() = %d, want 4", budget, got)
+		}
+		for k, want := range acked {
+			got, err := db2.Get([]byte(k))
+			if err != nil {
+				t.Fatalf("budget %d: lost acknowledged key %q: %v", budget, k, err)
+			}
+			if string(got) != want {
+				t.Fatalf("budget %d: key %q = %q, want %q", budget, k, got, want)
+			}
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatalf("budget %d: close: %v", budget, err)
+		}
+	}
+}
+
+// TestShardMarker pins the shard count's persistence rules: recorded at
+// creation, adopted on a Shards=0 reopen, and defended against an explicit
+// mismatch (which would rehash keys into shards that can't see them).
+func TestShardMarker(t *testing.T) {
+	fs := vfs.Mem()
+	opts := shardOpts(4)
+	opts.FS = fs
+	db, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shards=0 adopts the recorded count.
+	opts0 := shardOpts(0)
+	opts0.FS = fs
+	db2, err := Open("/db", opts0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.NumShards(); got != 4 {
+		t.Errorf("adopted NumShards() = %d, want 4", got)
+	}
+	if v, err := db2.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Errorf("Get after adopt = %q, %v", v, err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An explicit mismatch is an invalid configuration.
+	optsBad := shardOpts(2)
+	optsBad.FS = fs
+	if _, err := Open("/db", optsBad); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Open with mismatched Shards = %v, want ErrInvalidOptions", err)
+	}
+
+	// Matching explicit count still opens (5 rounds to 8, so use 4).
+	optsOK := shardOpts(4)
+	optsOK.FS = fs
+	db3, err := Open("/db", optsOK)
+	if err != nil {
+		t.Fatalf("Open with matching Shards: %v", err)
+	}
+	db3.Close()
+
+	// A pre-existing unsharded database refuses re-partitioning.
+	legacy := shardOpts(1)
+	legacyFS := vfs.Mem()
+	legacy.FS = legacyFS
+	dbL, err := Open("/legacy", legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbL.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbL.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reshard := shardOpts(4)
+	reshard.FS = legacyFS
+	if _, err := Open("/legacy", reshard); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Open re-partitioning a legacy database = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestShardsOneLayoutUnchanged pins the compatibility guarantee: Shards=1
+// (and the zero default) leaves the on-disk layout byte-for-byte the
+// legacy one — no marker file, no wal/ directory, no shard-* roots.
+func TestShardsOneLayoutUnchanged(t *testing.T) {
+	fs := vfs.Mem()
+	opts := shardOpts(1)
+	opts.FS = fs
+	db, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if name == shardsFileName || name == "wal" {
+			t.Errorf("Shards=1 created sharding artifact %q", name)
+		}
+		if len(name) >= 6 && name[:6] == "shard-" {
+			t.Errorf("Shards=1 created shard directory %q", name)
+		}
+	}
+}
+
+// TestShardApplyFanout exercises the batch splitter: one batch spanning
+// every shard must commit whole (read-your-writes immediately after Apply
+// returns), including tombstones, and survive a reopen.
+func TestShardApplyFanout(t *testing.T) {
+	fs := vfs.Mem()
+	opts := shardOpts(8)
+	opts.FS = fs
+	db, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 500
+	b := batch.New()
+	for i := 0; i < n; i++ {
+		b.Set(key(i), value(i))
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	touched := map[int]bool{}
+	for i := 0; i < n; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("Get(%q) after Apply = %q, %v", key(i), got, err)
+		}
+		touched[db.ShardOf(key(i))] = true
+	}
+	if len(touched) != 8 {
+		t.Fatalf("batch of %d keys touched %d shards, want all 8", n, len(touched))
+	}
+
+	// Mixed sets and deletes in one cross-shard batch.
+	b2 := batch.New()
+	for i := 0; i < n; i += 2 {
+		b2.Delete(key(i))
+	}
+	for i := 1; i < n; i += 2 {
+		b2.Set(key(i), []byte("updated"))
+	}
+	if err := db.Apply(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts2 := shardOpts(0)
+	opts2.FS = fs
+	db2, err := Open("/db", opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i++ {
+		got, err := db2.Get(key(i))
+		if i%2 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(%q) = %q, %v, want ErrNotFound", key(i), got, err)
+			}
+		} else if err != nil || string(got) != "updated" {
+			t.Fatalf("Get(%q) = %q, %v, want %q", key(i), got, err, "updated")
+		}
+	}
+}
+
+// TestShardSnapshot pins snapshot semantics across shards: a snapshot
+// captures every shard in one pass, so reads and iterators at the snapshot
+// see none of the writes applied afterward.
+func TestShardSnapshot(t *testing.T) {
+	db := openTestDB(t, shardOpts(4))
+	defer db.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			if err := db.Delete(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := db.Put(key(i), []byte("after")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < n; i += 17 {
+		got, err := db.GetAt(key(i), snap)
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("GetAt(%q, snap) = %q, %v, want %q", key(i), got, err, value(i))
+		}
+	}
+	it, err := db.NewIterator(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), key(count)) || !bytes.Equal(it.Value(), value(count)) {
+			t.Fatalf("snapshot iter[%d] = %q=%q, want %q=%q", count, it.Key(), it.Value(), key(count), value(count))
+		}
+		count++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("snapshot iterator saw %d keys, want %d", count, n)
+	}
+}
+
+// TestShardStatsAggregate checks the router's Stats aggregation: request
+// counters sum across shards, the breakdown's totals match the aggregate,
+// and derived ratios come from the summed counters.
+func TestShardStatsAggregate(t *testing.T) {
+	db := openTestDB(t, shardOpts(4))
+	defer db.Close()
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Get(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := db.Stats()
+	if s.Puts != n || s.Gets != n {
+		t.Errorf("aggregate Puts=%d Gets=%d, want %d each", s.Puts, s.Gets, n)
+	}
+	per := db.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d entries, want 4", len(per))
+	}
+	var puts, groups, batches int64
+	active := 0
+	for _, p := range per {
+		puts += p.Puts
+		groups += p.WriteGroupsTotal
+		batches += p.WriteBatchesTotal
+		if p.Puts > 0 {
+			active++
+		}
+	}
+	if puts != n {
+		t.Errorf("per-shard Puts sum to %d, want %d", puts, n)
+	}
+	if active < 2 {
+		t.Errorf("only %d shards received writes; hash routing should spread %d keys", active, n)
+	}
+	if s.WriteGroupsTotal != groups || s.WriteBatchesTotal != batches {
+		t.Errorf("aggregate groups/batches %d/%d, want %d/%d", s.WriteGroupsTotal, s.WriteBatchesTotal, groups, batches)
+	}
+	if groups > 0 {
+		want := float64(batches) / float64(groups)
+		if s.AvgGroupSize != want {
+			t.Errorf("AvgGroupSize = %v, want %v (recomputed from sums)", s.AvgGroupSize, want)
+		}
+	}
+	if s.WriteState == "" {
+		t.Error("aggregate WriteState is empty")
+	}
+}

@@ -212,3 +212,92 @@ func (d *dbStats) workerSnapshot() []int64 {
 	}
 	return out
 }
+
+// writeStateRank orders controller admission states by severity so the
+// aggregate can report the worst shard's state.
+func writeStateRank(s string) int {
+	switch s {
+	case "stopped":
+		return 2
+	case "delayed":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// aggregateStats folds per-shard snapshots into one database-wide Stats.
+// Raw counters sum; derived ratios (AvgGroupSize, PointReadAmp,
+// CompressionRatio) are recomputed from the summed numerators and
+// denominators rather than averaged, so they stay exact; WriteState reports
+// the most-restricted shard; WorkerCompactions concatenates every shard's
+// worker pool (each shard runs its own); MaxConcurrentCompactions sums the
+// per-shard high-water marks (shards compact independently, so the sum is
+// the database-wide capacity bound). Block-cache fields are left zero — the
+// cache is shared, and the router folds it in exactly once.
+func aggregateStats(per []Stats) Stats {
+	var s Stats
+	for _, p := range per {
+		s.FlushWriteBytes += p.FlushWriteBytes
+		s.CompactionReadBytes += p.CompactionReadBytes
+		s.CompactionWriteBytes += p.CompactionWriteBytes
+		s.MergeReadBytes += p.MergeReadBytes
+		s.MergeWriteBytes += p.MergeWriteBytes
+		s.UserWriteBytes += p.UserWriteBytes
+		s.WALWriteBytes += p.WALWriteBytes
+
+		s.FlushCount += p.FlushCount
+		s.CompactionCount += p.CompactionCount
+		s.LinkCount += p.LinkCount
+		s.MergeCount += p.MergeCount
+		s.TrivialMoveCount += p.TrivialMoveCount
+		s.ObsoleteDeleted += p.ObsoleteDeleted
+
+		s.CompactionTime += p.CompactionTime
+		s.FlushTime += p.FlushTime
+		s.WriteTime += p.WriteTime
+		s.ReadTime += p.ReadTime
+		s.StallTime += p.StallTime
+		s.SlowdownCount += p.SlowdownCount
+		s.StopCount += p.StopCount
+
+		s.WriteGroupsTotal += p.WriteGroupsTotal
+		s.WriteBatchesTotal += p.WriteBatchesTotal
+		s.WALSyncNanos += p.WALSyncNanos
+		s.WALSyncCount += p.WALSyncCount
+		if writeStateRank(p.WriteState) > writeStateRank(s.WriteState) {
+			s.WriteState = p.WriteState
+		}
+
+		s.MaxConcurrentCompactions += p.MaxConcurrentCompactions
+		s.WorkerCompactions = append(s.WorkerCompactions, p.WorkerCompactions...)
+
+		s.Puts += p.Puts
+		s.Gets += p.Gets
+		s.Deletes += p.Deletes
+		s.Scans += p.Scans
+
+		s.BloomProbes += p.BloomProbes
+		s.BloomNegatives += p.BloomNegatives
+		s.TableProbes += p.TableProbes
+		s.ReadStatePublishes += p.ReadStatePublishes
+
+		s.CompressedBytesRead += p.CompressedBytesRead
+		s.UncompressedBytesRead += p.UncompressedBytesRead
+		s.UncompressedBytesWritten += p.UncompressedBytesWritten
+		s.CompressedBytesWritten += p.CompressedBytesWritten
+	}
+	if s.WriteState == "" && len(per) > 0 {
+		s.WriteState = per[0].WriteState
+	}
+	if s.WriteGroupsTotal > 0 {
+		s.AvgGroupSize = float64(s.WriteBatchesTotal) / float64(s.WriteGroupsTotal)
+	}
+	if s.Gets > 0 {
+		s.PointReadAmp = float64(s.TableProbes) / float64(s.Gets)
+	}
+	if s.CompressedBytesWritten > 0 {
+		s.CompressionRatio = float64(s.UncompressedBytesWritten) / float64(s.CompressedBytesWritten)
+	}
+	return s
+}

@@ -10,102 +10,147 @@ import (
 	"repro/internal/vfs"
 )
 
-// tableCache shares one open sstable.Reader per live table file. Readers
-// stay open until the file is deleted (file handles are cheap on the
-// simulated filesystems; the data-block cache bounds memory). Obsolete-file
-// garbage collection calls evict, which also purges the block cache.
+// cacheShardShift namespaces per-shard file numbers inside the shared block
+// cache and reader map: each shard's version set allocates file numbers
+// independently, so shard 0's table 5 and shard 1's table 5 are different
+// files and must never collide on a cache key. File numbers stay far below
+// 2^48 (they count tables written over a database's lifetime), so the top
+// 16 bits carry the shard.
+const cacheShardShift = 48
+
+// tableKey identifies one table file database-wide.
+type tableKey struct {
+	shard int
+	num   uint64
+}
+
+// tableCache shares one open sstable.Reader per live table file across
+// every shard of the database, all charging the one shared block cache.
+// Readers stay open until the file is deleted (file handles are cheap on
+// the simulated filesystems; the data-block cache bounds memory).
+// Obsolete-file garbage collection calls evict, which also purges the block
+// cache.
 type tableCache struct {
 	fs         vfs.FS // tagged with the user-read I/O category
-	dir        string
 	icmp       keys.InternalComparer
 	blockCache *cache.Cache
 	verify     bool
 
-	// readers maps file number → *sstable.Reader. A sync.Map because the
-	// hot path (get on an already-open table) sits on the lock-free read
-	// path and must not take any mutex; the map mutates only on first open
-	// and on eviction of a deleted file, the access pattern sync.Map is
-	// built for (stable keys, read-mostly).
+	// readers maps tableKey → *sstable.Reader. A sync.Map because the hot
+	// path (get on an already-open table) sits on the lock-free read path
+	// and must not take any mutex; the map mutates only on first open and
+	// on eviction of a deleted file, the access pattern sync.Map is built
+	// for (stable keys, read-mostly).
 	readers sync.Map
 }
 
-func newTableCache(fs vfs.FS, dir string, icmp keys.InternalComparer, bc *cache.Cache, verify bool) *tableCache {
+func newTableCache(fs vfs.FS, icmp keys.InternalComparer, bc *cache.Cache, verify bool) *tableCache {
 	return &tableCache{
 		fs:         fs,
-		dir:        dir,
 		icmp:       icmp,
 		blockCache: bc,
 		verify:     verify,
 	}
 }
 
-// get returns the shared reader for a table file, opening it on first use.
-// The returned reader must not be closed by the caller.
-func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
-	if r, ok := tc.readers.Load(num); ok {
+// forShard binds the shared cache to one shard's identity and table
+// directory. The returned view is what a store holds as db.tables.
+func (tc *tableCache) forShard(shard int, dir string) *shardTables {
+	return &shardTables{tc: tc, shard: shard, dir: dir}
+}
+
+// shardTables is one shard's view of the shared table cache: same reader
+// map and block cache, but file numbers resolve against this shard's
+// directory and are namespaced with its ID.
+type shardTables struct {
+	tc    *tableCache
+	shard int
+	dir   string
+}
+
+// cacheNum namespaces a file number for the shared block cache.
+func (st *shardTables) cacheNum(num uint64) uint64 {
+	return num | uint64(st.shard)<<cacheShardShift
+}
+
+// get returns the shared reader for a table file of this shard, opening it
+// on first use. The returned reader must not be closed by the caller.
+func (st *shardTables) get(num uint64) (*sstable.Reader, error) {
+	tc := st.tc
+	key := tableKey{shard: st.shard, num: num}
+	if r, ok := tc.readers.Load(key); ok {
 		return r.(*sstable.Reader), nil
 	}
 
 	// Slow path: open without any lock; racing opens reconcile below, with
 	// losers closing their redundant handle.
-	f, err := tc.fs.Open(version.TableFileName(tc.dir, num))
+	f, err := tc.fs.Open(version.TableFileName(st.dir, num))
 	if err != nil {
 		return nil, err
 	}
 	r, err := sstable.OpenReader(f, sstable.ReaderOptions{
 		Cmp:             tc.icmp,
 		Cache:           tc.blockCache,
-		FileNum:         num,
+		FileNum:         st.cacheNum(num),
 		VerifyChecksums: tc.verify,
 	})
 	if err != nil {
 		_ = f.Close() // reader never took ownership
 		return nil, err
 	}
-	if existing, loaded := tc.readers.LoadOrStore(num, r); loaded {
+	if existing, loaded := tc.readers.LoadOrStore(key, r); loaded {
 		_ = r.Close() // lost the race; the winner's reader is the one in use
 		return existing.(*sstable.Reader), nil
 	}
 	return r, nil
 }
 
-// evict closes and forgets the reader for a deleted file and purges its
-// cached blocks.
-func (tc *tableCache) evict(num uint64) {
-	if r, ok := tc.readers.LoadAndDelete(num); ok {
+// evict closes and forgets the reader for a deleted file of this shard and
+// purges its cached blocks.
+func (st *shardTables) evict(num uint64) {
+	if r, ok := st.tc.readers.LoadAndDelete(tableKey{shard: st.shard, num: num}); ok {
 		_ = r.(*sstable.Reader).Close() // file is being deleted; errors are moot
 	}
-	tc.blockCache.EvictFile(num)
+	st.tc.blockCache.EvictFile(st.cacheNum(num))
 }
 
-// totalBlockReads sums device block fetches across open readers (Fig 13).
-func (tc *tableCache) totalBlockReads() int64 {
+// totalBlockReads sums device block fetches across this shard's open
+// readers (Fig 13).
+func (st *shardTables) totalBlockReads() int64 {
 	var n int64
-	tc.readers.Range(func(_, r interface{}) bool {
-		n += r.(*sstable.Reader).BlockReads()
+	st.tc.readers.Range(func(k, r interface{}) bool {
+		if k.(tableKey).shard == st.shard {
+			n += r.(*sstable.Reader).BlockReads()
+		}
 		return true
 	})
 	return n
 }
 
-// totalIOBytes sums on-disk vs decoded block-fetch bytes across open
-// readers (the read side of the compression stats). Like totalBlockReads,
-// counters of evicted (deleted) files drop out of the sum.
-func (tc *tableCache) totalIOBytes() (compressed, uncompressed int64) {
-	tc.readers.Range(func(_, r interface{}) bool {
-		c, u := r.(*sstable.Reader).IOBytes()
-		compressed += c
-		uncompressed += u
+// totalIOBytes sums on-disk vs decoded block-fetch bytes across this
+// shard's open readers (the read side of the compression stats). Like
+// totalBlockReads, counters of evicted (deleted) files drop out of the sum.
+func (st *shardTables) totalIOBytes() (compressed, uncompressed int64) {
+	st.tc.readers.Range(func(k, r interface{}) bool {
+		if k.(tableKey).shard == st.shard {
+			c, u := r.(*sstable.Reader).IOBytes()
+			compressed += c
+			uncompressed += u
+		}
 		return true
 	})
 	return compressed, uncompressed
 }
 
-// close releases every reader.
-func (tc *tableCache) close() {
-	tc.readers.Range(func(num, r interface{}) bool {
-		_ = r.(*sstable.Reader).Close() // read-only handles; nothing to sync
-		tc.readers.Delete(num)
+// closeShard releases this shard's readers. Each shard tears its own
+// readers down during Close (after its in-flight readers drain), so the
+// shared map empties once every shard has closed.
+func (st *shardTables) closeShard() {
+	st.tc.readers.Range(func(k, r interface{}) bool {
+		if k.(tableKey).shard == st.shard {
+			_ = r.(*sstable.Reader).Close() // read-only handles; nothing to sync
+			st.tc.readers.Delete(k)
+		}
 		return true
 	})
 }

@@ -40,6 +40,7 @@ func (o Options) Validate() error {
 		{"BlockCacheShards", int64(o.BlockCacheShards)},
 		{"CompactionParallelism", int64(o.CompactionParallelism)},
 		{"MaxWriteGroupBytes", int64(o.MaxWriteGroupBytes)},
+		{"Shards", int64(o.Shards)},
 	} {
 		// BloomBitsPerKey is deliberately absent: negative there means
 		// "disable filters".

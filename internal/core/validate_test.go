@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/checksum"
+	"repro/internal/compaction"
 	"repro/internal/compress"
 	"repro/internal/vfs"
 )
@@ -37,6 +38,8 @@ func TestValidateRejections(t *testing.T) {
 		{"wild Compression", func(o *Options) { o.Compression = compress.Kind(255) }, "Compression"},
 		{"unknown ChecksumKind", func(o *Options) { o.ChecksumKind = checksum.Kind(2) }, "ChecksumKind"},
 		{"wild ChecksumKind", func(o *Options) { o.ChecksumKind = checksum.Kind(255) }, "ChecksumKind"},
+		{"negative Shards", func(o *Options) { o.Shards = -1 }, "Shards"},
+		{"wildly negative Shards", func(o *Options) { o.Shards = -64 }, "Shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -71,6 +74,10 @@ func TestValidateAccepts(t *testing.T) {
 		{"flate blocks", Options{Compression: compress.Flate}},
 		{"lz4 with xxh3", Options{Compression: compress.LZ4, ChecksumKind: checksum.XXH3}},
 		{"xxh3 on raw blocks", Options{ChecksumKind: checksum.XXH3}},
+		{"one shard", Options{Shards: 1}},
+		{"power-of-two shards", Options{Shards: 8}},
+		{"non-power-of-two shards (rounded up)", Options{Shards: 5}},
+		{"huge shards (clamped)", Options{Shards: 100000}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,5 +85,31 @@ func TestValidateAccepts(t *testing.T) {
 				t.Fatalf("Validate() = %v, want nil", err)
 			}
 		})
+	}
+}
+
+// TestNormalizeShards pins the defaulting rule: non-positive means one
+// shard, everything else rounds up to the next power of two and clamps at
+// MaxShards (mirroring cache.ClampShards' snap-to-power-of-two behavior).
+func TestNormalizeShards(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8},
+		{9, 16}, {100, 128}, {256, 256}, {257, MaxShards}, {1 << 20, MaxShards},
+	}
+	for _, tc := range cases {
+		if got := normalizeShards(tc.in); got != tc.want {
+			t.Errorf("normalizeShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// The effective count must be observable on an open database.
+	opts := smallOpts(compaction.LDC)
+	opts.Shards = 3
+	db, err := Open("/rounded", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.NumShards(); got != 4 {
+		t.Errorf("NumShards() = %d after Shards=3, want 4 (rounded up)", got)
 	}
 }

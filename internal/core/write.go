@@ -17,7 +17,7 @@ import (
 
 // initCommitPipeline builds the controller and pipeline over this store.
 // Called once from Open, before any writer can exist.
-func (db *DB) initCommitPipeline() {
+func (db *store) initCommitPipeline() {
 	db.controller = commit.NewController(
 		commit.ControllerConfig{
 			MemTableSize:      db.opts.MemTableSize,
@@ -56,7 +56,7 @@ func (db *DB) initCommitPipeline() {
 // rotateMemtableLocked switches to a fresh WAL and memtable, handing the
 // full table to the flush worker. Caller holds db.mu (the controller, or
 // recovery's exclusive section).
-func (db *DB) rotateMemtableLocked() error {
+func (db *store) rotateMemtableLocked() error {
 	if err := db.newLogLocked(); err != nil {
 		return err
 	}
@@ -73,7 +73,7 @@ func (db *DB) rotateMemtableLocked() error {
 // sequence whose entries are not yet visible; for sync groups the fsync
 // precedes application, so nothing becomes visible before it is durable.
 // Only the pipeline calls this, one group at a time.
-func (db *DB) commitGroup(g *batch.Group, sync bool) error {
+func (db *store) commitGroup(g *batch.Group, sync bool) error {
 	db.mu.Lock()
 	if db.bgErr != nil {
 		err := db.bgErr

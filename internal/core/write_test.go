@@ -101,13 +101,13 @@ func TestRecoveryDropsTornFinalWriteGroup(t *testing.T) {
 		b.Set([]byte(k), []byte("grouped"))
 		g.Add(b)
 	}
-	if err := db.commitGroup(&g, true); err != nil {
+	if err := db.shards[0].commitGroup(&g, true); err != nil {
 		t.Fatal(err)
 	}
-	db.mu.Lock()
-	logNum := db.logNum
-	db.stopBackgroundLocked() // crash: abandon the handle without a clean Close
-	db.mu.Unlock()
+	db.shards[0].mu.Lock()
+	logNum := db.shards[0].logNum
+	db.shards[0].stopBackgroundLocked() // crash: abandon the handle without a clean Close
+	db.shards[0].mu.Unlock()
 
 	// Tear into the final group's record (well short of its full length).
 	if err := efs.TearFile(version.LogFileName("/db", logNum), 5); err != nil {

@@ -51,6 +51,11 @@ type Config struct {
 	// MaxWriteGroupBytes caps the commit pipeline's write groups; 0 uses the
 	// store default (1 MiB). Only matters with Clients > 1.
 	MaxWriteGroupBytes int
+	// Shards is the number of hash-partitioned engine instances behind the
+	// DB facade (0 or 1 = the single classic engine, matching the paper's
+	// setup). Non-powers-of-two round up; only matters with Clients > 1,
+	// where shards overlap each other's flush/compaction stalls.
+	Shards int
 	// Seed fixes the workload randomness.
 	Seed int64
 

@@ -43,6 +43,7 @@ func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
 		BlockCacheSize:        cfg.BlockCacheSize,
 		CompactionParallelism: cfg.CompactionParallelism,
 		MaxWriteGroupBytes:    cfg.MaxWriteGroupBytes,
+		Shards:                cfg.Shards,
 		Compression:           cfg.Compression,
 		ChecksumKind:          cfg.ChecksumKind,
 		AdaptiveThreshold:     cfg.AdaptiveThreshold,

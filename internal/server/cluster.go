@@ -1,0 +1,120 @@
+package server
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Cluster-mode stubs. The engine already hash-partitions the keyspace
+// across core.Options.Shards in-process shards; these commands expose that
+// partitioning through the Redis Cluster vocabulary so the same hash
+// routing can later go multi-process: a client that learns slot ownership
+// via CLUSTER KEYSLOT today needs no protocol change when slots move onto
+// other nodes and the server starts answering with -MOVED redirects
+// (client.MovedError already parses them). Until then this node owns every
+// slot, cluster mode reports disabled, and no command ever redirects.
+
+// movedErrorf formats the Redis Cluster redirect ("MOVED <slot> <addr>",
+// sent as a RESP error). Unused by the single-process server — it never
+// redirects — but pinned here (and round-tripped against the client's
+// parser in tests) so the wire format is fixed before slots can move.
+func movedErrorf(slot int, addr string) string {
+	return fmt.Sprintf("MOVED %d %s", slot, addr)
+}
+
+// nodeID returns this server's stable 40-hex-digit cluster node ID,
+// derived from the listen address and start time on first use (after Serve
+// has bound the listener, so the real address participates).
+func (s *Server) nodeID() string {
+	s.nodeIDOnce.Do(func() {
+		h := sha1.New()
+		if addr := s.Addr(); addr != nil {
+			fmt.Fprint(h, addr.String())
+		}
+		fmt.Fprint(h, s.started.UnixNano())
+		s.nodeIDVal = hex.EncodeToString(h.Sum(nil))
+	})
+	return s.nodeIDVal
+}
+
+// cmdCluster dispatches the CLUSTER subcommands:
+//
+//	CLUSTER INFO     — bulk string; cluster_enabled:0 plus ldc_shards:<n>
+//	CLUSTER MYID     — this node's 40-hex node ID
+//	CLUSTER SLOTS    — empty array (no slot ranges are assigned elsewhere)
+//	CLUSTER SHARDS   — empty array (Redis 7 shape of the same answer)
+//	CLUSTER KEYSLOT <key> — the engine shard that owns key
+func (c *conn) cmdCluster(cmd [][]byte) {
+	if len(cmd) < 2 {
+		c.argErr("cluster")
+		return
+	}
+	switch c.commandName(cmd[1]) {
+	case "info":
+		c.w.BulkString(fmt.Sprintf(
+			"cluster_enabled:0\r\ncluster_state:ok\r\ncluster_known_nodes:1\r\ncluster_size:1\r\nldc_shards:%d\r\n",
+			c.srv.db.NumShards()))
+	case "myid":
+		c.w.BulkString(c.srv.nodeID())
+	case "slots", "shards":
+		c.w.Array(0)
+	case "keyslot":
+		if len(cmd) != 3 {
+			c.argErr("cluster")
+			return
+		}
+		c.w.Int(int64(c.srv.db.ShardOf(cmd[2])))
+	default:
+		c.w.Error("ERR Unknown CLUSTER subcommand or wrong number of arguments for '" + string(cmd[1]) + "'")
+	}
+}
+
+// cmdMGet answers MGET. Over one shard it reads the keys in order; over N
+// shards it fans the keys out by owning shard and reads the shards
+// concurrently — each sub-reader walks only its shard's memtable and tree,
+// so a wide MGET overlaps N independent read paths instead of threading
+// one — then replies in request order. Missing or unreadable keys read as
+// null, per Redis.
+func (c *conn) cmdMGet(keys [][]byte) {
+	c.w.Array(len(keys))
+	db := c.srv.db
+	if db.NumShards() == 1 || len(keys) == 1 {
+		for _, k := range keys {
+			if val, err := db.Get(k); err == nil {
+				c.w.Bulk(val)
+			} else {
+				c.w.Bulk(nil)
+			}
+		}
+		return
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys)) // distinguishes missing from empty values
+	byShard := make(map[int][]int, db.NumShards())
+	for i, k := range keys {
+		sh := db.ShardOf(k)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range byShard {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				if val, err := db.Get(keys[i]); err == nil {
+					vals[i], found[i] = val, true
+				}
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	for i, v := range vals {
+		if found[i] {
+			c.w.Bulk(v)
+		} else {
+			c.w.Bulk(nil)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/resp"
+)
+
+// startShardedServer is startServer over a hash-partitioned engine.
+func startShardedServer(t testing.TB, shards int) (*Server, string) {
+	t.Helper()
+	opts := smallOpts()
+	opts.Shards = shards
+	db, err := core.Open("/db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv, err := New(db, Config{})
+	if err != nil {
+		db.Close()
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String()
+}
+
+func TestServerClusterStubs(t *testing.T) {
+	srv, addr := startShardedServer(t, 4)
+	defer srv.Shutdown()
+	c := dial(t, addr)
+	defer c.Close()
+
+	info, err := c.ClusterInfo()
+	if err != nil {
+		t.Fatalf("CLUSTER INFO: %v", err)
+	}
+	for _, want := range []string{"cluster_enabled:0", "cluster_state:ok", "ldc_shards:4"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("CLUSTER INFO missing %q:\n%s", want, info)
+		}
+	}
+
+	id, err := c.ClusterMyID()
+	if err != nil {
+		t.Fatalf("CLUSTER MYID: %v", err)
+	}
+	if len(id) != 40 {
+		t.Errorf("CLUSTER MYID = %q (len %d), want 40 hex chars", id, len(id))
+	}
+	id2, _ := c.ClusterMyID()
+	if id2 != id {
+		t.Errorf("CLUSTER MYID unstable: %q then %q", id, id2)
+	}
+
+	// KEYSLOT answers the engine's routing, stable per key and in range.
+	seen := map[int64]bool{}
+	for i := 0; i < 64; i++ {
+		key := []byte(fmt.Sprintf("slot-key-%d", i))
+		slot, err := c.ClusterKeySlot(key)
+		if err != nil {
+			t.Fatalf("CLUSTER KEYSLOT: %v", err)
+		}
+		if slot < 0 || slot >= 4 {
+			t.Fatalf("CLUSTER KEYSLOT(%q) = %d, out of range [0,4)", key, slot)
+		}
+		again, _ := c.ClusterKeySlot(key)
+		if again != slot {
+			t.Fatalf("CLUSTER KEYSLOT(%q) unstable: %d then %d", key, slot, again)
+		}
+		seen[slot] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 keys landed on %d slot(s); hash routing should spread them", len(seen))
+	}
+
+	// SLOTS/SHARDS: no ranges assigned elsewhere — empty arrays.
+	for _, sub := range []string{"SLOTS", "SHARDS"} {
+		v, err := c.Do("CLUSTER", sub)
+		if err != nil {
+			t.Fatalf("CLUSTER %s: %v", sub, err)
+		}
+		if arr, ok := v.([]interface{}); !ok || len(arr) != 0 {
+			t.Errorf("CLUSTER %s = %v, want empty array", sub, v)
+		}
+	}
+
+	if _, err := c.Do("CLUSTER", "FAILOVER"); err == nil {
+		t.Error("CLUSTER FAILOVER succeeded, want unknown-subcommand error")
+	} else if _, isResp := err.(resp.Error); !isResp {
+		t.Errorf("CLUSTER FAILOVER error type %T, want resp.Error", err)
+	}
+}
+
+func TestServerShardedMGetAndScan(t *testing.T) {
+	srv, addr := startShardedServer(t, 4)
+	defer srv.Shutdown()
+	c := dial(t, addr)
+	defer c.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Set(kv(i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// MGET fans out across shards and must reply in request order with
+	// nulls for missing keys.
+	keys := [][]byte{kv(3), []byte("missing-a"), kv(150), kv(7), []byte("missing-b"), kv(0)}
+	vals, err := c.MGet(keys...)
+	if err != nil {
+		t.Fatalf("MGET: %v", err)
+	}
+	want := [][]byte{[]byte("v-3"), nil, []byte("v-150"), []byte("v-7"), nil, []byte("v-0")}
+	if len(vals) != len(want) {
+		t.Fatalf("MGET returned %d values, want %d", len(vals), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(vals[i], want[i]) {
+			t.Errorf("MGET[%d] = %q, want %q", i, vals[i], want[i])
+		}
+	}
+
+	// SCAN pages the merged keyspace in sorted order, every key exactly once.
+	var got [][]byte
+	cursor := []byte("0")
+	for {
+		next, page, err := c.Scan(cursor, 17)
+		if err != nil {
+			t.Fatalf("SCAN: %v", err)
+		}
+		got = append(got, page...)
+		if string(next) == "0" {
+			break
+		}
+		cursor = next
+	}
+	if len(got) != n {
+		t.Fatalf("SCAN walked %d keys, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("SCAN out of order at %d: %q !< %q", i, got[i-1], got[i])
+		}
+	}
+
+	// INFO gains the cluster and per-shard breakdown sections.
+	info, err := c.Info("")
+	if err != nil {
+		t.Fatalf("INFO: %v", err)
+	}
+	for _, wantLine := range []string{"# Cluster", "ldc_shards:4", "# Shards", "shard_count:4", "shard0:puts=", "shard3:puts="} {
+		if !strings.Contains(info, wantLine) {
+			t.Errorf("INFO missing %q", wantLine)
+		}
+	}
+	shardsOnly, err := c.Info("shards")
+	if err != nil {
+		t.Fatalf("INFO shards: %v", err)
+	}
+	if !strings.Contains(shardsOnly, "shard_count:4") || strings.Contains(shardsOnly, "# Engine") {
+		t.Errorf("INFO shards section wrong:\n%s", shardsOnly)
+	}
+}
+
+func kv(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }

@@ -157,6 +157,16 @@ func (c *conn) commandName(raw []byte) string {
 		return "select"
 	case "count":
 		return "count"
+	case "cluster":
+		return "cluster"
+	case "myid":
+		return "myid"
+	case "slots":
+		return "slots"
+	case "shards":
+		return "shards"
+	case "keyslot":
+		return "keyslot"
 	}
 	return string(c.nameBuf)
 }
@@ -275,17 +285,14 @@ func (c *conn) dispatch(name string, cmd [][]byte) {
 		if !c.flushWrites() {
 			return
 		}
-		c.w.Array(len(cmd) - 1)
-		for _, k := range cmd[1:] {
-			val, err := c.srv.db.Get(k)
-			if err == nil {
-				c.w.Bulk(val)
-			} else {
-				c.w.Bulk(nil) // missing or unreadable reads as null
-			}
-		}
+		c.cmdMGet(cmd[1:])
 	case "scan":
 		c.cmdScan(cmd)
+	case "cluster":
+		if !c.flushWrites() {
+			return
+		}
+		c.cmdCluster(cmd)
 	case "dbsize":
 		if !c.flushWrites() {
 			return

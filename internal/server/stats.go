@@ -14,7 +14,7 @@ import (
 // built over it once at New, so the hot path records into it lock-free.
 var commandNames = []string{
 	"ping", "echo", "set", "get", "del", "mget", "mset", "scan",
-	"dbsize", "info", "quit", "command", "config", "select",
+	"dbsize", "info", "quit", "command", "config", "select", "cluster",
 }
 
 // cmdStat counts one command's calls and holds its latency histogram
@@ -190,6 +190,28 @@ func (s *Server) renderInfo(section string) string {
 		fmt.Fprintf(&b, "stop_count:%d\r\n", ds.StopCount)
 		fmt.Fprintf(&b, "point_read_amp:%.2f\r\n", ds.PointReadAmp)
 		fmt.Fprintf(&b, "block_cache_hit_ratio:%.3f\r\n", ds.BlockCacheHitRatio)
+		fmt.Fprintf(&b, "\r\n")
+	}
+	if want("cluster") {
+		fmt.Fprintf(&b, "# Cluster\r\n")
+		fmt.Fprintf(&b, "cluster_enabled:0\r\n")
+		fmt.Fprintf(&b, "ldc_shards:%d\r\n", s.db.NumShards())
+		fmt.Fprintf(&b, "\r\n")
+	}
+	if want("shards") {
+		// Per-shard breakdown behind the aggregated Engine section: one line
+		// per shard so skew (hot shards, a stalled shard) is visible from a
+		// client. Block-cache counters are absent by design — the cache is
+		// shared and reported once under Engine.
+		fmt.Fprintf(&b, "# Shards\r\n")
+		fmt.Fprintf(&b, "shard_count:%d\r\n", s.db.NumShards())
+		for i, ss := range s.db.ShardStats() {
+			fmt.Fprintf(&b,
+				"shard%d:puts=%d,gets=%d,user_write_bytes=%d,flush_count=%d,compaction_count=%d,write_state=%s,stall_usec=%d,write_groups=%d,avg_group_size=%.2f\r\n",
+				i, ss.Puts, ss.Gets, ss.UserWriteBytes, ss.FlushCount,
+				ss.CompactionCount, ss.WriteState, ss.StallTime.Microseconds(),
+				ss.WriteGroupsTotal, ss.AvgGroupSize)
+		}
 		fmt.Fprintf(&b, "\r\n")
 	}
 	if b.Len() == 0 {

@@ -78,3 +78,34 @@ func ParseFileName(name string) (FileType, uint64) {
 	}
 	return TypeUnknown, 0
 }
+
+// ShardLogFileName returns the path of shard sh's WAL file num inside the
+// database's shared WAL directory (dir/wal). Per-shard WAL segments live
+// side by side in one directory, so crash recovery can enumerate every
+// shard's log tail with a single listing and route each segment to its
+// shard by name. The single-shard (legacy) layout keeps LogFileName.
+func ShardLogFileName(dir string, sh int, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("SHARD-%d-%06d.log", sh, num))
+}
+
+// ParseShardLogName parses a bare "SHARD-<shard>-<num>.log" name produced
+// by ShardLogFileName, reporting ok=false for anything else.
+func ParseShardLogName(name string) (sh int, num uint64, ok bool) {
+	if !strings.HasPrefix(name, "SHARD-") || !strings.HasSuffix(name, ".log") {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, "SHARD-"), ".log")
+	i := strings.IndexByte(body, '-')
+	if i <= 0 {
+		return 0, 0, false
+	}
+	s, err := strconv.Atoi(body[:i])
+	if err != nil || s < 0 {
+		return 0, 0, false
+	}
+	n, err := strconv.ParseUint(body[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return s, n, true
+}

@@ -27,6 +27,17 @@
 //     amplification for large bursts; it demonstrates the motivation of
 //     the paper and is not recommended for latency-sensitive use.
 //
+// Scaling out on one machine:
+//
+// Options.Shards splits the store into N hash-partitioned engine
+// instances behind the same DB — each shard has its own memtable, WAL
+// segment, and compaction pipeline, so concurrent writers overlap each
+// other's flush and compaction stalls instead of queuing behind one
+// engine. Point operations route by key hash; Scan and NewIterator merge
+// all shards back into one sorted keyspace. Shards=1 (the default) is
+// byte-identical to the classic single-engine layout. See DESIGN.md
+// ("Sharding") for the cross-shard batch-visibility caveat.
+//
 // For experiments, an SSD simulator with asymmetric read/write timing and
 // per-category I/O accounting is available via NewSimulatedSSD.
 package ldc

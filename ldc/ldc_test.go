@@ -141,6 +141,70 @@ func TestPublicSimulatedSSD(t *testing.T) {
 	}
 }
 
+// TestPublicSharded exercises the sharded facade through the public API:
+// routing, cross-shard scan merge, persistence across reopen, and the
+// aggregated Stats view.
+func TestPublicSharded(t *testing.T) {
+	fs := ldc.MemFS()
+	opts := &ldc.Options{
+		FS:           fs,
+		Policy:       ldc.PolicyLDC,
+		MemTableSize: 16 << 10,
+		SSTableSize:  16 << 10,
+		Fanout:       4,
+		Shards:       4,
+	}
+	db, err := ldc.Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+
+	const n = 400
+	b := ldc.NewBatch()
+	for i := 0; i < n; i++ {
+		b.Set([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := db.Scan(nil, n+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != n {
+		t.Fatalf("Scan over 4 shards returned %d keys, want %d", len(pairs), n)
+	}
+	for i, kv := range pairs {
+		if want := fmt.Sprintf("k%04d", i); string(kv.Key) != want {
+			t.Fatalf("Scan[%d] = %q, want %q (merge order broken)", i, kv.Key, want)
+		}
+	}
+	// The batch fanned out: every shard committed a sub-batch, and the
+	// aggregated Stats fold those per-shard counters together.
+	if s := db.Stats(); s.WriteBatchesTotal < 4 || s.UserWriteBytes == 0 {
+		t.Errorf("aggregated Stats = batches %d, user bytes %d; want fan-out across 4 shards",
+			s.WriteBatchesTotal, s.UserWriteBytes)
+	}
+	db.Close()
+
+	// Shards=0 adopts the on-disk partitioning.
+	reopened, err := ldc.Open("/db", &ldc.Options{FS: fs, Policy: ldc.PolicyLDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.NumShards(); got != 4 {
+		t.Fatalf("reopen NumShards = %d, want 4", got)
+	}
+	v, err := reopened.Get([]byte("k0123"))
+	if err != nil || string(v) != "v123" {
+		t.Fatalf("after sharded reopen: %q, %v", v, err)
+	}
+}
+
 func TestPublicPersistence(t *testing.T) {
 	fs := ldc.MemFS()
 	opts := &ldc.Options{FS: fs, Policy: ldc.PolicyLDC, MemTableSize: 8 << 10, SSTableSize: 8 << 10}
