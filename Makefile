@@ -22,7 +22,7 @@ unexport TAGS
 # durability-critical Close/Sync). Built from source on demand.
 LDCLINT := bin/ldclint
 
-.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards run-server server-smoke ci
+.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards bench-tail run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -89,6 +89,16 @@ bench-format:
 bench-shards:
 	$(GO) test -race -run XXX -bench BenchmarkShardedWriters -benchtime 1x $(TESTFLAGS) ./internal/core
 
+# The tail-latency gate: run the brownout scenario (sustained load over a
+# compaction backlog, I/O limiter on vs off at equal offered load), record
+# the comparison to BENCH_tail.json, and fail if the limiter-on side's
+# foreground P99.9 exceeds 1.5x the limiter-off side's. The artifact's
+# headline ratio sits just under 1.0x; the 1.5x budget leaves room for
+# loaded-host noise while still catching regressions that invert the
+# scheduler into a tail liability.
+bench-tail:
+	$(GO) run $(TESTFLAGS) ./cmd/ldcbench -json BENCH_tail.json -tailbudget 1.5 brownout
+
 # Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
 run-server: build
 	$(GO) run ./cmd/ldcserver -db $(DB) -addr 127.0.0.1:$(PORT)
@@ -98,4 +108,4 @@ run-server: build
 server-smoke:
 	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards server-smoke
+ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards bench-tail server-smoke

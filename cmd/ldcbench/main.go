@@ -55,6 +55,30 @@ var experiments = []experiment{
 	{"fig14", "scalability with request count (paper Fig 14)", wrap(harness.RunFig14)},
 	{"fig15", "space efficiency (paper Fig 15)", wrap(harness.RunFig15)},
 	{"format", "on-disk format sweep: raw vs flate vs lz4", wrap(harness.RunFormat)},
+	{"brownout", "sustained load under compaction backlog, I/O limiter on vs off", runBrownout},
+}
+
+// brownout flag values, set in main before experiments run.
+var (
+	brownoutJSON   string
+	brownoutBudget float64
+)
+
+// runBrownout is wired by hand instead of through wrap: it optionally
+// records its result as JSON and enforces the CI tail budget.
+func runBrownout(cfg harness.Config, out io.Writer) error {
+	r, err := harness.RunBrownout(cfg)
+	if err != nil {
+		return err
+	}
+	r.Print(out)
+	if brownoutJSON != "" {
+		if err := r.WriteJSON(brownoutJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", brownoutJSON)
+	}
+	return r.CheckBudget(brownoutBudget)
 }
 
 func main() {
@@ -68,6 +92,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "workload seed (0 = preset)")
 		clients  = flag.Int("clients", 0, "concurrent workload clients (0 = preset)")
 	)
+	flag.StringVar(&brownoutJSON, "json", "", "record the brownout comparison to this JSON file")
+	flag.Float64Var(&brownoutBudget, "tailbudget", 0, "fail if limiter-on P99.9 exceeds this multiple of limiter-off (0 = no gate)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldcbench [flags] <experiment>...\n\nexperiments:\n")
 		for _, e := range experiments {

@@ -21,7 +21,7 @@ type State int32
 const (
 	// StateOK admits writes immediately.
 	StateOK State = iota
-	// StateDelayed applies the one-millisecond L0 slowdown to each write.
+	// StateDelayed applies the graduated slowdown delay to each write.
 	StateDelayed
 	// StateStopped blocks writes until background work catches up.
 	StateStopped
@@ -59,6 +59,10 @@ type ControllerEnv struct {
 	// Rotate switches to a fresh memtable and WAL, handing the full one to
 	// the flush worker.
 	Rotate func() error
+	// CompactionDebt estimates the bytes of background work the tree owes
+	// before every level is back under its target (see compaction.Picker.Debt).
+	// Nil disables the debt term of the slowdown curve.
+	CompactionDebt func() int64
 	// Wait blocks until background work makes progress, releasing the store
 	// mutex while waiting (a condition-variable wait).
 	Wait func()
@@ -71,12 +75,19 @@ type ControllerEnv struct {
 type ControllerConfig struct {
 	// MemTableSize triggers a rotation when the memtable reaches it.
 	MemTableSize int64
-	// L0SlowdownTrigger applies the delay at this many L0 files.
+	// L0SlowdownTrigger starts the graduated delay at this many L0 files.
 	L0SlowdownTrigger int
 	// L0StopTrigger blocks writes at this many L0 files.
 	L0StopTrigger int
-	// SlowdownDelay is the per-write delay in the delayed state (default 1ms).
+	// SlowdownDelay caps the per-write delay in the delayed state (default
+	// 1ms). The actual delay scales continuously from a fraction of this at
+	// the slowdown trigger up to the full value just under the stop trigger,
+	// so admission tightens smoothly instead of stepping at a cliff.
 	SlowdownDelay time.Duration
+	// DebtCeiling is the compaction-debt level (bytes) at which the debt
+	// term of the slowdown curve alone reaches the full SlowdownDelay. The
+	// term engages at half the ceiling. 0 disables the debt term.
+	DebtCeiling int64
 }
 
 // ControllerMetrics is a snapshot of the controller's counters.
@@ -127,7 +138,8 @@ func (c *Controller) Metrics() ControllerMetrics {
 }
 
 // MakeRoom blocks until the store can accept a write, applying LevelDB's
-// throttle ladder: one slowdown delay when L0 is crowded, a memtable
+// throttle ladder: one graduated slowdown delay scaled by L0 depth and
+// compaction debt (see slowdownFrac), a memtable
 // rotation when the active table is full, and hard waits while the previous
 // memtable is still flushing or L0 hit the stop trigger. It acquires the
 // store mutex itself and returns with it released.
@@ -139,18 +151,23 @@ func (c *Controller) MakeRoom() error {
 		if err := c.env.Err(); err != nil {
 			return err
 		}
-		switch {
-		case allowDelay && c.env.L0Files() >= c.cfg.L0SlowdownTrigger:
-			// Soft backpressure: pay one delay outside the store mutex so
-			// readers and background work proceed, then never delay again
-			// for this write.
-			c.state.Store(int32(StateDelayed))
-			c.env.Unlock()
-			c.env.Sleep(c.cfg.SlowdownDelay)
-			c.env.Lock()
-			c.slowdowns.Add(1)
-			c.stallNanos.Add(int64(c.cfg.SlowdownDelay))
+		if allowDelay {
+			// Soft backpressure: pay at most one graduated delay outside the
+			// store mutex so readers and background work proceed, then never
+			// delay again for this write.
 			allowDelay = false
+			if d := time.Duration(c.slowdownFrac() * float64(c.cfg.SlowdownDelay)); d > 0 {
+				c.state.Store(int32(StateDelayed))
+				c.env.Unlock()
+				c.env.Sleep(d)
+				c.env.Lock()
+				c.slowdowns.Add(1)
+				c.stallNanos.Add(int64(d))
+				// Re-check Err: it may have been raised during the sleep.
+				continue
+			}
+		}
+		switch {
 		case c.env.MemBytes() < c.cfg.MemTableSize:
 			c.state.Store(int32(StateOK))
 			return nil
@@ -167,6 +184,35 @@ func (c *Controller) MakeRoom() error {
 			}
 		}
 	}
+}
+
+// slowdownFrac maps current admission pressure to a fraction of
+// SlowdownDelay in [0, 1]. Two terms add: L0 depth ramps linearly from the
+// slowdown trigger toward the stop trigger, and compaction debt ramps from
+// half the ceiling to the full ceiling. Summing lets moderate pressure on
+// both axes throttle as hard as severe pressure on one; the clamp keeps the
+// worst case at exactly one SlowdownDelay per write. Called with the store
+// mutex held.
+func (c *Controller) slowdownFrac() float64 {
+	var frac float64
+	if l0 := c.env.L0Files(); l0 >= c.cfg.L0SlowdownTrigger {
+		if span := c.cfg.L0StopTrigger - c.cfg.L0SlowdownTrigger; span > 0 {
+			frac += float64(l0-c.cfg.L0SlowdownTrigger+1) / float64(span)
+		} else {
+			frac = 1 // degenerate ladder: slowdown == stop trigger
+		}
+	}
+	if c.cfg.DebtCeiling > 0 && c.env.CompactionDebt != nil {
+		if half := c.cfg.DebtCeiling / 2; half > 0 {
+			if debt := c.env.CompactionDebt(); debt > half {
+				frac += float64(debt-half) / float64(half)
+			}
+		}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
 }
 
 // waitStopped enters the stopped state and blocks for background progress.

@@ -3,6 +3,7 @@ package commit
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -89,16 +90,18 @@ func TestMakeRoomRotatesFullMemtable(t *testing.T) {
 }
 
 func TestMakeRoomDelaysOnceOnL0Pressure(t *testing.T) {
+	// l0=9 sits a quarter of the way up the 8→12 ladder: the continuous
+	// curve charges (9-8+1)/(12-8) = half the full SlowdownDelay.
 	s := &fakeStore{memBytes: 10, l0: 9}
 	c := NewController(cfg(), s.env())
 	if err := c.MakeRoom(); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.slept) != 1 || s.slept[0] != time.Millisecond {
-		t.Fatalf("slept %v, want exactly one 1ms delay", s.slept)
+	if len(s.slept) != 1 || s.slept[0] != 500*time.Microsecond {
+		t.Fatalf("slept %v, want exactly one 500µs delay", s.slept)
 	}
 	m := c.Metrics()
-	if m.Slowdowns != 1 || m.StallNanos != int64(time.Millisecond) {
+	if m.Slowdowns != 1 || m.StallNanos != int64(500*time.Microsecond) {
 		t.Fatalf("metrics = %+v", m)
 	}
 	// The write was admitted after its single delay even with L0 still high.
@@ -188,5 +191,136 @@ func TestStateStrings(t *testing.T) {
 		if got := s.String(); got != want {
 			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
 		}
+	}
+}
+
+// TestSlowdownCurve walks the continuous admission curve through its state
+// transitions: below the trigger no delay, then a linear ramp in L0 depth,
+// a debt term engaging above half the ceiling, additive composition of the
+// two, and a hard clamp at one full SlowdownDelay.
+func TestSlowdownCurve(t *testing.T) {
+	cases := []struct {
+		name string
+		l0   int
+		debt int64
+		want time.Duration
+	}{
+		{"below trigger", 7, 0, 0},
+		{"at trigger", 8, 0, 250 * time.Microsecond},
+		{"mid ramp", 9, 0, 500 * time.Microsecond},
+		{"just under stop", 11, 0, time.Millisecond},
+		{"debt at half ceiling", 0, 500, 0},
+		{"debt three quarters", 0, 750, 500 * time.Microsecond},
+		{"debt at ceiling", 0, 1000, time.Millisecond},
+		{"debt past ceiling clamps", 0, 4000, time.Millisecond},
+		{"both terms add", 8, 750, 750 * time.Microsecond},
+		{"sum clamps", 9, 1000, time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &fakeStore{memBytes: 10, l0: tc.l0}
+			env := s.env()
+			env.CompactionDebt = func() int64 { return tc.debt }
+			conf := cfg()
+			conf.DebtCeiling = 1000
+			c := NewController(conf, env)
+			var during State
+			env.Sleep = func(d time.Duration) {
+				s.slept = append(s.slept, d)
+				during = c.State()
+			}
+			c = NewController(conf, env)
+			if err := c.MakeRoom(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.want == 0 {
+				if len(s.slept) != 0 {
+					t.Fatalf("slept %v, want no delay", s.slept)
+				}
+				return
+			}
+			if len(s.slept) != 1 || s.slept[0] != tc.want {
+				t.Fatalf("slept %v, want one %v delay", s.slept, tc.want)
+			}
+			if during != StateDelayed {
+				t.Errorf("state during delay = %v, want delayed", during)
+			}
+			if c.State() != StateOK {
+				t.Errorf("state after admit = %v, want ok", c.State())
+			}
+			if m := c.Metrics(); m.Slowdowns != 1 || m.StallNanos != int64(tc.want) {
+				t.Errorf("metrics = %+v", m)
+			}
+		})
+	}
+}
+
+func TestSlowdownCurveNilDebtCallback(t *testing.T) {
+	s := &fakeStore{memBytes: 10}
+	conf := cfg()
+	conf.DebtCeiling = 1000 // ceiling set but no callback: term disabled
+	c := NewController(conf, s.env())
+	if err := c.MakeRoom(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.slept) != 0 {
+		t.Fatalf("slept %v, want none", s.slept)
+	}
+}
+
+// TestMakeRoomRaceUnderChangingPressure hammers admission decisions while
+// L0 depth and compaction debt move concurrently, as they do when flush and
+// compaction workers install versions mid-write. Run under -race this
+// checks the controller reads its environment only under the store mutex.
+func TestMakeRoomRaceUnderChangingPressure(t *testing.T) {
+	var mu sync.Mutex
+	var l0, debt atomic.Int64
+	c := NewController(
+		ControllerConfig{MemTableSize: 100, L0SlowdownTrigger: 4, L0StopTrigger: 8, DebtCeiling: 1000},
+		ControllerEnv{
+			Lock:           mu.Lock,
+			Unlock:         mu.Unlock,
+			Err:            func() error { return nil },
+			L0Files:        func() int { return int(l0.Load()) },
+			MemBytes:       func() int64 { return 10 }, // always admits after the delay check
+			ImmPending:     func() bool { return false },
+			CompactionDebt: func() int64 { return debt.Load() },
+			Rotate:         func() error { panic("unexpected Rotate") },
+			Wait:           func() { panic("unexpected Wait") },
+			Sleep:          func(time.Duration) {},
+		})
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l0.Store(int64(i % 9))
+			debt.Store(int64((i * 137) % 2500))
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				if err := c.MakeRoom(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	mutator.Wait()
+	if c.State() != StateOK {
+		t.Errorf("final state = %v, want ok", c.State())
 	}
 }

@@ -64,6 +64,11 @@ type Params struct {
 	BaseLevelBytes int64
 	// L0Trigger is the L0 file count that triggers an L0→L1 compaction.
 	L0Trigger int
+	// L0SlowdownTrigger is the L0 file count at which the commit controller
+	// starts delaying writers. At or past it the LDC picker drains L0
+	// before serving ripe merges — foreground admission outranks background
+	// debt. When zero it defaults to 2 × L0Trigger.
+	L0SlowdownTrigger int
 	// SliceThreshold is LDC's T_s: the slice count on a lower-level file
 	// that triggers its merge. When zero it defaults to Fanout.
 	SliceThreshold int
@@ -91,6 +96,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.L0Trigger <= 0 {
 		p.L0Trigger = 4
+	}
+	if p.L0SlowdownTrigger <= 0 {
+		p.L0SlowdownTrigger = 2 * p.L0Trigger
 	}
 	if p.SliceThreshold <= 0 {
 		p.SliceThreshold = p.Fanout
@@ -234,6 +242,31 @@ func (p *Picker) Score(v *version.Version, level int) float64 {
 
 // MaxBytesForLevel exposes the level target for stats.
 func (p *Picker) MaxBytesForLevel(level int) int64 { return p.params.MaxBytesForLevel(level) }
+
+// Debt estimates the bytes of compaction work the tree owes before every
+// level is back under its target: excess L0 files at one table each, plus
+// each deeper level's bytes over target (under LDC, bytes pending in slices
+// count toward the level that will absorb them). The commit controller
+// scales its continuous slowdown with this figure, so admission tightens as
+// background work falls behind rather than stepping at the L0 cliff.
+func (p *Picker) Debt(v *version.Version) int64 {
+	var debt int64
+	if extra := v.NumFiles(0) - p.params.L0Trigger; extra > 0 {
+		debt += int64(extra) * p.params.SSTableSize
+	}
+	for level := 1; level < version.NumLevels; level++ {
+		bytes := v.LevelBytes(level)
+		if p.policy == LDC {
+			for _, f := range v.Sliced[level] {
+				bytes += f.SliceBytes()
+			}
+		}
+		if over := bytes - p.MaxBytesForLevel(level); over > 0 {
+			debt += over
+		}
+	}
+	return debt
+}
 
 // Admission premiums for concurrent work: while any job is in flight, new
 // work must be this factor more urgent than the normal trigger before an
@@ -423,6 +456,18 @@ func (p *Picker) compactOrMove(level int, inputs, overlaps []*version.FileMeta, 
 //  3. otherwise the most pressured level links (L0 compacts conventionally).
 func (p *Picker) pickLDC(v *version.Version) Pick {
 	ts := p.SliceThreshold()
+
+	// 0. L0 urgency: once L0 is deep enough that the commit controller is
+	// delaying writers, draining it is the only background work that lifts
+	// the throttle — ripe merges are deferrable debt by comparison. This
+	// mirrors the I/O scheduler's tier order (flush > L0→L1 > merges) at
+	// the picking layer, so a compaction storm cannot park every worker on
+	// merges while foreground writes sit in the slowdown curve.
+	if v.NumFiles(0) >= p.params.L0SlowdownTrigger {
+		if pick := p.pickLDCLevel(v, 0, p.Score(v, 0)); pick.Kind != PickNone {
+			return pick
+		}
+	}
 
 	// 1. Merge any file that accumulated enough upper-level data: either
 	// SliceThreshold slices (Algorithm 1's trigger) or slice bytes matching

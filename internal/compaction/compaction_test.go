@@ -365,3 +365,85 @@ func TestSliceWindowsUseEffectiveBounds(t *testing.T) {
 		t.Errorf("w1.Lo = %q", ws[1].Lo)
 	}
 }
+
+func TestDebtZeroWhenBalanced(t *testing.T) {
+	pk := NewPicker(LDC, testParams(), icmp)
+	v := buildV(t, func(e *version.Edit) {
+		e.AddFile(0, fm(1, "a", "z", 100))
+		e.AddFile(1, fm(2, "a", "c", 1000))
+	})
+	if got := pk.Debt(v); got != 0 {
+		t.Errorf("Debt = %d, want 0", got)
+	}
+}
+
+func TestDebtCountsExcessL0Files(t *testing.T) {
+	pk := NewPicker(UDC, testParams(), icmp) // L0Trigger 4, SSTableSize 1000
+	v := buildV(t, func(e *version.Edit) {
+		for i := 0; i < 6; i++ {
+			e.AddFile(0, fm(uint64(i+1), "a", "z", 100))
+		}
+	})
+	if got := pk.Debt(v); got != 2000 { // 2 excess files x one table each
+		t.Errorf("Debt = %d, want 2000", got)
+	}
+}
+
+func TestDebtCountsDeepOverageAndSliceBytes(t *testing.T) {
+	pk := NewPicker(LDC, testParams(), icmp) // L1 target 10000
+	v := buildV(t, func(e *version.Edit) {
+		f := fm(1, "a", "m", 12000)
+		e.AddFile(1, f)
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 500, Smallest: ik("a", 9), Largest: ik("m", 8)})
+		e.AddSlice(1, 1, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("m")}, LinkSeq: 1, Bytes: 500})
+	})
+	// 12000 resident + 500 pending slice bytes against a 10000 target.
+	if got := pk.Debt(v); got != 2500 {
+		t.Errorf("Debt = %d, want 2500", got)
+	}
+	// The same tree under UDC ignores slices (there are none to absorb).
+	udc := NewPicker(UDC, testParams(), icmp)
+	if got := udc.Debt(v); got != 2000 {
+		t.Errorf("UDC Debt = %d, want 2000", got)
+	}
+}
+
+// ldcRipeMergeEdit populates a version with a ripe L2 merge target (two
+// slices against SliceThreshold 2, as in TestLDCMergePriorityAtThreshold)
+// plus n chained L0 files.
+func ldcRipeMergeEdit(n int) func(e *version.Edit) {
+	return func(e *version.Edit) {
+		for i := 0; i < n; i++ {
+			e.AddFile(0, fm(uint64(100+i), "a", "z", 100))
+		}
+		e.AddFile(1, fm(1, "a", "m", 20000))
+		f := fm(2, "a", "f", 100)
+		e.AddFile(2, f)
+		e.FreezeFile(&version.FrozenMeta{Num: 90, Size: 100, Smallest: ik("a", 9), Largest: ik("f", 8)})
+		e.FreezeFile(&version.FrozenMeta{Num: 91, Size: 100, Smallest: ik("a", 9), Largest: ik("f", 8)})
+		e.AddSlice(2, 2, version.Slice{FrozenNum: 90, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 1, Bytes: 50})
+		e.AddSlice(2, 2, version.Slice{FrozenNum: 91, Range: keys.KeyRange{Lo: []byte("a"), Hi: []byte("f")}, LinkSeq: 2, Bytes: 50})
+	}
+}
+
+func TestLDCL0UrgencyPreemptsRipeMerge(t *testing.T) {
+	params := testParams() // L0SlowdownTrigger defaults to 2*L0Trigger = 8
+	params.SliceThreshold = 2
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, ldcRipeMergeEdit(8)) // at the slowdown trigger
+	got := pk.Pick(v)
+	if got.Kind != PickCompact || got.Level != 0 {
+		t.Fatalf("Pick = %v level %d, want L0 compaction once writers are throttled", got.Kind, got.Level)
+	}
+}
+
+func TestLDCRipeMergeStillWinsBelowSlowdown(t *testing.T) {
+	params := testParams()
+	params.SliceThreshold = 2
+	pk := NewPicker(LDC, params, icmp)
+	v := buildV(t, ldcRipeMergeEdit(5)) // past L0Trigger, below slowdown
+	got := pk.Pick(v)
+	if got.Kind != PickMerge || got.Target == nil || got.Target.Num != 2 {
+		t.Fatalf("Pick = %v, want the ripe merge while L0 is below the slowdown trigger", got.Kind)
+	}
+}

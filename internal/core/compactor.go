@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/compaction"
+	"repro/internal/iosched"
 	"repro/internal/iterator"
 	"repro/internal/keys"
 	"repro/internal/sstable"
@@ -157,7 +158,7 @@ func (db *store) flushImmLocked() error {
 	logNum := db.logNum // WAL in use *after* the switch; older logs die with the flush
 	db.mu.Unlock()
 
-	meta, err := db.buildTable(db.fsFlush, imm.NewIterator(), nil)
+	meta, err := db.buildTable(db.fsFlush, iosched.TierFlush, imm.NewIterator(), nil)
 	if err == nil {
 		e := &version.Edit{}
 		e.SetLogNum(logNum)
@@ -179,9 +180,10 @@ func (db *store) flushImmLocked() error {
 }
 
 // buildTable writes the entries of it (already in internal order, possibly
-// filtered by drop) into a new table file. A nil return meta means the
-// input was empty. Called without db.mu.
-func (db *store) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.InternalKey) bool) (*version.FileMeta, error) {
+// filtered by drop) into a new table file, charging the I/O scheduler at
+// tier block by block. A nil return meta means the input was empty. Called
+// without db.mu — the per-block token waits may sleep.
+func (db *store) buildTable(fs vfs.FS, tier iosched.Tier, it iterator.Iterator, drop func(ik keys.InternalKey) bool) (*version.FileMeta, error) {
 	defer it.Close()
 	num := db.set.NewFileNum()
 	name := version.TableFileName(db.dir, num)
@@ -190,7 +192,7 @@ func (db *store) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.I
 		return nil, err
 	}
 	f := vfs.NewBuffered(raw, 64<<10)
-	w := sstable.NewWriter(f, db.tableWriterOptions())
+	w := sstable.NewWriter(f, db.tableWriterOptions(tier))
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		ik := keys.InternalKey(it.Key())
 		if drop != nil && drop(ik) {
@@ -231,14 +233,23 @@ func (db *store) buildTable(fs vfs.FS, it iterator.Iterator, drop func(ik keys.I
 	}, nil
 }
 
-func (db *store) tableWriterOptions() sstable.WriterOptions {
-	return sstable.WriterOptions{
+// tableWriterOptions builds writer options for a background table build at
+// the given scheduler tier. When the shared limiter is enabled, every block
+// write first waits for tokens — this is the pacing point that keeps
+// compaction bursts from monopolizing the device. The writers run outside
+// db.mu, so the wait blocks only the background job itself.
+func (db *store) tableWriterOptions(tier iosched.Tier) sstable.WriterOptions {
+	opts := sstable.WriterOptions{
 		Cmp:             db.icmp,
 		BlockSize:       db.opts.BlockSize,
 		BloomBitsPerKey: db.opts.BloomBitsPerKey,
 		Compression:     db.opts.Compression,
 		Checksum:        db.opts.ChecksumKind,
 	}
+	if lim := db.limiter; lim != nil {
+		opts.ChargeWrite = func(n int) { lim.Wait(tier, n) }
+	}
+	return opts
 }
 
 // pointerEdit records the round-robin cursor advance for a level in the
@@ -338,6 +349,7 @@ type compactionState struct {
 	db           *store
 	v            *version.Version
 	outputLevel  int
+	tier         iosched.Tier
 	smallestSnap keys.Seq
 
 	lastUserKey   []byte
@@ -504,7 +516,7 @@ func (db *store) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]
 				return outputs, err
 			}
 			f = vfs.NewBuffered(raw, 64<<10)
-			w = sstable.NewWriter(f, db.tableWriterOptions())
+			w = sstable.NewWriter(f, db.tableWriterOptions(cs.tier))
 		}
 		if err := w.Add(ik, merged.Value()); err != nil {
 			_ = f.Close() // discarding the partial output
@@ -540,9 +552,15 @@ func (db *store) execCompact(pick compaction.Pick) error {
 
 	e := &version.Edit{}
 	all := append(append([]*version.FileMeta(nil), pick.Inputs...), pick.Overlaps...)
+	// L0→L1 compactions outrank LDC merges at the scheduler: draining L0 is
+	// what lifts the write throttle.
+	tier := iosched.TierMerge
+	if pick.Level == 0 {
+		tier = iosched.TierL0
+	}
 	its, readBytes, err := db.inputIterators(all)
 	if err == nil {
-		cs := &compactionState{db: db, v: v, outputLevel: pick.Level + 1, smallestSnap: smallestSnap}
+		cs := &compactionState{db: db, v: v, outputLevel: pick.Level + 1, tier: tier, smallestSnap: smallestSnap}
 		merged := iterator.NewMerging(db.icmp.Compare, its...)
 		var outputs []*version.FileMeta
 		outputs, err = db.writeOutputs(merged, cs)
@@ -588,7 +606,7 @@ func (db *store) execMerge(pick compaction.Pick) error {
 	e := &version.Edit{}
 	its, readBytes, err := db.inputIterators([]*version.FileMeta{pick.Target})
 	if err == nil {
-		cs := &compactionState{db: db, v: v, outputLevel: pick.Level, smallestSnap: smallestSnap}
+		cs := &compactionState{db: db, v: v, outputLevel: pick.Level, tier: iosched.TierMerge, smallestSnap: smallestSnap}
 		merged := iterator.NewMerging(db.icmp.Compare, its...)
 		var outputs []*version.FileMeta
 		outputs, err = db.writeOutputs(merged, cs)

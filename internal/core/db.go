@@ -12,6 +12,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/commit"
 	"repro/internal/compaction"
+	"repro/internal/iosched"
 	"repro/internal/keys"
 	"repro/internal/memtable"
 	"repro/internal/ssdsim"
@@ -61,6 +62,11 @@ type store struct {
 	picker   *compaction.Picker
 	adaptive *adaptiveThreshold
 	tables   *shardTables
+
+	// limiter is the database-wide background-I/O scheduler, shared across
+	// shards because the device is shared (router.go owns its lifecycle).
+	// nil when rate limiting is disabled.
+	limiter *iosched.Limiter
 
 	// pipeline and controller form the commit front end (see write.go):
 	// Apply goes through the pipeline, which groups concurrent writers and
@@ -122,6 +128,8 @@ type storeConfig struct {
 	walDir    string
 	walShared bool
 	shardID   int
+	// limiter is the database-wide compaction I/O scheduler (nil = none).
+	limiter *iosched.Limiter
 }
 
 // openStore opens (creating if necessary) one shard engine. Options are
@@ -138,6 +146,7 @@ func openStore(cfg storeConfig, opts Options, tables *tableCache) (*store, error
 		shardID:   cfg.shardID,
 		walDir:    cfg.walDir,
 		walShared: cfg.walShared,
+		limiter:   cfg.limiter,
 	}
 	db.flushCond = sync.NewCond(&db.mu)
 	db.workCond = sync.NewCond(&db.mu)
@@ -459,7 +468,11 @@ func (db *store) Apply(b *batch.Batch) error {
 		return nil
 	}
 	start := time.Now()
-	defer func() { db.stats.writeNanos.Add(int64(time.Since(start))) }()
+	defer func() {
+		d := time.Since(start)
+		db.stats.writeNanos.Add(int64(d))
+		db.stats.writeHist.Record(d)
+	}()
 	return db.pipeline.Commit(b, db.opts.Sync)
 }
 
@@ -475,7 +488,11 @@ func (db *store) Get(key []byte) ([]byte, error) {
 // public Snapshot to this shard's captured sequence before calling in.
 func (db *store) getAt(key []byte, snapSeq *keys.Seq) ([]byte, error) {
 	start := time.Now()
-	defer func() { db.stats.readNanos.Add(int64(time.Since(start))) }()
+	defer func() {
+		d := time.Since(start)
+		db.stats.readNanos.Add(int64(d))
+		db.stats.readHist.Record(d)
+	}()
 	db.stats.gets.Add(1)
 	if db.adaptive != nil {
 		db.adaptive.observeReads(1)

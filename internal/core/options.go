@@ -7,6 +7,7 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/checksum"
@@ -102,6 +103,25 @@ type Options struct {
 	// record reaches this size (default 1 MiB).
 	MaxWriteGroupBytes int
 
+	// CompactionRateBytesPerSec caps the sustained rate of background
+	// table writes (flushes, compactions, LDC merges) across the whole
+	// database — one token bucket shared by every shard, charged per block
+	// written. 0 (default) disables rate limiting; the scheduler then only
+	// keeps per-tier accounting. See internal/iosched.
+	CompactionRateBytesPerSec int64
+	// CompactionRateBurstBytes caps idle token accumulation (the largest
+	// instantaneous burst the limiter admits). 0 defaults to
+	// max(1 MiB, CompactionRateBytesPerSec/8). Must be at least BlockSize
+	// when set — a smaller bucket could never admit one block.
+	CompactionRateBurstBytes int64
+	// CompactionL0AgingBound bounds starvation of queued L0→L1 compaction
+	// I/O: a waiter older than this competes at flush priority (default
+	// 500ms). Must not exceed CompactionMergeAgingBound.
+	CompactionL0AgingBound time.Duration
+	// CompactionMergeAgingBound is the same bound for LDC lower-level
+	// merge I/O (default 2s).
+	CompactionMergeAgingBound time.Duration
+
 	// Sync makes every committed write fsync the WAL (default false, like
 	// LevelDB: the OS buffers).
 	Sync bool
@@ -168,6 +188,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxWriteGroupBytes <= 0 {
 		o.MaxWriteGroupBytes = 1 << 20
 	}
+	if o.CompactionRateBytesPerSec > 0 && o.CompactionRateBurstBytes <= 0 {
+		o.CompactionRateBurstBytes = o.CompactionRateBytesPerSec / 8
+		if o.CompactionRateBurstBytes < 1<<20 {
+			o.CompactionRateBurstBytes = 1 << 20
+		}
+	}
+	if o.CompactionL0AgingBound <= 0 {
+		o.CompactionL0AgingBound = 500 * time.Millisecond
+	}
+	if o.CompactionMergeAgingBound <= 0 {
+		o.CompactionMergeAgingBound = 2 * time.Second
+	}
 	if o.VerifyChecksums == nil {
 		t := true
 		o.VerifyChecksums = &t
@@ -205,6 +237,7 @@ func (o Options) compactionParams() compaction.Params {
 		SSTableSize:        o.SSTableSize,
 		BaseLevelBytes:     o.BaseLevelBytes,
 		L0Trigger:          o.L0CompactionTrigger,
+		L0SlowdownTrigger:  o.L0SlowdownTrigger,
 		SliceThreshold:     o.SliceLinkThreshold,
 		TieredTrigger:      o.Fanout,
 		DisableTrivialMove: o.DisableTrivialMove,

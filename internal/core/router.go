@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/cache"
+	"repro/internal/histogram"
+	"repro/internal/iosched"
 	"repro/internal/keys"
 	"repro/internal/ssdsim"
 	"repro/internal/version"
@@ -54,6 +56,13 @@ type DB struct {
 	blockCache *cache.Cache
 	tables     *tableCache
 
+	// limiter schedules all shards' background (flush/compaction/merge)
+	// table writes against one shared token bucket — one bucket per
+	// database, not per shard, because the underlying device is shared: N
+	// per-shard buckets would jointly admit N× the configured rate. nil
+	// when Options.CompactionRateBytesPerSec <= 0.
+	limiter *iosched.Limiter
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -94,10 +103,19 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.blockCache = opts.newBlockCache()
 	db.tables = newTableCache(userFS(opts.FS), icmp, db.blockCache, *opts.VerifyChecksums)
+	if opts.CompactionRateBytesPerSec > 0 {
+		db.limiter = iosched.New(iosched.Options{
+			BytesPerSec: opts.CompactionRateBytesPerSec,
+			Burst:       opts.CompactionRateBurstBytes,
+			L0Aging:     opts.CompactionL0AgingBound,
+			MergeAging:  opts.CompactionMergeAgingBound,
+		})
+	}
 
 	if n == 1 {
-		st, err := openStore(storeConfig{dir: dir, walDir: dir}, opts, db.tables)
+		st, err := openStore(storeConfig{dir: dir, walDir: dir, limiter: db.limiter}, opts, db.tables)
 		if err != nil {
+			db.limiter.Close()
 			return nil, err
 		}
 		db.shards = []*store{st}
@@ -117,11 +135,13 @@ func Open(dir string, opts Options) (*DB, error) {
 			walDir:    walDir,
 			walShared: true,
 			shardID:   i,
+			limiter:   db.limiter,
 		}, opts, db.tables)
 		if err != nil {
 			for _, prev := range db.shards {
 				_ = prev.Close() // unwind the partial open; the open error wins
 			}
+			db.limiter.Close()
 			return nil, fmt.Errorf("ldc: open shard %d: %w", i, err)
 		}
 		db.shards = append(db.shards, st)
@@ -409,6 +429,10 @@ func (s *Snapshot) Release() {
 // reported).
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
+		// Release the limiter first so shard Closes never wedge behind a
+		// compaction job queued for tokens; released waiters run to
+		// completion unthrottled, which is exactly what teardown wants.
+		db.limiter.Close()
 		for _, st := range db.shards {
 			if err := st.Close(); db.closeErr == nil {
 				db.closeErr = err
@@ -458,6 +482,32 @@ func (db *DB) Stats() Stats {
 		if hits+misses > 0 {
 			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
 		}
+	}
+	// The I/O scheduler is shared; fold its counters in once (Metrics is
+	// nil-safe, so this is zero-valued with the limiter disabled).
+	im := db.limiter.Metrics()
+	s.IOSchedFlushBytes = im.ChargedBytes[iosched.TierFlush]
+	s.IOSchedL0Bytes = im.ChargedBytes[iosched.TierL0]
+	s.IOSchedMergeBytes = im.ChargedBytes[iosched.TierMerge]
+	s.IOSchedThrottledWaits = im.ThrottledWaits
+	s.IOSchedThrottleTime = im.ThrottleTime
+	s.IOSchedPreemptions = im.Preemptions
+	s.IOSchedQueueFlush = im.QueueDepth[iosched.TierFlush]
+	s.IOSchedQueueL0 = im.QueueDepth[iosched.TierL0]
+	s.IOSchedQueueMerge = im.QueueDepth[iosched.TierMerge]
+	// Distributions cannot be summed field-by-field: merge the shards' raw
+	// histograms, then snapshot. With one shard this is a plain snapshot.
+	if len(db.shards) == 1 {
+		s.ReadLatency = per[0].ReadLatency
+		s.WriteLatency = per[0].WriteLatency
+	} else {
+		var readH, writeH histogram.Histogram
+		for _, st := range db.shards {
+			readH.Merge(&st.stats.readHist)
+			writeH.Merge(&st.stats.writeHist)
+		}
+		s.ReadLatency = readH.Snapshot()
+		s.WriteLatency = writeH.Snapshot()
 	}
 	return s
 }

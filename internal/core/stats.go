@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/histogram"
 )
 
 // Stats is a snapshot of the store's internal counters. The categories map
@@ -77,6 +79,26 @@ type Stats struct {
 	// CompressionRatio is uncompressed/compressed over written block
 	// payloads (1.0 when nothing compressed; 0 when nothing written yet).
 	CompressionRatio float64
+
+	// Foreground latency distributions: full percentile ladders for the
+	// user-facing read (Get) and write (Apply) paths — the tail-latency lens
+	// the brownout benchmark gates on. Populated by the router from merged
+	// per-shard histograms; zero in aggregateStats input.
+	ReadLatency  histogram.Distribution
+	WriteLatency histogram.Distribution
+
+	// I/O scheduler (internal/iosched) counters. The limiter is one shared
+	// database-wide instance, so like the block cache these are folded in
+	// once by the router and left zero per shard.
+	IOSchedFlushBytes     int64         // bytes charged at flush tier
+	IOSchedL0Bytes        int64         // bytes charged at L0→L1 tier
+	IOSchedMergeBytes     int64         // bytes charged at LDC-merge tier
+	IOSchedThrottledWaits int64         // block writes that had to queue for tokens
+	IOSchedThrottleTime   time.Duration // cumulative queue wait
+	IOSchedPreemptions    int64         // grants that jumped an older lower-tier waiter
+	IOSchedQueueFlush     int64         // current queue depth, flush tier
+	IOSchedQueueL0        int64         // current queue depth, L0 tier
+	IOSchedQueueMerge     int64         // current queue depth, merge tier
 }
 
 // WriteAmplification reports physical table writes per user byte:
@@ -139,6 +161,12 @@ type dbStats struct {
 
 	blockBytesUncompressed atomic.Int64 // block payloads written, pre-compression
 	blockBytesCompressed   atomic.Int64 // block payloads written, on-disk form
+
+	// Foreground latency histograms (lock-free atomic buckets). The router
+	// merges shards' histograms and snapshots the result; the per-shard
+	// Stats carries its own snapshot.
+	readHist  histogram.Histogram
+	writeHist histogram.Histogram
 }
 
 // initWorkers sizes the per-worker counters; called once before the worker
@@ -202,6 +230,8 @@ func (d *dbStats) snapshot() Stats {
 	if s.CompressedBytesWritten > 0 {
 		s.CompressionRatio = float64(s.UncompressedBytesWritten) / float64(s.CompressedBytesWritten)
 	}
+	s.ReadLatency = d.readHist.Snapshot()
+	s.WriteLatency = d.writeHist.Snapshot()
 	return s
 }
 
@@ -233,8 +263,10 @@ func writeStateRank(s string) int {
 // the most-restricted shard; WorkerCompactions concatenates every shard's
 // worker pool (each shard runs its own); MaxConcurrentCompactions sums the
 // per-shard high-water marks (shards compact independently, so the sum is
-// the database-wide capacity bound). Block-cache fields are left zero — the
-// cache is shared, and the router folds it in exactly once.
+// the database-wide capacity bound). Block-cache, I/O-scheduler, and
+// latency-distribution fields are left zero — the cache and limiter are
+// shared and folded in exactly once by the router, and distributions cannot
+// be summed (the router merges the shards' raw histograms instead).
 func aggregateStats(per []Stats) Stats {
 	var s Stats
 	for _, p := range per {

@@ -41,6 +41,10 @@ func (o Options) Validate() error {
 		{"CompactionParallelism", int64(o.CompactionParallelism)},
 		{"MaxWriteGroupBytes", int64(o.MaxWriteGroupBytes)},
 		{"Shards", int64(o.Shards)},
+		{"CompactionRateBytesPerSec", o.CompactionRateBytesPerSec},
+		{"CompactionRateBurstBytes", o.CompactionRateBurstBytes},
+		{"CompactionL0AgingBound", int64(o.CompactionL0AgingBound)},
+		{"CompactionMergeAgingBound", int64(o.CompactionMergeAgingBound)},
 	} {
 		// BloomBitsPerKey is deliberately absent: negative there means
 		// "disable filters".
@@ -78,6 +82,19 @@ func (o Options) Validate() error {
 	if int64(d.BlockSize) > d.SSTableSize {
 		return fmt.Errorf("%w: BlockSize %d exceeds SSTableSize %d",
 			ErrInvalidOptions, d.BlockSize, d.SSTableSize)
+	}
+	// I/O-scheduler knobs. An explicit burst below one block can never
+	// admit a single write (the limiter clamps oversized requests to the
+	// burst, turning every block into a full-bucket wait); an L0 aging
+	// bound above the merge bound inverts the starvation ladder — aged
+	// merges would outrank aged L0 work that arrived later.
+	if o.CompactionRateBurstBytes > 0 && o.CompactionRateBurstBytes < int64(d.BlockSize) {
+		return fmt.Errorf("%w: CompactionRateBurstBytes %d is below BlockSize %d (the bucket could never admit one block)",
+			ErrInvalidOptions, o.CompactionRateBurstBytes, d.BlockSize)
+	}
+	if d.CompactionL0AgingBound > d.CompactionMergeAgingBound {
+		return fmt.Errorf("%w: CompactionL0AgingBound %v exceeds CompactionMergeAgingBound %v (priority-aging bounds inverted)",
+			ErrInvalidOptions, d.CompactionL0AgingBound, d.CompactionMergeAgingBound)
 	}
 	return nil
 }

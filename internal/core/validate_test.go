@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/checksum"
 	"repro/internal/compaction"
@@ -40,6 +41,21 @@ func TestValidateRejections(t *testing.T) {
 		{"wild ChecksumKind", func(o *Options) { o.ChecksumKind = checksum.Kind(255) }, "ChecksumKind"},
 		{"negative Shards", func(o *Options) { o.Shards = -1 }, "Shards"},
 		{"wildly negative Shards", func(o *Options) { o.Shards = -64 }, "Shards"},
+		{"negative CompactionRateBytesPerSec", func(o *Options) { o.CompactionRateBytesPerSec = -1 }, "CompactionRateBytesPerSec"},
+		{"negative CompactionRateBurstBytes", func(o *Options) { o.CompactionRateBurstBytes = -4096 }, "CompactionRateBurstBytes"},
+		{"negative CompactionL0AgingBound", func(o *Options) { o.CompactionL0AgingBound = -time.Second }, "CompactionL0AgingBound"},
+		{"negative CompactionMergeAgingBound", func(o *Options) { o.CompactionMergeAgingBound = -time.Millisecond }, "CompactionMergeAgingBound"},
+		{"burst below one block", func(o *Options) { o.CompactionRateBurstBytes = 100 }, "CompactionRateBurstBytes"},
+		{"burst below explicit block size", func(o *Options) {
+			o.BlockSize = 8 << 10
+			o.CompactionRateBurstBytes = 4 << 10
+		}, "below BlockSize"},
+		{"aging bounds inverted", func(o *Options) {
+			o.CompactionL0AgingBound, o.CompactionMergeAgingBound = 3*time.Second, time.Second
+		}, "priority-aging bounds inverted"},
+		{"explicit L0 aging above default merge bound", func(o *Options) {
+			o.CompactionL0AgingBound = 5 * time.Second // merge bound defaults to 2s
+		}, "CompactionL0AgingBound"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,6 +94,11 @@ func TestValidateAccepts(t *testing.T) {
 		{"power-of-two shards", Options{Shards: 8}},
 		{"non-power-of-two shards (rounded up)", Options{Shards: 5}},
 		{"huge shards (clamped)", Options{Shards: 100000}},
+		{"rate limit with defaulted burst", Options{CompactionRateBytesPerSec: 8 << 20}},
+		{"rate limit with explicit burst", Options{CompactionRateBytesPerSec: 8 << 20, CompactionRateBurstBytes: 1 << 20}},
+		{"burst exactly one block", Options{CompactionRateBurstBytes: 4 << 10}},
+		{"equal aging bounds", Options{CompactionL0AgingBound: time.Second, CompactionMergeAgingBound: time.Second}},
+		{"accounting-only scheduler (rate zero)", Options{CompactionRateBurstBytes: 1 << 20}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

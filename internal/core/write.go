@@ -23,6 +23,9 @@ func (db *store) initCommitPipeline() {
 			MemTableSize:      db.opts.MemTableSize,
 			L0SlowdownTrigger: db.opts.L0SlowdownTrigger,
 			L0StopTrigger:     db.opts.L0StopTrigger,
+			// The debt term of the slowdown curve saturates when the tree
+			// owes a full level-1's worth of rewriting.
+			DebtCeiling: int64(db.opts.Fanout) * db.opts.SSTableSize,
 		},
 		commit.ControllerEnv{
 			Lock:   db.mu.Lock,
@@ -38,7 +41,10 @@ func (db *store) initCommitPipeline() {
 				}
 				return nil
 			},
-			L0Files:    func() int { return db.set.CurrentNoRef().NumFiles(0) },
+			L0Files: func() int { return db.set.CurrentNoRef().NumFiles(0) },
+			CompactionDebt: func() int64 {
+				return db.picker.Debt(db.set.CurrentNoRef())
+			},
 			MemBytes:   func() int64 { return db.mem.ApproximateBytes() },
 			ImmPending: func() bool { return db.imm != nil },
 			Rotate:     db.rotateMemtableLocked,

@@ -72,6 +72,14 @@ type Config struct {
 	// the format benchmarks use 0.5 so codecs have something to find).
 	ValueCompressibility float64
 
+	// CompactionRateBytesPerSec caps background table-write bandwidth via
+	// the store's I/O scheduler (0 = unlimited; the brownout experiment
+	// sets it on one side of its comparison).
+	CompactionRateBytesPerSec int64
+	// CompactionRateBurstBytes bounds the limiter's idle token accumulation
+	// (0 = store default).
+	CompactionRateBurstBytes int64
+
 	// AdaptiveThreshold enables §III-B-4 self-tuning in LDC runs.
 	AdaptiveThreshold bool
 	// DisableTrivialMove forces rewrites instead of metadata moves

@@ -34,6 +34,10 @@ type Table1Result struct {
 	StallTime    time.Duration
 	WriteState   string
 
+	// Phases attributes stall time to each workload phase of the run
+	// rather than one run-wide aggregate.
+	Phases []Phase
+
 	// Read-path summary for the run (the lock-free read-state refactor's
 	// observability: filter effectiveness, point read amplification, view
 	// republish churn, and block-cache behaviour).
@@ -105,6 +109,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		WALSyncTime:  time.Duration(s.WALSyncNanos),
 		StallTime:    s.StallTime,
 		WriteState:   s.WriteState,
+		Phases:       env.Phases(),
 
 		BloomProbes:        s.BloomProbes,
 		BloomNegatives:     s.BloomNegatives,
@@ -138,6 +143,10 @@ func (r *Table1Result) Print(out io.Writer) {
 	tw.Flush()
 	fmt.Fprintf(out, "write front end: %d groups / %d batches (avg %.2f/group), wal sync %v, stalls %v, state %s\n",
 		r.WriteGroups, r.WriteBatches, r.AvgGroupSize, r.WALSyncTime, r.StallTime, r.WriteState)
+	for _, p := range r.Phases {
+		fmt.Fprintf(out, "phase %-10s %d ops in %v: stall %v (%d slowdowns, %d stops)\n",
+			p.Name, p.Ops, p.Duration.Round(time.Millisecond), p.Stall.Round(time.Microsecond), p.Slowdowns, p.Stops)
+	}
 	negPct := 0.0
 	if r.BloomProbes > 0 {
 		negPct = 100 * float64(r.BloomNegatives) / float64(r.BloomProbes)

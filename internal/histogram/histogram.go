@@ -175,6 +175,45 @@ func (h *Histogram) Reset() {
 	h.min.Store(0)
 }
 
+// Distribution is a plain-value snapshot of a Histogram: the full
+// percentile ladder the paper's tail-latency analysis needs, safe to copy,
+// compare, and serialize. Distributions cannot be merged — merge the source
+// Histograms and snapshot the result.
+type Distribution struct {
+	Count int64
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	P9999 time.Duration
+}
+
+// Snapshot captures the current distribution. Concurrent Records during the
+// snapshot may land in some fields and not others; each field is
+// individually consistent.
+func (h *Histogram) Snapshot() Distribution {
+	return Distribution{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		P9999: h.Percentile(99.99),
+	}
+}
+
+// String renders the snapshot in the same shape as Histogram.String.
+func (d Distribution) String() string {
+	return fmt.Sprintf("count=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v p99.99=%v max=%v",
+		d.Count, d.Mean, d.P50, d.P90, d.P99, d.P999, d.P9999, d.Max)
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("count=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v p99.99=%v max=%v",

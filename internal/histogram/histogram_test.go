@@ -161,6 +161,49 @@ func TestFluctuationFactor(t *testing.T) {
 	}
 }
 
+func TestSnapshotDistribution(t *testing.T) {
+	var h Histogram
+	d := h.Snapshot()
+	if d.Count != 0 || d.Mean != 0 || d.P9999 != 0 {
+		t.Fatalf("empty snapshot = %+v, want zero", d)
+	}
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	d = h.Snapshot()
+	if d.Count != 10000 {
+		t.Fatalf("Count = %d, want 10000", d.Count)
+	}
+	if d.Min != time.Microsecond || d.Max != 10*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v, want 1µs/10ms", d.Min, d.Max)
+	}
+	// Geometric buckets bound relative error at ~5%; check the ladder lands
+	// near the analytic quantiles and is monotone.
+	checks := []struct {
+		got  time.Duration
+		want time.Duration
+	}{
+		{d.P50, 5 * time.Millisecond},
+		{d.P90, 9 * time.Millisecond},
+		{d.P99, 9900 * time.Microsecond},
+		{d.P999, 9990 * time.Microsecond},
+		{d.P9999, 9999 * time.Microsecond},
+	}
+	for i, c := range checks {
+		lo := time.Duration(float64(c.want) * 0.90)
+		hi := time.Duration(float64(c.want) * 1.10)
+		if c.got < lo || c.got > hi {
+			t.Errorf("percentile %d = %v, want within 10%% of %v", i, c.got, c.want)
+		}
+	}
+	if d.P50 > d.P90 || d.P90 > d.P99 || d.P99 > d.P999 || d.P999 > d.P9999 || d.P9999 > d.Max {
+		t.Errorf("percentile ladder not monotone: %+v", d)
+	}
+	if s := d.String(); s == "" {
+		t.Error("Distribution.String empty")
+	}
+}
+
 func BenchmarkRecord(b *testing.B) {
 	var h Histogram
 	for i := 0; i < b.N; i++ {

@@ -190,6 +190,28 @@ func (s *Server) renderInfo(section string) string {
 		fmt.Fprintf(&b, "stop_count:%d\r\n", ds.StopCount)
 		fmt.Fprintf(&b, "point_read_amp:%.2f\r\n", ds.PointReadAmp)
 		fmt.Fprintf(&b, "block_cache_hit_ratio:%.3f\r\n", ds.BlockCacheHitRatio)
+		// Foreground latency distributions (the paper's tail-latency lens
+		// applied at the engine boundary, below RESP parsing).
+		for _, lat := range []struct {
+			name string
+			d    histogram.Distribution
+		}{{"read", ds.ReadLatency}, {"write", ds.WriteLatency}} {
+			fmt.Fprintf(&b, "%s_latency_usec:count=%d,mean=%d,p50=%d,p99=%d,p999=%d,p9999=%d,max=%d\r\n",
+				lat.name, lat.d.Count, lat.d.Mean.Microseconds(),
+				lat.d.P50.Microseconds(), lat.d.P99.Microseconds(),
+				lat.d.P999.Microseconds(), lat.d.P9999.Microseconds(),
+				lat.d.Max.Microseconds())
+		}
+		// I/O scheduler counters (zero when rate limiting is disabled,
+		// except the per-tier byte accounting which always runs).
+		fmt.Fprintf(&b, "io_sched_flush_bytes:%d\r\n", ds.IOSchedFlushBytes)
+		fmt.Fprintf(&b, "io_sched_l0_bytes:%d\r\n", ds.IOSchedL0Bytes)
+		fmt.Fprintf(&b, "io_sched_merge_bytes:%d\r\n", ds.IOSchedMergeBytes)
+		fmt.Fprintf(&b, "io_sched_throttled_waits:%d\r\n", ds.IOSchedThrottledWaits)
+		fmt.Fprintf(&b, "io_sched_throttle_usec:%d\r\n", ds.IOSchedThrottleTime.Microseconds())
+		fmt.Fprintf(&b, "io_sched_preemptions:%d\r\n", ds.IOSchedPreemptions)
+		fmt.Fprintf(&b, "io_sched_queue_depths:flush=%d,l0=%d,merge=%d\r\n",
+			ds.IOSchedQueueFlush, ds.IOSchedQueueL0, ds.IOSchedQueueMerge)
 		fmt.Fprintf(&b, "\r\n")
 	}
 	if want("cluster") {

@@ -38,6 +38,16 @@
 // byte-identical to the classic single-engine layout. See DESIGN.md
 // ("Sharding") for the cross-shard batch-visibility caveat.
 //
+// Bounding tail latency:
+//
+// Options.CompactionRateBytesPerSec paces background table writes through
+// a shared token-bucket scheduler with strict priority (flushes, then
+// L0→L1 compactions, then LDC merges) and per-tier anti-starvation aging
+// bounds, and foreground write admission slows continuously with L0 depth
+// and compaction debt rather than at a cliff. Stats reports full
+// read/write latency percentile ladders plus the scheduler's counters.
+// See DESIGN.md ("I/O scheduling").
+//
 // For experiments, an SSD simulator with asymmetric read/write timing and
 // per-category I/O accounting is available via NewSimulatedSSD.
 package ldc

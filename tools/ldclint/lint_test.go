@@ -30,6 +30,7 @@ import (
 func TestAnalyzersOnFixtures(t *testing.T) {
 	pkgs := []string{
 		"mutexio_fire", "mutexio_clean",
+		"mutexio_iosched_fire", "mutexio_iosched_clean",
 		"refpair_fire", "refpair_clean",
 		"atomicfield_fire", "atomicfield_clean",
 		"errclose_fire", "errclose_clean",
@@ -46,6 +47,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 func TestFirePackagesActuallyFire(t *testing.T) {
 	for _, tc := range []struct{ pkg, analyzer string }{
 		{"mutexio_fire", "mutexio"},
+		{"mutexio_iosched_fire", "mutexio"},
 		{"refpair_fire", "refpair"},
 		{"atomicfield_fire", "atomicfield"},
 		{"errclose_fire", "errclose"},
@@ -66,7 +68,7 @@ func TestFirePackagesActuallyFire(t *testing.T) {
 // TestCleanPackagesStaySilent asserts the clean fixtures produce nothing at
 // all — the false-positive budget for sanctioned shapes is zero.
 func TestCleanPackagesStaySilent(t *testing.T) {
-	for _, pkg := range []string{"mutexio_clean", "refpair_clean", "atomicfield_clean", "errclose_clean"} {
+	for _, pkg := range []string{"mutexio_clean", "mutexio_iosched_clean", "refpair_clean", "atomicfield_clean", "errclose_clean"} {
 		if diags := analyzeFixture(t, pkg); len(diags) != 0 {
 			for _, d := range diags {
 				t.Errorf("%s: unexpected %s: %s", pkg, d.Position, d.Message)

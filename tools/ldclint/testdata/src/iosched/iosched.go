@@ -1,0 +1,17 @@
+// Package iosched is a hermetic stand-in for repro/internal/iosched; the
+// analyzers match it by the "/iosched"-suffix package-path rule.
+package iosched
+
+type Tier int
+
+const (
+	TierFlush Tier = iota
+	TierL0
+	TierMerge
+)
+
+type Limiter struct{ rate int64 }
+
+func (l *Limiter) Wait(tier Tier, n int) {}
+func (l *Limiter) Enabled() bool         { return l != nil && l.rate > 0 }
+func (l *Limiter) Close()                {}

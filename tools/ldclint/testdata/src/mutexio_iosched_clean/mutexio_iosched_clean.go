@@ -1,0 +1,44 @@
+// Package mutexio_iosched_clean holds the sanctioned limiter shapes — the
+// ones the compaction builders actually use: snapshot state under the lock,
+// release, then pay the token wait outside.
+package mutexio_iosched_clean
+
+import (
+	"iosched"
+	"sync"
+)
+
+type compactor struct {
+	mu  sync.Mutex
+	lim *iosched.Limiter
+	n   int
+}
+
+// The builder pattern: read the charge size under the lock, wait outside.
+func (c *compactor) chargeOutside() {
+	c.mu.Lock()
+	n := c.n
+	lim := c.lim
+	c.mu.Unlock()
+	lim.Wait(iosched.TierMerge, n)
+}
+
+// Enabled is a nil-check plus an atomic-free field read — legal under the
+// lock; only Wait blocks.
+func (c *compactor) enabledUnderLock() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lim.Enabled()
+}
+
+// Early-unlock error path must not poison the main path.
+func (c *compactor) earlyUnlock(fail bool) {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		c.lim.Wait(iosched.TierL0, 1)
+		return
+	}
+	c.mu.Unlock()
+	c.lim.Wait(iosched.TierL0, 1)
+}

@@ -1,0 +1,40 @@
+// Package mutexio_iosched_fire seeds token-bucket waits performed under a
+// lock: a Limiter.Wait can sleep for a full bucket refill, so parking it
+// inside a mutex region hands the scheduler's deliberate background delay
+// to every foreground caller of that lock.
+package mutexio_iosched_fire
+
+import (
+	"iosched"
+	"sync"
+)
+
+type compactor struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	lim *iosched.Limiter
+}
+
+// Straight-line: token wait between Lock and Unlock.
+func (c *compactor) waitUnderLock(n int) {
+	c.mu.Lock()
+	c.lim.Wait(iosched.TierMerge, n) // want `call to \(iosched.Limiter\).Wait while "c.mu" is held`
+	c.mu.Unlock()
+}
+
+// Deferred unlock pins the region to function exit; the wait inside the
+// loop runs under it on every iteration.
+func (c *compactor) deferHeld(blocks []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range blocks {
+		c.lim.Wait(iosched.TierL0, n) // want `call to \(iosched.Limiter\).Wait while "c.mu" is held`
+	}
+}
+
+// A reader lock still blocks writers for the whole refill.
+func (c *compactor) readLocked(n int) {
+	c.rw.RLock()
+	c.lim.Wait(iosched.TierFlush, n) // want `call to \(iosched.Limiter\).Wait while "c.rw" is held`
+	c.rw.RUnlock()
+}
