@@ -22,7 +22,7 @@ unexport TAGS
 # durability-critical Close/Sync). Built from source on demand.
 LDCLINT := bin/ldclint
 
-.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards bench-tail run-server server-smoke ci
+.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards bench-tail bench-blob run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -99,6 +99,16 @@ bench-shards:
 bench-tail:
 	$(GO) run $(TESTFLAGS) ./cmd/ldcbench -json BENCH_tail.json -tailbudget 1.5 brownout
 
+# The value-separation gate: sweep value size 128B-64KiB writing the same
+# user-byte volume with separation off vs on, record the comparison to
+# BENCH_blob.json, and fail unless separation cuts compaction write
+# amplification by at least 2x at 4KiB+ values. The measured reductions sit
+# far above the budget (hundreds of x at 16KiB+); the small-value rows are
+# reported ungated — there the log's own bytes and GC rewrites eat most of
+# the win, which is the honest half of the artifact.
+bench-blob:
+	$(GO) run $(TESTFLAGS) ./cmd/ldcbench -json BENCH_blob.json -blobgain 2 blob
+
 # Serve an LDC database over RESP; talk to it with redis-cli -p $(PORT).
 run-server: build
 	$(GO) run ./cmd/ldcserver -db $(DB) -addr 127.0.0.1:$(PORT)
@@ -108,4 +118,4 @@ run-server: build
 server-smoke:
 	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards bench-tail server-smoke
+ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards bench-tail bench-blob server-smoke

@@ -56,12 +56,16 @@ var experiments = []experiment{
 	{"fig15", "space efficiency (paper Fig 15)", wrap(harness.RunFig15)},
 	{"format", "on-disk format sweep: raw vs flate vs lz4", wrap(harness.RunFormat)},
 	{"brownout", "sustained load under compaction backlog, I/O limiter on vs off", runBrownout},
+	{"blob", "value-size sweep: write amplification, value separation off vs on", runBlob},
 }
 
-// brownout flag values, set in main before experiments run.
+// Gated-experiment flag values, set in main before experiments run. The
+// -json path is shared: brownout and blob each record their own comparison,
+// so run them in separate invocations when recording (the Makefile does).
 var (
-	brownoutJSON   string
+	jsonPath       string
 	brownoutBudget float64
+	blobGain       float64
 )
 
 // runBrownout is wired by hand instead of through wrap: it optionally
@@ -72,13 +76,30 @@ func runBrownout(cfg harness.Config, out io.Writer) error {
 		return err
 	}
 	r.Print(out)
-	if brownoutJSON != "" {
-		if err := r.WriteJSON(brownoutJSON); err != nil {
+	if jsonPath != "" {
+		if err := r.WriteJSON(jsonPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %s\n", brownoutJSON)
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	}
 	return r.CheckBudget(brownoutBudget)
+}
+
+// runBlob mirrors runBrownout: record the sweep, then enforce the CI gate
+// on the separation benefit at large values.
+func runBlob(cfg harness.Config, out io.Writer) error {
+	r, err := harness.RunBlob(cfg)
+	if err != nil {
+		return err
+	}
+	r.Print(out)
+	if jsonPath != "" {
+		if err := r.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return r.CheckGain(blobGain)
 }
 
 func main() {
@@ -92,8 +113,9 @@ func main() {
 		seed     = flag.Int64("seed", 0, "workload seed (0 = preset)")
 		clients  = flag.Int("clients", 0, "concurrent workload clients (0 = preset)")
 	)
-	flag.StringVar(&brownoutJSON, "json", "", "record the brownout comparison to this JSON file")
+	flag.StringVar(&jsonPath, "json", "", "record the experiment's comparison to this JSON file (brownout, blob)")
 	flag.Float64Var(&brownoutBudget, "tailbudget", 0, "fail if limiter-on P99.9 exceeds this multiple of limiter-off (0 = no gate)")
+	flag.Float64Var(&blobGain, "blobgain", 0, "fail if separation cuts compaction write-amp by less than this factor at 4KiB+ values (0 = no gate)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldcbench [flags] <experiment>...\n\nexperiments:\n")
 		for _, e := range experiments {

@@ -54,6 +54,31 @@ func (b *Batch) Delete(key []byte) {
 	b.count++
 }
 
+// SetBlobRef records a value-log pointer entry: the value payload is the
+// encoded pointer (segment, offset, length), not the user value.
+func (b *Batch) SetBlobRef(key, ptr []byte) {
+	b.init()
+	b.data = append(b.data, byte(keys.KindBlobRef))
+	b.data = encoding.PutLengthPrefixed(b.data, key)
+	b.data = encoding.PutLengthPrefixed(b.data, ptr)
+	b.count++
+}
+
+// SetBlobRewrite records a guarded vlog GC pointer rewrite. The value
+// payload is the guard sequence followed by the new pointer; commit applies
+// it as a KindBlobRef only if the key has not been written past the guard
+// sequence, and WAL replay always drops it.
+func (b *Batch) SetBlobRewrite(key []byte, readSeq keys.Seq, ptr []byte) {
+	b.init()
+	b.data = append(b.data, byte(keys.KindBlobRewrite))
+	b.data = encoding.PutLengthPrefixed(b.data, key)
+	payload := make([]byte, 0, 8+len(ptr))
+	payload = encoding.PutFixed64(payload, uint64(readSeq))
+	payload = append(payload, ptr...)
+	b.data = encoding.PutLengthPrefixed(b.data, payload)
+	b.count++
+}
+
 // Count reports the number of operations.
 func (b *Batch) Count() int { return int(b.count) }
 
@@ -122,7 +147,9 @@ func (b *Batch) Each(fn func(kind keys.Kind, key, value []byte) error) error {
 	p := b.data[headerLen:]
 	for len(p) > 0 {
 		kind := keys.Kind(p[0])
-		if kind != keys.KindSet && kind != keys.KindDelete {
+		switch kind {
+		case keys.KindSet, keys.KindDelete, keys.KindBlobRef, keys.KindBlobRewrite:
+		default:
 			return fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
 		}
 		p = p[1:]
@@ -132,7 +159,7 @@ func (b *Batch) Each(fn func(kind keys.Kind, key, value []byte) error) error {
 		}
 		p = p[n:]
 		var value []byte
-		if kind == keys.KindSet {
+		if kind != keys.KindDelete {
 			var vn int
 			value, vn = encoding.GetLengthPrefixed(p)
 			if vn == 0 {

@@ -1,0 +1,699 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+	"repro/internal/vlog"
+)
+
+// blobOpts returns smallOpts with value separation enabled: values of 64
+// bytes and up go to the value log, segments rotate every 2 KiB so GC has
+// sealed segments to work with.
+func blobOpts(policy compaction.Policy) Options {
+	opts := smallOpts(policy)
+	opts.BlobThreshold = 64
+	opts.BlobSegmentSize = 2 << 10
+	return opts
+}
+
+// blobValue builds a deterministic value of n bytes for key index i.
+func blobValue(i, n int) []byte {
+	v := make([]byte, n)
+	seed := fmt.Sprintf("blob-%d-", i)
+	for j := range v {
+		v[j] = seed[j%len(seed)]
+	}
+	return v
+}
+
+// TestBlobSeparationRoundTrip writes a mix of inline and separated values
+// and reads them back through every read path: Get, Scan, forward and
+// reverse iteration — before and after flushes push the pointer entries
+// into tables, and again after a full reopen.
+func TestBlobSeparationRoundTrip(t *testing.T) {
+	for _, policy := range []compaction.Policy{compaction.UDC, compaction.LDC} {
+		t.Run(policy.String(), func(t *testing.T) {
+			opts := blobOpts(policy)
+			db := openTestDB(t, opts)
+
+			const n = 200
+			want := make(map[string][]byte, n)
+			for i := 0; i < n; i++ {
+				size := 16 // inline
+				if i%2 == 0 {
+					size = 100 + i // separated (>= 64)
+				}
+				v := blobValue(i, size)
+				if err := db.Put(key(i), v); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+				want[string(key(i))] = v
+			}
+
+			check := func(stage string) {
+				t.Helper()
+				for i := 0; i < n; i++ {
+					got, err := db.Get(key(i))
+					if err != nil {
+						t.Fatalf("%s: get %d: %v", stage, i, err)
+					}
+					if !bytes.Equal(got, want[string(key(i))]) {
+						t.Fatalf("%s: get %d: wrong value (len %d, want %d)",
+							stage, i, len(got), len(want[string(key(i))]))
+					}
+				}
+				kvs, err := db.Scan(key(0), n)
+				if err != nil {
+					t.Fatalf("%s: scan: %v", stage, err)
+				}
+				if len(kvs) != n {
+					t.Fatalf("%s: scan returned %d pairs, want %d", stage, len(kvs), n)
+				}
+				for _, kv := range kvs {
+					if !bytes.Equal(kv.Value, want[string(kv.Key)]) {
+						t.Fatalf("%s: scan %s: wrong value", stage, kv.Key)
+					}
+				}
+				it, err := db.NewIterator(nil)
+				if err != nil {
+					t.Fatalf("%s: iterator: %v", stage, err)
+				}
+				seen := 0
+				for it.SeekToLast(); it.Valid(); it.Prev() {
+					if !bytes.Equal(it.Value(), want[string(it.Key())]) {
+						t.Fatalf("%s: reverse iter %s: wrong value", stage, it.Key())
+					}
+					seen++
+				}
+				if err := it.Close(); err != nil {
+					t.Fatalf("%s: iter close: %v", stage, err)
+				}
+				if seen != n {
+					t.Fatalf("%s: reverse iter saw %d keys, want %d", stage, seen, n)
+				}
+			}
+
+			check("memtable")
+			if err := db.CompactRange(); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			check("tables")
+
+			s := db.Stats()
+			if s.BlobValuesSeparated != n/2 {
+				t.Errorf("BlobValuesSeparated = %d, want %d", s.BlobValuesSeparated, n/2)
+			}
+			if s.VlogTotalBytes == 0 || s.VlogSegments == 0 {
+				t.Errorf("vlog stats empty after separation: %+v", s)
+			}
+			if s.BlobResolves == 0 {
+				t.Errorf("no pointer resolutions recorded")
+			}
+
+			if err := db.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			db, err := Open("/db", opts)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer db.Close()
+			check("reopened")
+		})
+	}
+}
+
+// TestBlobDisabledNoVlogArtifacts checks the layout-compatibility promise:
+// with BlobThreshold zero the database never creates a vlog directory or
+// any segment file, even for huge values.
+func TestBlobDisabledNoVlogArtifacts(t *testing.T) {
+	opts := smallOpts(compaction.LDC)
+	db := openTestDB(t, opts)
+	for i := 0; i < 20; i++ {
+		if err := db.Put(key(i), blobValue(i, 4096)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	names, _ := opts.FS.List("/db/vlog")
+	if len(names) != 0 {
+		t.Fatalf("vlog artifacts with separation disabled: %v", names)
+	}
+	names, _ = opts.FS.List("/db")
+	for _, name := range names {
+		if strings.Contains(name, "vlog") {
+			t.Fatalf("unexpected vlog entry in db dir: %v", names)
+		}
+	}
+}
+
+// TestBlobDisableReopenStillResolves turns separation off on reopen and
+// verifies old pointers still resolve (the log opens read-mostly whenever
+// segments exist on disk) while new writes stay inline.
+func TestBlobDisableReopenStillResolves(t *testing.T) {
+	opts := blobOpts(compaction.LDC)
+	db := openTestDB(t, opts)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), blobValue(i, 256)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	opts2 := opts
+	opts2.BlobThreshold = 0
+	db, err := Open("/db", opts2)
+	if err != nil {
+		t.Fatalf("reopen with separation off: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < n; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || !bytes.Equal(got, blobValue(i, 256)) {
+			t.Fatalf("get %d after disable: %v (len %d)", i, err, len(got))
+		}
+	}
+	before := db.Stats().VlogTotalBytes
+	if before == 0 {
+		t.Fatalf("vlog not opened for existing segments")
+	}
+	// New writes must not grow the log.
+	for i := n; i < n+10; i++ {
+		if err := db.Put(key(i), blobValue(i, 256)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if after := db.Stats().VlogTotalBytes; after != before {
+		t.Fatalf("vlog grew from %d to %d with separation disabled", before, after)
+	}
+}
+
+// TestBlobGCReclaimsDeadSegments overwrites every separated value, compacts
+// until the old pointer entries are dropped (feeding the dead-byte
+// accounting), then runs GC and verifies segments are actually deleted
+// while every key still reads its newest value.
+func TestBlobGCReclaimsDeadSegments(t *testing.T) {
+	for _, policy := range []compaction.Policy{compaction.UDC, compaction.LDC} {
+		t.Run(policy.String(), func(t *testing.T) {
+			opts := blobOpts(policy)
+			db := openTestDB(t, opts)
+			// Enough generations that flushes and real compactions happen —
+			// only a compaction dropping a shadowed pointer feeds the
+			// dead-byte accounting (CompactRange alone never rewrites a
+			// lone L0 table).
+			const n, gens = 150, 6
+			for g := 0; g < gens; g++ {
+				for i := 0; i < n; i++ {
+					if err := db.Put(key(i), blobValue(i+g*7777, 200)); err != nil {
+						t.Fatalf("gen %d put %d: %v", g, i, err)
+					}
+				}
+			}
+			// Compaction drops the shadowed pointer entries and marks their
+			// records dead.
+			if err := db.CompactRange(); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			before := db.Stats()
+			if before.VlogDeadBytes == 0 {
+				t.Fatalf("no dead bytes recorded after compaction: %+v", before)
+			}
+			if err := db.RunValueGC(); err != nil {
+				t.Fatalf("gc: %v", err)
+			}
+			after := db.Stats()
+			if after.VlogGCPasses == 0 {
+				t.Fatalf("GC reclaimed nothing: before=%+v after=%+v", before, after)
+			}
+			if after.VlogTotalBytes >= before.VlogTotalBytes {
+				t.Errorf("vlog did not shrink: %d -> %d bytes",
+					before.VlogTotalBytes, after.VlogTotalBytes)
+			}
+			for i := 0; i < n; i++ {
+				got, err := db.Get(key(i))
+				if err != nil || !bytes.Equal(got, blobValue(i+(gens-1)*7777, 200)) {
+					t.Fatalf("get %d after GC: %v (len %d)", i, err, len(got))
+				}
+			}
+			// CompactValueLog drains the remainder; reopen and re-verify —
+			// nothing a GC deleted may be needed again.
+			if err := db.CompactValueLog(); err != nil {
+				t.Fatalf("compact value log: %v", err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			db, err := Open("/db", opts)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer db.Close()
+			for i := 0; i < n; i++ {
+				got, err := db.Get(key(i))
+				if err != nil || !bytes.Equal(got, blobValue(i+(gens-1)*7777, 200)) {
+					t.Fatalf("get %d after reopen: %v (len %d)", i, err, len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestBlobShardedRoundTrip runs separation across a sharded database: one
+// shared log, per-shard writers, GC routed to each segment's owning shard.
+func TestBlobShardedRoundTrip(t *testing.T) {
+	opts := blobOpts(compaction.LDC)
+	opts.Shards = 4
+	db := openTestDB(t, opts)
+	defer db.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), blobValue(i, 128)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), blobValue(i+5555, 128)); err != nil {
+			t.Fatalf("overwrite: %v", err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := db.CompactValueLog(); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || !bytes.Equal(got, blobValue(i+5555, 128)) {
+			t.Fatalf("get %d: %v (len %d)", i, err, len(got))
+		}
+	}
+	kvs, err := db.Scan(nil, n)
+	if err != nil || len(kvs) != n {
+		t.Fatalf("scan: %d pairs, err %v; want %d", len(kvs), err, n)
+	}
+}
+
+// TestBlobRepartitionRejected plants a segment owned by a shard the
+// database does not have; Open must refuse rather than orphan the values.
+func TestBlobRepartitionRejected(t *testing.T) {
+	opts := blobOpts(compaction.LDC)
+	fs := opts.FS
+	if err := fs.MkdirAll("/db/vlog"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(filepath.Join("/db/vlog", vlog.SegmentFileName(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	_, err = Open("/db", opts) // Shards unset → 1 shard, segment says 3
+	if !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("open = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestBlobTornVlogTail crashes with the value log's tail torn off (the
+// classic lost-unsynced-write shape) and verifies recovery treats the WAL
+// batch whose pointers dangle as torn: earlier writes survive, the torn
+// batch vanishes whole, and no read ever returns a dangling pointer error.
+func TestBlobTornVlogTail(t *testing.T) {
+	for _, corrupt := range []string{"tear", "flip"} {
+		t.Run(corrupt, func(t *testing.T) {
+			mem := vfs.Mem()
+			efs := vfs.NewErrFS(mem)
+			opts := blobOpts(compaction.LDC)
+			opts.FS = efs
+			opts.BlobSegmentSize = 1 << 20 // one segment; the tail is the last record
+			// Unsynced WAL frames sit in the writer's buffer and die with the
+			// process; sync so the WAL survives the crash and recovery runs
+			// against a vlog that is the component truncated behind it.
+			opts.Sync = true
+
+			db, err := Open("/db", opts)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			const n = 20
+			for i := 0; i < n; i++ {
+				if err := db.Put(key(i), blobValue(i, 300)); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+			}
+			// Crash without Close.
+			st := db.shards[0]
+			st.mu.Lock()
+			st.stopBackgroundLocked()
+			st.mu.Unlock()
+
+			names, err := mem.List("/db/vlog")
+			if err != nil || len(names) == 0 {
+				t.Fatalf("no vlog segment: %v %v", names, err)
+			}
+			seg := filepath.Join("/db/vlog", names[len(names)-1])
+			switch corrupt {
+			case "tear":
+				// Drop half of the final record.
+				if err := efs.TearFile(seg, 150); err != nil {
+					t.Fatalf("tear: %v", err)
+				}
+			case "flip":
+				f, _ := mem.Open(seg)
+				size, _ := f.Size()
+				_ = f.Close()
+				if err := efs.FlipBit(seg, size-10); err != nil {
+					t.Fatalf("flip: %v", err)
+				}
+			}
+
+			db2, err := Open("/db", Options{
+				FS:                  mem,
+				Policy:              opts.Policy,
+				MemTableSize:        opts.MemTableSize,
+				SSTableSize:         opts.SSTableSize,
+				Fanout:              opts.Fanout,
+				SliceLinkThreshold:  opts.SliceLinkThreshold,
+				L0CompactionTrigger: opts.L0CompactionTrigger,
+				L0SlowdownTrigger:   opts.L0SlowdownTrigger,
+				L0StopTrigger:       opts.L0StopTrigger,
+				BlockSize:           opts.BlockSize,
+				BlockCacheSize:      opts.BlockCacheSize,
+				BlobThreshold:       opts.BlobThreshold,
+				BlobSegmentSize:     opts.BlobSegmentSize,
+				Sync:                true,
+			})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", corrupt, err)
+			}
+			defer db2.Close()
+			// The corrupted record belongs to the last Put; everything before
+			// the valid extent must read back, the rest must be cleanly gone.
+			missing := 0
+			for i := 0; i < n; i++ {
+				got, err := db2.Get(key(i))
+				switch {
+				case err == nil:
+					if !bytes.Equal(got, blobValue(i, 300)) {
+						t.Fatalf("key %d: wrong value after recovery", i)
+					}
+					if missing > 0 {
+						t.Fatalf("key %d present after key %d dropped: recovery not prefix-consistent", i, i-missing)
+					}
+				case errors.Is(err, ErrNotFound):
+					missing++
+				default:
+					t.Fatalf("key %d: %v (dangling pointer leaked through recovery)", i, err)
+				}
+			}
+			if missing == 0 {
+				t.Fatalf("%s corruption dropped nothing — corruption not exercised", corrupt)
+			}
+			if missing > 2 {
+				t.Fatalf("%s corruption dropped %d writes, want at most the torn tail's batches", corrupt, missing)
+			}
+		})
+	}
+}
+
+// TestBlobGCCrashMidPass injects an I/O failure during GC relocation, then
+// reboots and verifies no acknowledged write was lost and a fresh full GC
+// completes — a half-finished pass must leave both copies resolvable.
+func TestBlobGCCrashMidPass(t *testing.T) {
+	mem := vfs.Mem()
+	efs := vfs.NewErrFS(mem)
+	opts := blobOpts(compaction.LDC)
+	opts.FS = efs
+
+	db, err := Open("/db", opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), blobValue(i, 200)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := db.Put(key(i), blobValue(i+9999, 200)); err != nil {
+			t.Fatalf("overwrite: %v", err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	// Fail partway through the GC's relocation appends.
+	efs.FailAfterWrites(10, errInjected)
+	gcErr := db.CompactValueLog()
+	efs.Disarm()
+	if gcErr == nil {
+		// The budget may have been consumed by background work instead;
+		// either way the pass must not have corrupted anything.
+		t.Log("GC completed before the injected failure fired")
+	}
+	// Crash without Close.
+	st := db.shards[0]
+	st.mu.Lock()
+	st.stopBackgroundLocked()
+	st.mu.Unlock()
+
+	opts2 := opts
+	opts2.FS = mem
+	db2, err := Open("/db", opts2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	verify := func(stage string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			want := blobValue(i, 200)
+			if i%2 == 0 {
+				want = blobValue(i+9999, 200)
+			}
+			got, err := db2.Get(key(i))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("%s: get %d: %v (len %d)", stage, i, err, len(got))
+			}
+		}
+	}
+	verify("after crash")
+	if err := db2.CompactRange(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := db2.CompactValueLog(); err != nil {
+		t.Fatalf("gc after reboot: %v", err)
+	}
+	verify("after redo GC")
+}
+
+// TestBlobGCReaderTorture races GC (relocating and deleting segments)
+// against concurrent readers, writers, and iterators. Run with -race; the
+// invariants build tag adds internal checks on top.
+func TestBlobGCReaderTorture(t *testing.T) {
+	opts := blobOpts(compaction.LDC)
+	db := openTestDB(t, opts)
+	defer db.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), blobValue(i, 150)); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan error, 8)
+
+	wg.Add(1)
+	go func() { // writer: keeps overwriting, generating garbage
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := rng.Intn(n)
+			if err := db.Put(key(i), blobValue(i+gen*1000, 150)); err != nil {
+				fail <- fmt.Errorf("writer: %w", err)
+				return
+			}
+			// Paced: an unthrottled writer grows the segment population
+			// faster than sweeps can scan it.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) { // readers: every value must decode consistently
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(n)
+				got, err := db.Get(key(i))
+				if err != nil {
+					fail <- fmt.Errorf("reader: get %d: %w", i, err)
+					return
+				}
+				if len(got) != 150 {
+					fail <- fmt.Errorf("reader: get %d: %d bytes", i, len(got))
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Add(1)
+	go func() { // iterator: full passes while segments churn
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it, err := db.NewIterator(nil)
+			if err != nil {
+				fail <- fmt.Errorf("iter open: %w", err)
+				return
+			}
+			count := 0
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				if len(it.Value()) != 150 {
+					fail <- fmt.Errorf("iter: %s: %d bytes", it.Key(), len(it.Value()))
+					it.Close()
+					return
+				}
+				count++
+			}
+			err = it.Close()
+			if err != nil {
+				fail <- fmt.Errorf("iter close: %w", err)
+				return
+			}
+			if count != n {
+				fail <- fmt.Errorf("iter saw %d keys, want %d", count, n)
+				return
+			}
+			// Leave windows with no iterator open, or GC's delete barrier
+			// (which waits for openIters to drain) never gets through.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Add(1)
+	go func() { // GC: sweep repeatedly while everything else churns
+		defer wg.Done()
+		defer close(stop) // 8 sweeps survived (or a sibling failed): wind down
+		for rounds := 0; rounds < 8; rounds++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// No CompactRange here: it waits for tree convergence, which a
+			// live writer can stave off forever. The full sweep relocates
+			// without needing compaction's dead-byte accounting.
+			if err := db.CompactValueLog(); err != nil {
+				fail <- fmt.Errorf("gc sweep: %w", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+	// The racing sweeps were likely barred by live iterators; the quiesced
+	// sweep must reclaim deterministically.
+	if err := db.CompactRange(); err != nil {
+		t.Fatalf("final compact: %v", err)
+	}
+	if err := db.CompactValueLog(); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	s := db.Stats()
+	if s.VlogGCPasses == 0 {
+		t.Errorf("torture ran but GC never reclaimed a segment: %+v", s)
+	}
+	for i := 0; i < n; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || len(got) != 150 {
+			t.Fatalf("final get %d: %v (%d bytes)", i, err, len(got))
+		}
+	}
+}
+
+// TestFlushManual checks the manual Flush API the blob benchmark quiesces
+// with: a non-empty memtable reaches a table (inline and separated values
+// alike), an immediate second Flush is a no-op, and everything still reads.
+func TestFlushManual(t *testing.T) {
+	for _, sep := range []bool{false, true} {
+		name := "inline"
+		if sep {
+			name = "separated"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := smallOpts(compaction.LDC)
+			if sep {
+				opts.BlobThreshold = 64
+				opts.BlobSegmentSize = 2 << 10
+			}
+			db := openTestDB(t, opts)
+			defer db.Close()
+			const n = 30
+			for i := 0; i < n; i++ {
+				if err := db.Put(key(i), blobValue(i, 200)); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			if got := db.TableBytes(); got == 0 {
+				t.Fatalf("no table bytes after manual flush")
+			}
+			fw := db.Stats().FlushWriteBytes
+			if fw == 0 {
+				t.Fatalf("no flush bytes accounted")
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatalf("second flush: %v", err)
+			}
+			if again := db.Stats().FlushWriteBytes; again != fw {
+				t.Fatalf("no-op flush wrote %d bytes", again-fw)
+			}
+			for i := 0; i < n; i++ {
+				got, err := db.Get(key(i))
+				if err != nil || !bytes.Equal(got, blobValue(i, 200)) {
+					t.Fatalf("get %d after flush: %v (%d bytes)", i, err, len(got))
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sstable"
 	"repro/internal/version"
 	"repro/internal/vfs"
+	"repro/internal/vlog"
 )
 
 // The background engine: one dedicated flush worker plus a pool of
@@ -76,12 +77,18 @@ func (db *store) flushWorker() {
 		db.stats.compactionNanos.Add(elapsed)
 		db.flushActive = false
 		// The new L0 file may create compaction work; unblock the pool and
-		// any write stalled on the full memtable.
+		// any write stalled on the full memtable. Cleanup is announced
+		// before mu drops so WaitIdle covers the deletions too.
+		db.cleanActive++
 		db.workCond.Broadcast()
 		db.bgCond.Broadcast()
 		db.mu.Unlock()
 
 		db.deleteObsoleteFiles()
+		db.mu.Lock()
+		db.cleanActive--
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
 	}
 }
 
@@ -126,12 +133,18 @@ func (db *store) compactionWorker(id int) {
 			db.fatal(err)
 		}
 		// The applied edit may expose new work and frees this job's claim;
-		// wake the pool, and wake writers stalled on L0 pressure.
+		// wake the pool, and wake writers stalled on L0 pressure. Cleanup
+		// is announced before mu drops so WaitIdle covers the deletions.
+		db.cleanActive++
 		db.workCond.Broadcast()
 		db.bgCond.Broadcast()
 		db.mu.Unlock()
 
 		db.deleteObsoleteFiles()
+		db.mu.Lock()
+		db.cleanActive--
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
 	}
 }
 
@@ -156,6 +169,11 @@ func (db *store) execPick(pick compaction.Pick) error {
 func (db *store) flushImmLocked() error {
 	imm := db.imm
 	logNum := db.logNum // WAL in use *after* the switch; older logs die with the flush
+	// Captured under mu: the boundary set when this imm was rotated in. New
+	// rotations cannot happen while imm != nil, so it is stable for the
+	// whole flush; promoting the GC guard floor to it on success preserves
+	// the invariant that everything above the floor is in mem ∪ imm.
+	boundary := db.rotBoundarySeq
 	db.mu.Unlock()
 
 	meta, err := db.buildTable(db.fsFlush, iosched.TierFlush, imm.NewIterator(), nil)
@@ -174,6 +192,7 @@ func (db *store) flushImmLocked() error {
 		return err
 	}
 	db.imm = nil
+	db.flushedThroughSeq = boundary
 	db.publishReadState() // drop imm from the read view; pick up the L0 table
 	db.stats.flushCount.Add(1)
 	return nil
@@ -507,6 +526,15 @@ func (db *store) writeOutputs(merged iterator.Iterator, cs *compactionState) ([]
 	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
 		ik := keys.InternalKey(merged.Key())
 		if cs.drop(ik) {
+			// This is where value-log bytes die: a dropped pointer entry
+			// means its record can never be read again, so its weight moves
+			// to the owning segment's dead count — the signal LDC-driven GC
+			// ranks segments by.
+			if ik.Kind() == keys.KindBlobRef && db.vlog != nil {
+				if p, ok := vlog.DecodePointer(merged.Value()); ok {
+					db.vlog.MarkDead(p.Segment, int64(p.Length))
+				}
+			}
 			continue
 		}
 		if w == nil {

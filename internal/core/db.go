@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cache"
 	"repro/internal/commit"
 	"repro/internal/compaction"
 	"repro/internal/iosched"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/ssdsim"
 	"repro/internal/version"
 	"repro/internal/vfs"
+	"repro/internal/vlog"
 	"repro/internal/wal"
 )
 
@@ -68,6 +70,22 @@ type store struct {
 	// nil when rate limiting is disabled.
 	limiter *iosched.Limiter
 
+	// vlog is the database-wide value log (router-owned, nil when value
+	// separation is disabled and no segments exist on disk); vlogw is this
+	// shard's appender into it. blockCache caches decoded vlog values under
+	// the blobCacheBit namespace, sharing capacity with table blocks.
+	vlog       *vlog.Log
+	vlogw      *vlog.Writer
+	blockCache *cache.Cache
+
+	// openIters counts live store iterators; value-log segment deletion
+	// waits for it to reach zero because an iterator may resolve pointers
+	// at any time without holding a snapshot registration.
+	openIters atomic.Int64
+	// rotateForced asks the next commit leader to rotate the memtable even
+	// though it is not full (the GC flush barrier sets it; see forceRotate).
+	rotateForced atomic.Bool
+
 	// pipeline and controller form the commit front end (see write.go):
 	// Apply goes through the pipeline, which groups concurrent writers and
 	// admits each group via the controller's throttle state machine.
@@ -87,6 +105,14 @@ type store struct {
 	logFile vfs.File
 	logNum  uint64
 
+	// rotBoundarySeq is the highest sequence that can be in the immutable
+	// memtable (set at rotation); flushedThroughSeq is the highest sequence
+	// durably covered by tables (promoted when a flush completes). Together
+	// they let the GC rewrite guard prove "every entry newer than
+	// flushedThroughSeq is visible in mem ∪ imm". Guarded by mu.
+	rotBoundarySeq    keys.Seq
+	flushedThroughSeq keys.Seq
+
 	snapshots snapshotList
 
 	// Background-engine state, all guarded by mu. Three condition variables
@@ -100,6 +126,7 @@ type store struct {
 
 	flushActive    bool // flush worker is mid-flush
 	compActive     int  // compaction workers mid-job
+	cleanActive    int  // workers mid-deleteObsoleteFiles (post-job cleanup)
 	workersRunning int  // live worker goroutines; Close drains to zero
 	manualWant     int  // CompactRange callers forcing work despite DisableAutoCompaction
 
@@ -130,6 +157,11 @@ type storeConfig struct {
 	shardID   int
 	// limiter is the database-wide compaction I/O scheduler (nil = none).
 	limiter *iosched.Limiter
+	// vlog is the database-wide value log (nil = separation off and no
+	// segments on disk); blockCache is the shared block cache, used here to
+	// cache decoded vlog values.
+	vlog       *vlog.Log
+	blockCache *cache.Cache
 }
 
 // openStore opens (creating if necessary) one shard engine. Options are
@@ -147,6 +179,11 @@ func openStore(cfg storeConfig, opts Options, tables *tableCache) (*store, error
 		walDir:    cfg.walDir,
 		walShared: cfg.walShared,
 		limiter:   cfg.limiter,
+	}
+	if cfg.vlog != nil {
+		db.vlog = cfg.vlog
+		db.vlogw = cfg.vlog.NewWriter(cfg.shardID)
+		db.blockCache = cfg.blockCache
 	}
 	db.flushCond = sync.NewCond(&db.mu)
 	db.workCond = sync.NewCond(&db.mu)
@@ -279,11 +316,18 @@ func (db *store) recover() error {
 			return err
 		}
 	}
+	// The GC guard floors start at the recovered sequence: everything at or
+	// below it is either in tables or in the freshly replayed memtable, and
+	// any newer write will land in mem ∪ imm until a flush promotes the
+	// floor (see rewriteGuardLocked).
+	db.flushedThroughSeq = db.set.LastSeq()
+	db.rotBoundarySeq = db.flushedThroughSeq
 	// Anything replayed lives in the new memtable; if it outgrew the limit,
 	// flush it straight away so the WAL floor can advance.
 	if db.mem.ApproximateBytes() >= db.opts.MemTableSize {
 		db.mu.Lock()
 		db.imm, db.mem = db.mem, memtable.New(db.icmp)
+		db.rotBoundarySeq = db.set.LastSeq()
 		err := db.flushImmLocked()
 		db.mu.Unlock()
 		if err != nil {
@@ -318,9 +362,30 @@ func (db *store) replayLog(num uint64) error {
 		if err != nil {
 			break
 		}
+		if !db.validBlobRefs(b) {
+			// A pointer entry references bytes past the value log's valid
+			// extent: the vlog append for this group never made it to disk,
+			// so the whole batch is treated as torn (batch atomicity — the
+			// WAL record may have raced ahead of the vlog write).
+			break
+		}
 		seq := b.Sequence()
 		i := keys.Seq(0)
 		b.Each(func(kind keys.Kind, key, value []byte) error {
+			if kind == keys.KindBlobRewrite {
+				// GC rewrites are always dropped at replay: their guard was
+				// evaluated against commit-time memtable state that recovery
+				// cannot reconstruct. The old copy is still live (its segment
+				// is only deleted after a sync barrier), so dropping loses
+				// nothing; the new copy is marked dead for GC to reclaim.
+				if db.vlog != nil && len(value) == 8+vlog.PointerLen {
+					if p, ok := vlog.DecodePointer(value[8:]); ok && db.vlog.Valid(p) {
+						db.vlog.MarkDead(p.Segment, int64(p.Length))
+					}
+				}
+				i++
+				return nil
+			}
 			db.mem.Add(seq+i, kind, key, value)
 			i++
 			return nil
@@ -331,6 +396,28 @@ func (db *store) replayLog(num uint64) error {
 	}
 	db.set.SetLastSeq(maxSeq)
 	return nil
+}
+
+// validBlobRefs reports whether every pointer entry in a replayed batch
+// references bytes inside the value log's valid extent. Evaluated as a
+// pre-pass so a batch is applied all-or-nothing.
+func (db *store) validBlobRefs(b *batch.Batch) bool {
+	valid := true
+	b.Each(func(kind keys.Kind, key, value []byte) error {
+		switch kind {
+		case keys.KindBlobRef:
+			p, ok := vlog.DecodePointer(value)
+			if !ok || db.vlog == nil || !db.vlog.Valid(p) {
+				valid = false
+			}
+		case keys.KindBlobRewrite:
+			if len(value) != 8+vlog.PointerLen {
+				valid = false
+			}
+		}
+		return nil
+	})
+	return valid
 }
 
 // newLogLocked switches to a fresh WAL file. Callers guarantee exclusivity
@@ -393,6 +480,13 @@ func (db *store) Close() error {
 				db.closeErr = err
 			}
 			db.logFile = nil
+		}
+		// Seal this shard's active vlog segment (sync + close); the Log
+		// itself is shared and closed by the router after every shard.
+		if db.vlogw != nil {
+			if err := db.vlogw.Close(); db.closeErr == nil {
+				db.closeErr = err
+			}
 		}
 		// Reads that acquired the read state before it was retired — point
 		// gets mid-probe, open iterators — still hold table readers. Wait for
@@ -498,6 +592,21 @@ func (db *store) getAt(key []byte, snapSeq *keys.Seq) ([]byte, error) {
 		db.adaptive.observeReads(1)
 	}
 
+	// A pointer entry can race GC deleting its segment between the LSM read
+	// and the vlog resolution; the rewritten pointer is already in the tree,
+	// so one re-read through the LSM observes it. Bounded to keep a real
+	// dangling pointer (a bug) from looping forever.
+	for attempt := 0; ; attempt++ {
+		val, err := db.getOnce(key, snapSeq)
+		if errors.Is(err, vlog.ErrSegmentGone) && attempt < 2 {
+			continue
+		}
+		return val, err
+	}
+}
+
+// getOnce performs one LSM lookup + blob resolution pass.
+func (db *store) getOnce(key []byte, snapSeq *keys.Seq) ([]byte, error) {
 	// Lock-free: one atomic load + ref pins (mem, imm, version) together; the
 	// visible sequence is then read from the Set's atomic counter. Entries at
 	// or below that sequence were applied to a memtable before the sequence
@@ -513,22 +622,75 @@ func (db *store) getAt(key []byte, snapSeq *keys.Seq) ([]byte, error) {
 		seq = *snapSeq
 	}
 
-	// Memtables.
-	if val, deleted, found := rs.mem.Get(key, seq); found {
-		if deleted {
+	// Memtables. Values alias the skiplist's buffers, which outlive the
+	// read state (the Go GC keeps them alive through the returned slice).
+	if val, kind, found := rs.mem.GetEntry(key, seq); found {
+		switch kind {
+		case keys.KindDelete:
 			return nil, ErrNotFound
+		case keys.KindBlobRef:
+			return db.resolveBlob(val)
 		}
 		return val, nil
 	}
 	if rs.imm != nil {
-		if val, deleted, found := rs.imm.Get(key, seq); found {
-			if deleted {
+		if val, kind, found := rs.imm.GetEntry(key, seq); found {
+			switch kind {
+			case keys.KindDelete:
 				return nil, ErrNotFound
+			case keys.KindBlobRef:
+				return db.resolveBlob(val)
 			}
 			return val, nil
 		}
 	}
-	return db.getFromVersion(rs.v, key, seq)
+	val, kind, found, err := db.versionEntry(rs.v, key, seq)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	return db.finishTableHit(val, kind)
+}
+
+// blobCacheBit namespaces decoded vlog values inside the shared block
+// cache: table blocks key by (file number | shard<<48, offset) with shard
+// ids below 256, so bit 63 is never set by a table-block key.
+const blobCacheBit = uint64(1) << 63
+
+// resolveBlob materializes a pointer entry's value from the value log,
+// consulting the shared block cache first. The cache holds its own private
+// copy and the returned slice is always another copy, so a caller mutating
+// its result can never corrupt cached state.
+func (db *store) resolveBlob(ptr []byte) ([]byte, error) {
+	p, ok := vlog.DecodePointer(ptr)
+	if !ok {
+		return nil, fmt.Errorf("ldc: malformed blob pointer (%d bytes)", len(ptr))
+	}
+	if db.vlog == nil {
+		return nil, fmt.Errorf("ldc: blob pointer %s with no value log", p)
+	}
+	ck := cache.Key{FileNum: p.Segment | blobCacheBit, Offset: p.Offset}
+	if db.blockCache != nil {
+		if v, hit := db.blockCache.Get(ck); hit {
+			db.vlog.NoteResolve(true)
+			return append([]byte(nil), v.([]byte)...), nil
+		}
+	}
+	db.vlog.NoteResolve(false)
+	r := db.vlog.GetReader()
+	_, value, err := r.Read(p)
+	if err != nil {
+		r.Release()
+		return nil, err
+	}
+	cached := append([]byte(nil), value...)
+	r.Release()
+	if db.blockCache != nil {
+		db.blockCache.Set(ck, cached, int64(len(cached)))
+	}
+	return append([]byte(nil), cached...), nil
 }
 
 // readScratch carries a point get's search-key buffer; pooled so a
@@ -539,10 +701,13 @@ type readScratch struct {
 
 var readScratchPool = sync.Pool{New: func() interface{} { return new(readScratch) }}
 
-// getFromVersion searches table files level by level. Values returned by
-// table probes alias cached blocks, so the winner is copied exactly once, at
-// the return site; losers (older versions, tombstones) are never copied.
-func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([]byte, error) {
+// versionEntry searches table files level by level and returns the winning
+// raw entry (kind + stored value — for a pointer entry, the pointer bytes,
+// not the resolved value). The value aliases a cached block, so callers
+// must copy what they keep while still holding the read-state ref; losers
+// (older versions, tombstones) are never copied. found=false with nil err
+// means no table holds a visible version.
+func (db *store) versionEntry(v *version.Version, key []byte, seq keys.Seq) ([]byte, keys.Kind, bool, error) {
 	ucmp := db.icmp.User
 	sc := readScratchPool.Get().(*readScratch)
 	defer readScratchPool.Put(sc)
@@ -557,15 +722,12 @@ func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([
 		if !f.UserRange().Contains(ucmp, key) {
 			continue
 		}
-		val, deleted, _, found, err := db.tableProbe(f.Num, sk)
+		val, kind, _, found, err := db.tableProbe(f.Num, sk)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
 		if found {
-			if deleted {
-				return nil, ErrNotFound
-			}
-			return append([]byte(nil), val...), nil
+			return val, kind, true, nil
 		}
 	}
 
@@ -588,15 +750,12 @@ func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([
 				if !f.UserRange().Contains(ucmp, key) {
 					continue
 				}
-				val, deleted, _, found, err := db.tableProbe(f.Num, sk)
+				val, kind, _, found, err := db.tableProbe(f.Num, sk)
 				if err != nil {
-					return nil, err
+					return nil, 0, false, err
 				}
 				if found {
-					if deleted {
-						return nil, ErrNotFound
-					}
-					return append([]byte(nil), val...), nil
+					return val, kind, true, nil
 				}
 			}
 			continue
@@ -611,10 +770,10 @@ func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([
 			continue
 		}
 		var (
-			bestSeq     keys.Seq
-			bestVal     []byte
-			bestDeleted bool
-			bestFound   bool
+			bestSeq   keys.Seq
+			bestVal   []byte
+			bestKind  keys.Kind
+			bestFound bool
 		)
 		for _, sf := range sliced {
 			// Slices newest-first.
@@ -623,47 +782,58 @@ func (db *store) getFromVersion(v *version.Version, key []byte, seq keys.Seq) ([
 				if !s.Range.Contains(ucmp, key) {
 					continue
 				}
-				val, deleted, entrySeq, found, err := db.tableProbe(s.FrozenNum, sk)
+				val, kind, entrySeq, found, err := db.tableProbe(s.FrozenNum, sk)
 				if err != nil {
-					return nil, err
+					return nil, 0, false, err
 				}
 				if found && (!bestFound || entrySeq > bestSeq) {
-					bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
+					bestSeq, bestVal, bestKind, bestFound = entrySeq, val, kind, true
 				}
 			}
 		}
 		if f != nil {
-			val, deleted, entrySeq, found, err := db.tableProbe(f.Num, sk)
+			val, kind, entrySeq, found, err := db.tableProbe(f.Num, sk)
 			if err != nil {
-				return nil, err
+				return nil, 0, false, err
 			}
 			if found && (!bestFound || entrySeq > bestSeq) {
-				bestSeq, bestVal, bestDeleted, bestFound = entrySeq, val, deleted, true
+				bestSeq, bestVal, bestKind, bestFound = entrySeq, val, kind, true
 			}
 		}
 		if bestFound {
-			if bestDeleted {
-				return nil, ErrNotFound
-			}
-			return append([]byte(nil), bestVal...), nil
+			return bestVal, bestKind, true, nil
 		}
 	}
-	return nil, ErrNotFound
+	return nil, 0, false, nil
+}
+
+// finishTableHit materializes a winning table probe: tombstones become
+// ErrNotFound, pointer entries resolve through the value log (already a
+// private copy), and plain values — which alias a cached block — are
+// copied exactly once here.
+func (db *store) finishTableHit(val []byte, kind keys.Kind) ([]byte, error) {
+	switch kind {
+	case keys.KindDelete:
+		return nil, ErrNotFound
+	case keys.KindBlobRef:
+		return db.resolveBlob(val)
+	}
+	return append([]byte(nil), val...), nil
 }
 
 // tableProbe is the per-table point lookup: bloom filter, then the reader's
 // direct index→data-block probe (no iterator construction). The returned
 // value aliases the cached block — callers copy only what they return. The
 // entry sequence orders candidates across overlapping slice windows.
-func (db *store) tableProbe(num uint64, sk keys.InternalKey) (val []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+func (db *store) tableProbe(num uint64, sk keys.InternalKey) (val []byte, kind keys.Kind, entrySeq keys.Seq, found bool, err error) {
 	r, err := db.tables.get(num)
 	if err != nil {
-		return nil, false, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	db.stats.bloomProbes.Add(1)
 	if !r.MayContain(sk.UserKey()) {
 		db.stats.bloomNegatives.Add(1)
-		return nil, false, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	db.stats.tableProbes.Add(1)
 	return r.Probe(sk)
@@ -810,6 +980,40 @@ func (db *store) TableBytes() int64 {
 // SliceThreshold reports the current T_s (possibly adaptive).
 func (db *store) SliceThreshold() int { return db.picker.SliceThreshold() }
 
+// Flush writes the live memtable out as a table and waits for it to land.
+// Rotation is requested through the commit pipeline (the leader-exclusive
+// path is the only context allowed to swap the WAL writer), so Flush is
+// safe against concurrent writers — though with a continuous writer it only
+// guarantees data present when the call began has reached a table.
+func (db *store) Flush() error {
+	for {
+		db.mu.Lock()
+		if db.bgErr != nil {
+			err := db.bgErr
+			db.mu.Unlock()
+			return err
+		}
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if db.mem.Empty() && db.imm == nil && !db.flushActive {
+			db.mu.Unlock()
+			return nil
+		}
+		needRotate := db.imm == nil && !db.mem.Empty()
+		db.mu.Unlock()
+		if needRotate {
+			if err := db.forceRotate(); err != nil {
+				return err
+			}
+		} else {
+			// An imm is mid-flush; the flush worker signals on finish.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
 // CompactRange forces compaction work until the tree is quiescent — used by
 // tests and experiments to reach a steady state. It drives the worker pool
 // even when DisableAutoCompaction is set.
@@ -839,13 +1043,16 @@ func (db *store) CompactRange() error {
 }
 
 // WaitIdle blocks until no background work is running or immediately
-// pickable: the flush worker is idle with no pending immutable memtable and
-// every compaction worker has drained. Returns early if the store is closed
+// pickable: the flush worker is idle with no pending immutable memtable,
+// every compaction worker has drained, and no worker is still mid
+// obsolete-file cleanup (workers delete after releasing their job claim,
+// so without the cleanActive term a caller could observe dead table files
+// that a worker is about to remove). Returns early if the store is closed
 // or poisoned by a background error.
 func (db *store) WaitIdle() {
 	db.mu.Lock()
 	for !db.closed && db.bgErr == nil {
-		if db.imm == nil && !db.flushActive && db.compActive == 0 {
+		if db.imm == nil && !db.flushActive && db.compActive == 0 && db.cleanActive == 0 {
 			if db.opts.DisableAutoCompaction && db.manualWant == 0 {
 				break
 			}

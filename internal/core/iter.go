@@ -276,6 +276,7 @@ type storeIter struct {
 	dir        int8 // 0 forward, 1 reverse
 	savedKey   []byte
 	savedValue []byte
+	savedKind  keys.Kind // kind of the entry savedValue came from (reverse)
 	err        error
 }
 
@@ -294,6 +295,10 @@ func (db *store) newIter(snapSeq *keys.Seq) (*storeIter, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Registered for value-log GC: segment deletion waits until no iterator
+	// is live, because an iterator may resolve a pointer at any moment
+	// without holding a snapshot registration. Close deregisters.
+	db.openIters.Add(1)
 	return &storeIter{db: db, it: it, cleanup: cleanup, seq: seq}, nil
 }
 
@@ -308,13 +313,15 @@ func (i *storeIter) Error() error {
 	return i.it.Error()
 }
 
-// Close releases the iterator.
+// Close releases the iterator. Idempotent (cleanup doubles as the
+// first-close marker).
 func (i *storeIter) Close() error {
 	err := i.Error()
 	i.it.Close()
 	if i.cleanup != nil {
 		i.cleanup()
 		i.cleanup = nil
+		i.db.openIters.Add(-1)
 	}
 	i.valid = false
 	return err
@@ -329,11 +336,33 @@ func (i *storeIter) Key() []byte {
 }
 
 // Value returns the current value, valid until the next positioning call.
+// Pointer entries resolve through the value log here, on demand, so scans
+// that only look at keys never touch the log; a resolution failure parks
+// the error on the iterator (visible via Error).
 func (i *storeIter) Value() []byte {
 	if i.dir == 0 {
+		if keys.InternalKey(i.it.Key()).Kind() == keys.KindBlobRef {
+			return i.resolve(i.it.Value())
+		}
 		return i.it.Value()
 	}
+	if i.savedKind == keys.KindBlobRef {
+		return i.resolve(i.savedValue)
+	}
 	return i.savedValue
+}
+
+// resolve materializes a pointer entry's value, recording any failure on
+// the iterator.
+func (i *storeIter) resolve(ptr []byte) []byte {
+	val, err := i.db.resolveBlob(ptr)
+	if err != nil {
+		if i.err == nil {
+			i.err = err
+		}
+		return nil
+	}
+	return val
 }
 
 // SeekToFirst positions at the smallest key.
@@ -392,7 +421,7 @@ func (i *storeIter) findNextUserEntry(skipping bool) {
 		case keys.KindDelete:
 			i.savedKey = append(i.savedKey[:0], ik.UserKey()...)
 			skipping = true
-		case keys.KindSet:
+		case keys.KindSet, keys.KindBlobRef:
 			if skipping && ucmp.Compare(ik.UserKey(), i.savedKey) <= 0 {
 				continue // older version or deleted key
 			}
@@ -448,6 +477,7 @@ func (i *storeIter) findPrevUserEntry() {
 				i.savedValue = i.savedValue[:0]
 			} else {
 				deleted = false
+				i.savedKind = ik.Kind()
 				i.savedKey = append(i.savedKey[:0], ik.UserKey()...)
 				i.savedValue = append(i.savedValue[:0], i.it.Value()...)
 			}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/keys"
 	"repro/internal/vfs"
+	"repro/internal/vlog"
 )
 
 // Options configures a DB. The zero value is usable: every field defaults
@@ -122,6 +123,24 @@ type Options struct {
 	// merge I/O (default 2s).
 	CompactionMergeAgingBound time.Duration
 
+	// BlobThreshold enables value separation: values at or above this many
+	// bytes are appended to the shared value log (internal/vlog) inside
+	// the group-commit leader's critical section, and the LSM stores a
+	// 20-byte pointer entry instead — so flushes and compactions move
+	// pointers, not kilobytes. 0 (default) disables separation; existing
+	// vlog segments still resolve, so the knob is reopen-safe in both
+	// directions. Must not exceed SSTableSize.
+	BlobThreshold int64
+	// BlobGCThreshold is the dead-byte fraction at which the value-log GC
+	// rewrites a sealed segment, in (0, 1]. Dead bytes accrue as
+	// compactions and LDC merges drop pointer entries (the same
+	// slice-accounting discipline LDC applies to frozen regions). Default
+	// 0.5.
+	BlobGCThreshold float64
+	// BlobSegmentSize is the value-log rotation threshold (default
+	// 64 MiB). Small values make GC units finer at the cost of more files.
+	BlobSegmentSize int64
+
 	// Sync makes every committed write fsync the WAL (default false, like
 	// LevelDB: the OS buffers).
 	Sync bool
@@ -199,6 +218,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactionMergeAgingBound <= 0 {
 		o.CompactionMergeAgingBound = 2 * time.Second
+	}
+	if o.BlobGCThreshold == 0 {
+		o.BlobGCThreshold = 0.5
+	}
+	if o.BlobSegmentSize <= 0 {
+		o.BlobSegmentSize = vlog.DefaultSegmentSize
 	}
 	if o.VerifyChecksums == nil {
 		t := true

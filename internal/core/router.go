@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cache"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/ssdsim"
 	"repro/internal/version"
 	"repro/internal/vfs"
+	"repro/internal/vlog"
 )
 
 // DB is the public key-value store: a thin router over Options.Shards
@@ -62,6 +65,15 @@ type DB struct {
 	// per-shard buckets would jointly admit N× the configured rate. nil
 	// when Options.CompactionRateBytesPerSec <= 0.
 	limiter *iosched.Limiter
+
+	// vlog is the database-wide value log (WiscKey-style value separation);
+	// nil when Options.BlobThreshold is 0 and no segments exist on disk.
+	// The background GC worker (startValueGC) and the manual RunValueGC /
+	// CompactValueLog entry points serialize passes through gcMu.
+	vlog   *vlog.Log
+	gcMu   sync.Mutex
+	gcStop chan struct{}
+	gcWG   sync.WaitGroup
 
 	closeOnce sync.Once
 	closeErr  error
@@ -112,13 +124,47 @@ func Open(dir string, opts Options) (*DB, error) {
 		})
 	}
 
-	if n == 1 {
-		st, err := openStore(storeConfig{dir: dir, walDir: dir, limiter: db.limiter}, opts, db.tables)
+	// The value log opens when separation is enabled — or when disabled but
+	// segments exist on disk, so a database that once separated values keeps
+	// resolving its old pointers after the knob is turned off. With neither,
+	// no vlog directory is ever created and the on-disk layout stays
+	// byte-identical to the pre-separation engine's.
+	vlogDir := filepath.Join(dir, "vlog")
+	if opts.BlobThreshold > 0 || vlogDirHasSegments(meta, vlogDir) {
+		if err := meta.MkdirAll(vlogDir); err != nil {
+			db.limiter.Close()
+			return nil, err
+		}
+		vl, err := vlog.Open(walFS(opts.FS), vlogDir, vlog.Options{
+			SegmentSize: opts.BlobSegmentSize,
+			ReadFS:      userFS(opts.FS),
+			ScanFS:      compactionReadFS(opts.FS),
+		})
 		if err != nil {
 			db.limiter.Close()
 			return nil, err
 		}
+		if max := vl.MaxShard(); max >= n {
+			_ = vl.Close()
+			db.limiter.Close()
+			return nil, fmt.Errorf("%w: value log holds segments for shard %d but the database has %d shards",
+				ErrInvalidOptions, max, n)
+		}
+		db.vlog = vl
+	}
+
+	if n == 1 {
+		st, err := openStore(storeConfig{
+			dir: dir, walDir: dir, limiter: db.limiter,
+			vlog: db.vlog, blockCache: db.blockCache,
+		}, opts, db.tables)
+		if err != nil {
+			db.closeVlog()
+			db.limiter.Close()
+			return nil, err
+		}
 		db.shards = []*store{st}
+		db.startValueGC()
 		return db, nil
 	}
 
@@ -131,22 +177,42 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	for i := 0; i < n; i++ {
 		st, err := openStore(storeConfig{
-			dir:       filepath.Join(dir, fmt.Sprintf("shard-%d", i)),
-			walDir:    walDir,
-			walShared: true,
-			shardID:   i,
-			limiter:   db.limiter,
+			dir:        filepath.Join(dir, fmt.Sprintf("shard-%d", i)),
+			walDir:     walDir,
+			walShared:  true,
+			shardID:    i,
+			limiter:    db.limiter,
+			vlog:       db.vlog,
+			blockCache: db.blockCache,
 		}, opts, db.tables)
 		if err != nil {
 			for _, prev := range db.shards {
 				_ = prev.Close() // unwind the partial open; the open error wins
 			}
+			db.closeVlog()
 			db.limiter.Close()
 			return nil, fmt.Errorf("ldc: open shard %d: %w", i, err)
 		}
 		db.shards = append(db.shards, st)
 	}
+	db.startValueGC()
 	return db, nil
+}
+
+// vlogDirHasSegments reports whether dir holds at least one value-log
+// segment file — the reopen signal that forces the log open even with
+// separation disabled.
+func vlogDirHasSegments(fs vfs.FS, dir string) bool {
+	names, err := fs.List(dir)
+	if err != nil {
+		return false
+	}
+	for _, name := range names {
+		if _, _, ok := vlog.ParseSegmentFileName(name); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // metaFS derives the housekeeping I/O view (marker file, directories) from
@@ -162,6 +228,25 @@ func metaFS(fs vfs.FS) vfs.FS {
 func userFS(fs vfs.FS) vfs.FS {
 	if sim, ok := fs.(*ssdsim.FS); ok {
 		return sim.WithCategory(ssdsim.CatUserRead)
+	}
+	return fs
+}
+
+// walFS derives the log-append I/O view: value-log appends sit on the
+// foreground write path exactly like WAL records, so they are accounted in
+// the same device category.
+func walFS(fs vfs.FS) vfs.FS {
+	if sim, ok := fs.(*ssdsim.FS); ok {
+		return sim.WithCategory(ssdsim.CatWAL)
+	}
+	return fs
+}
+
+// compactionReadFS derives the background-read I/O view for GC segment
+// scans, which are relocation reads like a compaction's input reads.
+func compactionReadFS(fs vfs.FS) vfs.FS {
+	if sim, ok := fs.(*ssdsim.FS); ok {
+		return sim.WithCategory(ssdsim.CatCompactionRead)
 	}
 	return fs
 }
@@ -429,7 +514,14 @@ func (s *Snapshot) Release() {
 // reported).
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
-		// Release the limiter first so shard Closes never wedge behind a
+		// Stop the value-log GC worker before anything else: a pass in
+		// flight drives shard commit pipelines and the limiter, so both
+		// must outlive it.
+		if db.gcStop != nil {
+			close(db.gcStop)
+			db.gcWG.Wait()
+		}
+		// Release the limiter next so shard Closes never wedge behind a
 		// compaction job queued for tokens; released waiters run to
 		// completion unthrottled, which is exactly what teardown wants.
 		db.limiter.Close()
@@ -438,8 +530,103 @@ func (db *DB) Close() error {
 				db.closeErr = err
 			}
 		}
+		db.closeVlog()
 	})
 	return db.closeErr
+}
+
+// closeVlog closes the value log (per-shard writers were already closed by
+// the shards). Folds the error into closeErr; safe with no vlog.
+func (db *DB) closeVlog() {
+	if db.vlog == nil {
+		return
+	}
+	if err := db.vlog.Close(); db.closeErr == nil {
+		db.closeErr = err
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Value-log garbage collection (router side)
+
+// valueGCInterval paces the background GC worker. Dead bytes accrue only as
+// compactions drop pointer entries, so there is nothing to gain from a
+// tighter loop.
+const valueGCInterval = 10 * time.Second
+
+// startValueGC launches the background GC worker: every tick it asks the
+// value log for segments whose dead ratio crossed Options.BlobGCThreshold
+// and hands each to its owning shard. Not started when separation is off or
+// background work is disabled (RunValueGC still works then).
+func (db *DB) startValueGC() {
+	if db.vlog == nil || db.opts.BlobThreshold <= 0 || db.opts.DisableAutoCompaction {
+		return
+	}
+	db.gcStop = make(chan struct{})
+	db.gcWG.Add(1)
+	go func() {
+		defer db.gcWG.Done()
+		ticker := time.NewTicker(valueGCInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-db.gcStop:
+				return
+			case <-ticker.C:
+				// Busy skips and close races are normal here; real I/O
+				// errors already poisoned the owning shard.
+				_ = db.runValueGC(db.opts.BlobGCThreshold)
+			}
+		}
+	}()
+}
+
+// RunValueGC runs one value-log GC pass: every sealed segment whose dead
+// ratio is at least Options.BlobGCThreshold has its live records relocated
+// and is deleted. Segments that cannot be quiesced in time are skipped for
+// a later pass, not reported as errors.
+func (db *DB) RunValueGC() error { return db.runValueGC(db.opts.BlobGCThreshold) }
+
+// CompactValueLog forces a full sweep: every sealed segment is processed
+// regardless of dead ratio, relocating all live records forward. Used by
+// tests and experiments to reach a minimal value-log footprint.
+func (db *DB) CompactValueLog() error { return db.runValueGC(-1) }
+
+// runValueGC is the shared pass body; threshold < 0 means every sealed
+// segment. Serialized by gcMu so the ticker and manual calls never process
+// one segment twice concurrently.
+func (db *DB) runValueGC(threshold float64) error {
+	if db.vlog == nil {
+		return nil
+	}
+	db.gcMu.Lock()
+	defer db.gcMu.Unlock()
+	var nums []uint64
+	if threshold < 0 {
+		nums = db.vlog.SealedSegments()
+	} else {
+		nums = db.vlog.Candidates(threshold)
+	}
+	for _, num := range nums {
+		shard, ok := db.vlog.SegmentShard(num)
+		if !ok || shard >= len(db.shards) {
+			continue // deleted since listing, or foreign shard (rejected at Open)
+		}
+		if err := db.shards[shard].vlogGCSegment(num); err != nil {
+			if errors.Is(err, errGCBusy) {
+				// Quiescing usually fails for a database-wide reason (a
+				// long-lived iterator or snapshot pins every deletion), so
+				// paying the barrier timeout once per segment would turn one
+				// busy pass into minutes. End the pass; the next one retries.
+				return nil
+			}
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // CompactRange forces compaction work until every shard's tree is
@@ -447,6 +634,17 @@ func (db *DB) Close() error {
 func (db *DB) CompactRange() error {
 	for _, st := range db.shards {
 		if err := st.CompactRange(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes every shard's live memtable out as a table and waits for
+// the flushes to land.
+func (db *DB) Flush() error {
+	for _, st := range db.shards {
+		if err := st.Flush(); err != nil {
 			return err
 		}
 	}
@@ -482,6 +680,20 @@ func (db *DB) Stats() Stats {
 		if hits+misses > 0 {
 			s.BlockCacheHitRatio = float64(hits) / float64(hits+misses)
 		}
+	}
+	// The value log is shared; fold its counters in once.
+	if db.vlog != nil {
+		vs := db.vlog.Stats()
+		s.VlogSegments = vs.Segments
+		s.VlogTotalBytes = vs.TotalBytes
+		s.VlogDeadBytes = vs.DeadBytes
+		s.VlogLiveRatio = vs.LiveRatio()
+		s.VlogAppendedBytes = vs.AppendedBytes
+		s.VlogGCPasses = vs.GCPasses
+		s.VlogGCBytesRewritten = vs.GCBytesRewritten
+		s.VlogGCRecordsGuarded = vs.GCRecordsGuarded
+		s.BlobResolves = vs.Resolves
+		s.BlobResolveCacheHits = vs.ResolveCacheHits
 	}
 	// The I/O scheduler is shared; fold its counters in once (Metrics is
 	// nil-safe, so this is zero-valued with the limiter disabled).

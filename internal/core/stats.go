@@ -87,6 +87,23 @@ type Stats struct {
 	ReadLatency  histogram.Distribution
 	WriteLatency histogram.Distribution
 
+	// Value separation (internal/vlog). The first two are per-shard commit
+	// path counters; the Vlog*/Blob* group reflects the one shared value
+	// log and is folded in once by the router (zero per shard, like the
+	// block cache).
+	BlobValuesSeparated  int64   // Set entries redirected to the value log
+	BlobBytesSeparated   int64   // user value bytes those entries carried
+	VlogSegments         int     // live segment files
+	VlogTotalBytes       int64   // valid extents of all segments
+	VlogDeadBytes        int64   // bytes compactions/GC proved unreachable
+	VlogLiveRatio        float64 // 1 - dead/total (1.0 when empty)
+	VlogAppendedBytes    int64   // lifetime appends, foreground + GC
+	VlogGCPasses         int64   // segments reclaimed
+	VlogGCBytesRewritten int64   // live bytes relocated by GC
+	VlogGCRecordsGuarded int64   // rewrites dropped by the commit-time guard
+	BlobResolves         int64   // pointer resolutions on the read path
+	BlobResolveCacheHits int64   // resolutions served from the block cache
+
 	// I/O scheduler (internal/iosched) counters. The limiter is one shared
 	// database-wide instance, so like the block cache these are folded in
 	// once by the router and left zero per shard.
@@ -162,6 +179,9 @@ type dbStats struct {
 	blockBytesUncompressed atomic.Int64 // block payloads written, pre-compression
 	blockBytesCompressed   atomic.Int64 // block payloads written, on-disk form
 
+	blobValuesSeparated atomic.Int64 // Sets redirected to the value log
+	blobBytesSeparated  atomic.Int64 // value bytes those Sets carried
+
 	// Foreground latency histograms (lock-free atomic buckets). The router
 	// merges shards' histograms and snapshots the result; the per-shard
 	// Stats carries its own snapshot.
@@ -223,6 +243,9 @@ func (d *dbStats) snapshot() Stats {
 
 		UncompressedBytesWritten: d.blockBytesUncompressed.Load(),
 		CompressedBytesWritten:   d.blockBytesCompressed.Load(),
+
+		BlobValuesSeparated: d.blobValuesSeparated.Load(),
+		BlobBytesSeparated:  d.blobBytesSeparated.Load(),
 	}
 	if s.Gets > 0 {
 		s.PointReadAmp = float64(s.TableProbes) / float64(s.Gets)
@@ -318,6 +341,9 @@ func aggregateStats(per []Stats) Stats {
 		s.UncompressedBytesRead += p.UncompressedBytesRead
 		s.UncompressedBytesWritten += p.UncompressedBytesWritten
 		s.CompressedBytesWritten += p.CompressedBytesWritten
+
+		s.BlobValuesSeparated += p.BlobValuesSeparated
+		s.BlobBytesSeparated += p.BlobBytesSeparated
 	}
 	if s.WriteState == "" && len(per) > 0 {
 		s.WriteState = per[0].WriteState

@@ -45,6 +45,8 @@ func (o Options) Validate() error {
 		{"CompactionRateBurstBytes", o.CompactionRateBurstBytes},
 		{"CompactionL0AgingBound", int64(o.CompactionL0AgingBound)},
 		{"CompactionMergeAgingBound", int64(o.CompactionMergeAgingBound)},
+		{"BlobThreshold", o.BlobThreshold},
+		{"BlobSegmentSize", o.BlobSegmentSize},
 	} {
 		// BloomBitsPerKey is deliberately absent: negative there means
 		// "disable filters".
@@ -95,6 +97,28 @@ func (o Options) Validate() error {
 	if d.CompactionL0AgingBound > d.CompactionMergeAgingBound {
 		return fmt.Errorf("%w: CompactionL0AgingBound %v exceeds CompactionMergeAgingBound %v (priority-aging bounds inverted)",
 			ErrInvalidOptions, d.CompactionL0AgingBound, d.CompactionMergeAgingBound)
+	}
+	// Value-separation knobs. A threshold above the table size is
+	// self-defeating (every value that could fill a table is already out of
+	// the tree); a GC threshold outside (0,1] either divides by zero intent
+	// (never collect) or demands more than all bytes dead. Explicit GC
+	// tuning with separation disabled is almost certainly a typo'd config,
+	// so reject it rather than silently never separating.
+	if o.BlobThreshold > d.SSTableSize {
+		return fmt.Errorf("%w: BlobThreshold %d exceeds SSTableSize %d",
+			ErrInvalidOptions, o.BlobThreshold, d.SSTableSize)
+	}
+	if o.BlobGCThreshold != 0 && (o.BlobGCThreshold <= 0 || o.BlobGCThreshold > 1) {
+		return fmt.Errorf("%w: BlobGCThreshold %v outside (0, 1]",
+			ErrInvalidOptions, o.BlobGCThreshold)
+	}
+	if o.BlobThreshold == 0 && o.BlobGCThreshold != 0 {
+		return fmt.Errorf("%w: BlobGCThreshold %v set while BlobThreshold is 0 (value separation disabled)",
+			ErrInvalidOptions, o.BlobGCThreshold)
+	}
+	if o.BlobThreshold > 0 && o.BlobSegmentSize > 0 && o.BlobSegmentSize < o.BlobThreshold {
+		return fmt.Errorf("%w: BlobSegmentSize %d is below BlobThreshold %d (a segment could not hold one value)",
+			ErrInvalidOptions, o.BlobSegmentSize, o.BlobThreshold)
 	}
 	return nil
 }

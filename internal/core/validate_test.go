@@ -56,6 +56,21 @@ func TestValidateRejections(t *testing.T) {
 		{"explicit L0 aging above default merge bound", func(o *Options) {
 			o.CompactionL0AgingBound = 5 * time.Second // merge bound defaults to 2s
 		}, "CompactionL0AgingBound"},
+		{"negative BlobThreshold", func(o *Options) { o.BlobThreshold = -1 }, "BlobThreshold"},
+		{"negative BlobSegmentSize", func(o *Options) { o.BlobSegmentSize = -4096 }, "BlobSegmentSize"},
+		{"blob threshold above table size", func(o *Options) {
+			o.SSTableSize, o.BlobThreshold = 64 << 10, 128 << 10
+		}, "BlobThreshold"},
+		{"gc threshold above one", func(o *Options) {
+			o.BlobThreshold, o.BlobGCThreshold = 1024, 1.5
+		}, "BlobGCThreshold"},
+		{"negative gc threshold", func(o *Options) {
+			o.BlobThreshold, o.BlobGCThreshold = 1024, -0.25
+		}, "BlobGCThreshold"},
+		{"gc threshold with separation disabled", func(o *Options) { o.BlobGCThreshold = 0.5 }, "value separation disabled"},
+		{"segment smaller than one value", func(o *Options) {
+			o.BlobThreshold, o.BlobSegmentSize = 8 << 10, 4 << 10
+		}, "BlobSegmentSize"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -99,6 +114,10 @@ func TestValidateAccepts(t *testing.T) {
 		{"burst exactly one block", Options{CompactionRateBurstBytes: 4 << 10}},
 		{"equal aging bounds", Options{CompactionL0AgingBound: time.Second, CompactionMergeAgingBound: time.Second}},
 		{"accounting-only scheduler (rate zero)", Options{CompactionRateBurstBytes: 1 << 20}},
+		{"separation with defaults", Options{BlobThreshold: 1024}},
+		{"separation fully tuned", Options{BlobThreshold: 1024, BlobGCThreshold: 0.25, BlobSegmentSize: 4 << 20}},
+		{"gc threshold at one", Options{BlobThreshold: 1024, BlobGCThreshold: 1}},
+		{"segment exactly one value", Options{BlobThreshold: 8 << 10, BlobSegmentSize: 8 << 10}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

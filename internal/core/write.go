@@ -5,8 +5,10 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/commit"
+	"repro/internal/encoding"
 	"repro/internal/keys"
 	"repro/internal/memtable"
+	"repro/internal/vlog"
 )
 
 // This file wires the store into the commit pipeline (internal/commit): the
@@ -67,6 +69,10 @@ func (db *store) rotateMemtableLocked() error {
 		return err
 	}
 	db.imm, db.mem = db.mem, memtable.New(db.icmp)
+	// Everything at or below the current sequence is now in imm (or
+	// tables); the flush worker promotes flushedThroughSeq to this
+	// boundary when the imm lands (see rewriteGuardLocked).
+	db.rotBoundarySeq = db.set.LastSeq()
 	db.publishReadState()
 	db.flushCond.Signal()
 	return nil
@@ -80,6 +86,35 @@ func (db *store) rotateMemtableLocked() error {
 // precedes application, so nothing becomes visible before it is durable.
 // Only the pipeline calls this, one group at a time.
 func (db *store) commitGroup(g *batch.Group, sync bool) error {
+	// Value separation runs before db.mu: the pipeline serializes leaders,
+	// so this shard's vlog appends are single-writer, and the (possibly
+	// slow) value writes overlap reads and background work. The appended
+	// records are readable immediately (write-through) but referenced only
+	// once the group's pointers are applied below.
+	b := g.Batch()
+	sep, extraUserBytes, err := db.separateValues(b)
+	if err != nil {
+		db.mu.Lock()
+		db.fatal(err)
+		db.mu.Unlock()
+		return err
+	}
+	if sep != nil {
+		b = sep
+	}
+	if sync && db.vlogw != nil {
+		// One vlog durability point per write group, mirroring the WAL: an
+		// acknowledged sync commit must never lose its separated values.
+		// (Recovery treats a WAL record whose pointers dangle past the
+		// vlog's valid extent as torn, so an unsynced crash drops the whole
+		// batch — exactly the non-sync contract.)
+		if err := db.vlogw.Sync(); err != nil {
+			db.mu.Lock()
+			db.fatal(err)
+			db.mu.Unlock()
+			return err
+		}
+	}
 	db.mu.Lock()
 	if db.bgErr != nil {
 		err := db.bgErr
@@ -90,9 +125,27 @@ func (db *store) commitGroup(g *batch.Group, sync bool) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if db.rotateForced.Load() && db.imm == nil {
+		// GC flush barrier requested a rotation; this is the leader-
+		// exclusive path, so swapping the WAL writer is safe here and
+		// nowhere else. The group's own entries land in the fresh memtable.
+		db.rotateForced.Store(false)
+		if !db.mem.Empty() {
+			if err := db.rotateMemtableLocked(); err != nil {
+				db.fatal(err)
+				db.mu.Unlock()
+				return err
+			}
+		}
+	}
 	seq := db.set.LastSeq() + 1
 	g.SetSequence(seq)
-	b := g.Batch()
+	if sep != nil {
+		// The transformed batch is not a group member; stamp it directly so
+		// the WAL record and memtable application agree with the sequences
+		// the group's callers observe.
+		sep.SetSequence(seq)
+	}
 	rec := b.Encode()
 	if err := db.logw.AddRecord(rec); err != nil {
 		// The log may now hold a partial record for an unpublished sequence
@@ -124,16 +177,115 @@ func (db *store) commitGroup(g *batch.Group, sync bool) error {
 	i := keys.Seq(0)
 	var userBytes int64
 	b.Each(func(kind keys.Kind, key, value []byte) error {
+		if kind == keys.KindBlobRewrite {
+			// GC pointer rewrite: apply as a plain pointer entry only if the
+			// key was not written past the GC's read sequence; a failed
+			// guard drops the rewrite (its sequence number stays consumed)
+			// and marks the new copy dead for a later pass. Not counted as
+			// user bytes — it is background relocation, not a user write.
+			readSeq := keys.Seq(encoding.Fixed64(value))
+			ptr := value[8:]
+			if db.rewriteGuardLocked(key, readSeq) {
+				db.mem.Add(seq+i, keys.KindBlobRef, key, ptr)
+			} else {
+				if p, ok := vlog.DecodePointer(ptr); ok {
+					db.vlog.MarkDead(p.Segment, int64(p.Length))
+				}
+				db.vlog.NoteGuardedRewrite()
+			}
+			i++
+			return nil
+		}
 		db.mem.Add(seq+i, kind, key, value)
 		userBytes += int64(len(key) + len(value))
 		i++
 		return nil
 	})
-	db.stats.userWriteBytes.Add(userBytes)
+	// Separated entries count at their original size: the user wrote the
+	// value, even though the tree stores a 20-byte pointer.
+	db.stats.userWriteBytes.Add(userBytes + extraUserBytes)
 	db.set.SetLastSeq(seq + keys.Seq(b.Count()) - 1)
 	if db.adaptive != nil {
 		db.adaptive.observeWrites(int64(b.Count()))
 	}
 	db.mu.Unlock()
 	return nil
+}
+
+// separateValues is the commit-time value-separation transform: every Set
+// whose value is at least Options.BlobThreshold bytes is appended to the
+// value log and replaced by a fixed-size pointer entry. Returns (nil, 0,
+// nil) when nothing qualifies — the common case, detected without building
+// a replacement batch. extraUserBytes is the user-byte undercount of the
+// transformed batch (original value sizes minus the pointers that replaced
+// them), so write accounting reflects what the user wrote.
+func (db *store) separateValues(b *batch.Batch) (sep *batch.Batch, extraUserBytes int64, err error) {
+	if db.vlogw == nil || db.opts.BlobThreshold <= 0 {
+		return nil, 0, nil
+	}
+	qualifies := false
+	_ = b.Each(func(kind keys.Kind, key, value []byte) error {
+		if kind == keys.KindSet && int64(len(value)) >= db.opts.BlobThreshold {
+			qualifies = true
+		}
+		return nil
+	})
+	if !qualifies {
+		return nil, 0, nil
+	}
+	out := batch.New()
+	var sepCount, sepBytes int64
+	var ptrBuf [vlog.PointerLen]byte
+	eachErr := b.Each(func(kind keys.Kind, key, value []byte) error {
+		if kind == keys.KindSet && int64(len(value)) >= db.opts.BlobThreshold {
+			p, aerr := db.vlogw.Append(key, value)
+			if aerr != nil {
+				return aerr
+			}
+			out.SetBlobRef(key, p.Encode(ptrBuf[:0]))
+			sepCount++
+			sepBytes += int64(len(value))
+			extraUserBytes += int64(len(value)) - vlog.PointerLen
+			return nil
+		}
+		switch kind {
+		case keys.KindDelete:
+			out.Delete(key)
+		case keys.KindBlobRef:
+			out.SetBlobRef(key, value)
+		case keys.KindBlobRewrite:
+			out.SetBlobRewrite(key, keys.Seq(encoding.Fixed64(value)), value[8:])
+		default:
+			out.Set(key, value)
+		}
+		return nil
+	})
+	if eachErr != nil {
+		return nil, 0, eachErr
+	}
+	db.stats.blobValuesSeparated.Add(sepCount)
+	db.stats.blobBytesSeparated.Add(sepBytes)
+	return out, extraUserBytes, nil
+}
+
+// rewriteGuardLocked decides whether a GC rewrite whose liveness was read
+// at readSeq still describes key's newest version. Soundness rests on the
+// invariant that every entry with a sequence above flushedThroughSeq is
+// present in mem ∪ imm: if readSeq has not fallen below that floor and
+// neither memtable holds a newer version of key, no newer version exists
+// anywhere, so installing the rewritten pointer cannot shadow a user
+// write. Caller holds db.mu.
+func (db *store) rewriteGuardLocked(key []byte, readSeq keys.Seq) bool {
+	if readSeq < db.flushedThroughSeq {
+		return false
+	}
+	if s, ok := db.mem.LatestSeq(key); ok && s > readSeq {
+		return false
+	}
+	if db.imm != nil {
+		if s, ok := db.imm.LatestSeq(key); ok && s > readSeq {
+			return false
+		}
+	}
+	return true
 }

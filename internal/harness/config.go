@@ -72,6 +72,17 @@ type Config struct {
 	// the format benchmarks use 0.5 so codecs have something to find).
 	ValueCompressibility float64
 
+	// BlobThreshold enables value separation: values at or above this many
+	// bytes live in the value log and the tree stores pointers (0 = off,
+	// the layout of every other experiment). The blob sweep sets it.
+	BlobThreshold int64
+	// BlobGCThreshold is the dead-byte fraction at which value-log GC
+	// rewrites a segment (0 = store default).
+	BlobGCThreshold float64
+	// BlobSegmentSize is the value-log rotation threshold (0 = store
+	// default).
+	BlobSegmentSize int64
+
 	// CompactionRateBytesPerSec caps background table-write bandwidth via
 	// the store's I/O scheduler (0 = unlimited; the brownout experiment
 	// sets it on one side of its comparison).

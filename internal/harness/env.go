@@ -92,6 +92,10 @@ func NewEnv(cfg Config, policy compaction.Policy) (*Env, error) {
 
 		CompactionRateBytesPerSec: cfg.CompactionRateBytesPerSec,
 		CompactionRateBurstBytes:  cfg.CompactionRateBurstBytes,
+
+		BlobThreshold:   cfg.BlobThreshold,
+		BlobGCThreshold: cfg.BlobGCThreshold,
+		BlobSegmentSize: cfg.BlobSegmentSize,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: open %v store: %w", policy, err)

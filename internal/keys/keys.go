@@ -24,10 +24,21 @@ const (
 	KindDelete Kind = 0
 	// KindSet marks a normal key/value insertion.
 	KindSet Kind = 1
+	// KindBlobRef marks an entry whose value is a fixed-size pointer into
+	// the value log (segment, offset, length) rather than the user value
+	// itself. Readers resolve the pointer through vlog.
+	KindBlobRef Kind = 2
+
+	// KindBlobRewrite exists only in the batch/WAL wire format: a vlog GC
+	// pointer rewrite guarded by the sequence it read under. It is applied
+	// as a KindBlobRef (or dropped) at commit time and is never stored in a
+	// memtable or SSTable, so kindMax excludes it and Valid rejects it.
+	KindBlobRewrite Kind = 3
 
 	// kindMax is used when constructing seek keys: for equal user key and
-	// sequence, higher kinds sort first, so KindSet works as the upper bound.
-	kindMax = KindSet
+	// sequence, higher kinds sort first, so the largest storable kind works
+	// as the upper bound.
+	kindMax = KindBlobRef
 )
 
 // Seq is a global write sequence number. 56 usable bits.
@@ -90,8 +101,11 @@ func (ik InternalKey) String() string {
 		return fmt.Sprintf("<invalid %x>", []byte(ik))
 	}
 	k := "SET"
-	if ik.Kind() == KindDelete {
+	switch ik.Kind() {
+	case KindDelete:
 		k = "DEL"
+	case KindBlobRef:
+		k = "BLOBREF"
 	}
 	return fmt.Sprintf("%q/%d/%s", ik.UserKey(), ik.Seq(), k)
 }

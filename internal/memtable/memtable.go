@@ -73,6 +73,14 @@ func (m *MemTable) Add(seq keys.Seq, kind keys.Kind, ukey, value []byte) {
 // returns (nil, false, true) for "found a tombstone" via the deleted flag.
 // found==false means the memtable has no visible version of ukey.
 func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bool) {
+	value, kind, found := m.GetEntry(ukey, seq)
+	return value, found && kind == keys.KindDelete, found
+}
+
+// GetEntry is Get with the entry kind exposed: under value separation the
+// newest version may be a pointer entry (keys.KindBlobRef) whose payload the
+// caller must resolve through the value log rather than return verbatim.
+func (m *MemTable) GetEntry(ukey []byte, seq keys.Seq) (value []byte, kind keys.Kind, found bool) {
 	it := m.list.NewIterator()
 	// Build the length-prefixed search record directly, in one allocation.
 	// The skiplist compares full records; a record holding just the prefixed
@@ -84,16 +92,37 @@ func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found 
 	rec = keys.MakeSearchKey(rec, ukey, seq)
 	it.SeekGE(rec)
 	if !it.Valid() {
-		return nil, false, false
+		return nil, 0, false
 	}
 	ikey, rest := decodeKey(it.Key())
 	if m.icmp.User.Compare(keys.InternalKey(ikey).UserKey(), ukey) != 0 {
-		return nil, false, false
+		return nil, 0, false
 	}
-	if keys.InternalKey(ikey).Kind() == keys.KindDelete {
-		return nil, true, true
+	k := keys.InternalKey(ikey).Kind()
+	if k == keys.KindDelete {
+		return nil, k, true
 	}
-	return decodeValue(rest), false, true
+	return decodeValue(rest), k, true
+}
+
+// LatestSeq reports the newest sequence number stored for ukey, of any kind.
+// The value-log GC's commit-time rewrite guard uses it to detect writes that
+// landed between its liveness read and the rewrite's application.
+func (m *MemTable) LatestSeq(ukey []byte) (keys.Seq, bool) {
+	it := m.list.NewIterator()
+	ikeyLen := len(ukey) + keys.TrailerLen
+	rec := make([]byte, 0, encoding.UvarintLen(uint64(ikeyLen))+ikeyLen)
+	rec = encoding.PutUvarint(rec, uint64(ikeyLen))
+	rec = keys.MakeSearchKey(rec, ukey, keys.MaxSeq)
+	it.SeekGE(rec)
+	if !it.Valid() {
+		return 0, false
+	}
+	ikey, _ := decodeKey(it.Key())
+	if m.icmp.User.Compare(keys.InternalKey(ikey).UserKey(), ukey) != 0 {
+		return 0, false
+	}
+	return keys.InternalKey(ikey).Seq(), true
 }
 
 // ApproximateBytes reports the memory consumed by entries, used for the

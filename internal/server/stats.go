@@ -212,6 +212,19 @@ func (s *Server) renderInfo(section string) string {
 		fmt.Fprintf(&b, "io_sched_preemptions:%d\r\n", ds.IOSchedPreemptions)
 		fmt.Fprintf(&b, "io_sched_queue_depths:flush=%d,l0=%d,merge=%d\r\n",
 			ds.IOSchedQueueFlush, ds.IOSchedQueueL0, ds.IOSchedQueueMerge)
+		// Value-log counters (all zero when value separation never ran and
+		// no log segments exist on disk).
+		fmt.Fprintf(&b, "vlog_segments:%d\r\n", ds.VlogSegments)
+		fmt.Fprintf(&b, "vlog_total_bytes:%d\r\n", ds.VlogTotalBytes)
+		fmt.Fprintf(&b, "vlog_dead_bytes:%d\r\n", ds.VlogDeadBytes)
+		fmt.Fprintf(&b, "vlog_live_ratio:%.3f\r\n", ds.VlogLiveRatio)
+		fmt.Fprintf(&b, "vlog_appended_bytes:%d\r\n", ds.VlogAppendedBytes)
+		fmt.Fprintf(&b, "vlog_gc_passes:%d\r\n", ds.VlogGCPasses)
+		fmt.Fprintf(&b, "vlog_gc_bytes_rewritten:%d\r\n", ds.VlogGCBytesRewritten)
+		fmt.Fprintf(&b, "vlog_gc_records_guarded:%d\r\n", ds.VlogGCRecordsGuarded)
+		fmt.Fprintf(&b, "blob_values_separated:%d\r\n", ds.BlobValuesSeparated)
+		fmt.Fprintf(&b, "blob_resolves:%d\r\n", ds.BlobResolves)
+		fmt.Fprintf(&b, "blob_resolve_cache_hits:%d\r\n", ds.BlobResolveCacheHits)
 		fmt.Fprintf(&b, "\r\n")
 	}
 	if want("cluster") {

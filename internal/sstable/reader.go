@@ -196,8 +196,8 @@ func (r *Reader) Get(ukey []byte, seq keys.Seq) (value []byte, deleted, found bo
 	if !r.MayContain(ukey) {
 		return nil, false, false, nil
 	}
-	value, deleted, _, found, err = r.Probe(keys.MakeSearchKey(nil, ukey, seq))
-	return value, deleted, found, err
+	value, kind, _, found, err := r.Probe(keys.MakeSearchKey(nil, ukey, seq))
+	return value, found && kind == keys.KindDelete, found, err
 }
 
 // pointProbe carries the two block cursors of one point lookup; pooled so a
@@ -214,42 +214,45 @@ var probePool = sync.Pool{New: func() interface{} { return new(pointProbe) }}
 // encoding (ukey, snapshot seq); see keys.MakeSearchKey. The Bloom filter is
 // NOT consulted: callers that want filtering call MayContain first (the DB
 // does, so it can count probes and negatives). entrySeq reports the sequence
-// of the found entry. The returned value aliases the cached block; callers
-// copy at their final return site, not here.
+// of the found entry and kind its stored kind (a keys.KindBlobRef value is
+// an encoded value-log pointer the caller resolves). The returned value
+// aliases the cached block; callers copy at their final return site, not
+// here.
 //
 // A single index seek suffices because index keys are exactly the last key
 // of each data block (see Writer.flushPendingIndex): the first index entry
 // >= sk names the one block whose key range can contain sk, and a SeekGE
 // inside it always lands on an entry (its last key is >= sk).
-func (r *Reader) Probe(sk keys.InternalKey) (value []byte, deleted bool, entrySeq keys.Seq, found bool, err error) {
+func (r *Reader) Probe(sk keys.InternalKey) (value []byte, kind keys.Kind, entrySeq keys.Seq, found bool, err error) {
 	p := probePool.Get().(*pointProbe)
 	defer probePool.Put(p)
 	p.idx.Init(r.index)
 	p.idx.SeekGE(sk)
 	if !p.idx.Valid() {
-		return nil, false, 0, false, p.idx.Error()
+		return nil, 0, 0, false, p.idx.Error()
 	}
 	h, n := decodeBlockHandle(p.idx.Value())
 	if n == 0 {
-		return nil, false, 0, false, fmt.Errorf("%w: bad index entry", ErrCorrupt)
+		return nil, 0, 0, false, fmt.Errorf("%w: bad index entry", ErrCorrupt)
 	}
 	br, err := r.dataBlock(h)
 	if err != nil {
-		return nil, false, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	p.data.Init(br)
 	p.data.SeekGE(sk)
 	if !p.data.Valid() {
-		return nil, false, 0, false, p.data.Error()
+		return nil, 0, 0, false, p.data.Error()
 	}
 	ik := keys.InternalKey(p.data.Key())
 	if r.opts.Cmp.User.Compare(ik.UserKey(), sk.UserKey()) != 0 {
-		return nil, false, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
-	if ik.Kind() == keys.KindDelete {
-		return nil, true, ik.Seq(), true, nil
+	k := ik.Kind()
+	if k == keys.KindDelete {
+		return nil, k, ik.Seq(), true, nil
 	}
-	return p.data.Value(), false, ik.Seq(), true, nil
+	return p.data.Value(), k, ik.Seq(), true, nil
 }
 
 var tableIterPool = sync.Pool{New: func() interface{} { return new(tableIter) }}

@@ -72,6 +72,13 @@ type Props struct {
 	// CompressedBlocks counts blocks that actually stored compressed (the
 	// remainder hit the incompressible bailout or had Compression == None).
 	CompressedBlocks int
+	// BlobRefs counts value-log pointer entries (keys.KindBlobRef) in the
+	// table; BlobRefBytes is the total referenced record size — the bytes
+	// this table keeps live in the value log. The pointer's trailing fixed32
+	// is the record length (see vlog.Pointer), decoded here without a vlog
+	// dependency.
+	BlobRefs     int
+	BlobRefBytes int64
 }
 
 // Writer builds one table. Add keys in strictly increasing internal-key
@@ -137,6 +144,10 @@ func (w *Writer) Add(ikey keys.InternalKey, value []byte) error {
 	w.props.Entries++
 	w.props.RawKeyBytes += int64(len(ikey))
 	w.props.RawValBytes += int64(len(value))
+	if ikey.Kind() == keys.KindBlobRef && len(value) == 20 {
+		w.props.BlobRefs++
+		w.props.BlobRefBytes += int64(encoding.Fixed32(value[16:]))
+	}
 	if w.opts.BloomBitsPerKey > 0 {
 		w.userKeys = append(w.userKeys, append([]byte(nil), ikey.UserKey()...))
 	}

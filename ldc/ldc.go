@@ -48,6 +48,17 @@
 // read/write latency percentile ladders plus the scheduler's counters.
 // See DESIGN.md ("I/O scheduling").
 //
+// Separating large values:
+//
+// Options.BlobThreshold moves values at or above the threshold into a
+// segmented append-only value log (WiscKey-style), leaving a 20-byte
+// pointer in the tree — compaction rewrites pointers, not payloads. Log
+// garbage collection is driven by compaction's own dead-byte accounting
+// and relocates live records through the normal commit pipeline, guarded
+// so concurrent overwrites always win. The default (0) disables
+// separation and keeps the on-disk layout byte-identical to prior
+// versions. See DESIGN.md ("Value separation").
+//
 // For experiments, an SSD simulator with asymmetric read/write timing and
 // per-category I/O accounting is available via NewSimulatedSSD.
 package ldc

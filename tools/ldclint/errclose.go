@@ -35,7 +35,7 @@ var errcloseMethods = map[string]bool{
 
 // errclosePackages are matched by exact path or "/name" suffix, so both
 // repro/internal/wal and a fixture package "wal" qualify.
-var errclosePackages = []string{"wal", "sstable", "vfs", "net"}
+var errclosePackages = []string{"wal", "sstable", "vfs", "net", "vlog"}
 
 func runErrclose(pass *Pass) {
 	for _, fn := range funcsOf(pass.Files) {

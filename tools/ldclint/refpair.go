@@ -57,6 +57,7 @@ var acquireMethods = map[string]string{
 var acquireFuncs = map[string]bool{
 	"Current":       true,
 	"loadReadState": true,
+	"GetReader":     true, // vlog.Log hands out pooled readers; Release returns them
 }
 
 var releaseMethods = map[string]bool{

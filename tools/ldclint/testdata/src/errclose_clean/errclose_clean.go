@@ -4,6 +4,7 @@ package errclose_clean
 
 import (
 	"vfs"
+	"vlog"
 	"wal"
 )
 
@@ -40,4 +41,27 @@ func deferredClose(f *vfs.File) {
 // Out-of-scope receiver: dropping an application-level Close stays legal.
 func appLevel(c *closer) {
 	c.Close()
+}
+
+// Handled vlog writer sync (the commit path's shape).
+func handledVlogSync(w *vlog.Writer) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deferred segment close with the error captured (the GC scan shape).
+func capturedVlogSegmentClose(s *vlog.Segment) (err error) {
+	defer func() {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// Explicit discard stays sanctioned for vlog types too.
+func discardedVlogClose(l *vlog.Log) {
+	_ = l.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sstable"
 	"vfs"
+	"vlog"
 	"wal"
 )
 
@@ -35,4 +36,20 @@ func droppedConnClose(c *net.Conn) {
 
 func droppedListenerClose(l *net.Listener) {
 	l.Close() // want `error from \(net.Listener\).Close is dropped`
+}
+
+func droppedVlogWriterSync(w *vlog.Writer) {
+	w.Sync() // want `error from \(vlog.Writer\).Sync is dropped`
+}
+
+func droppedVlogWriterClose(w *vlog.Writer) {
+	w.Close() // want `error from \(vlog.Writer\).Close is dropped`
+}
+
+func droppedVlogSegmentClose(s *vlog.Segment) {
+	s.Close() // want `error from \(vlog.Segment\).Close is dropped`
+}
+
+func droppedVlogLogClose(l *vlog.Log) {
+	l.Close() // want `error from \(vlog.Log\).Close is dropped`
 }

@@ -2,7 +2,10 @@
 // refpair analyzer must stay silent on all of them.
 package refpair_clean
 
-import "refs"
+import (
+	"refs"
+	"vlog"
+)
 
 type errFail struct{}
 
@@ -80,4 +83,25 @@ func nilGuardInverted(s *refs.Set) {
 func notTracked(p *refs.Plain) {
 	t := p.Current()
 	t.Use()
+}
+
+// Deferred release of a pooled vlog reader (the resolve path's shape).
+func vlogReaderDeferred(l *vlog.Log, fail bool) error {
+	r := l.GetReader()
+	defer r.Release()
+	if fail {
+		return errFail{}
+	}
+	return nil
+}
+
+// Released on both arms.
+func vlogReaderBothArms(l *vlog.Log, fail bool) error {
+	r := l.GetReader()
+	if fail {
+		r.Release()
+		return errFail{}
+	}
+	r.Release()
+	return nil
 }

@@ -2,7 +2,10 @@
 // release on at least one exit path.
 package refpair_fire
 
-import "refs"
+import (
+	"refs"
+	"vlog"
+)
 
 type errFail struct{}
 
@@ -34,5 +37,24 @@ func leakOneArm(s *refs.Set, done bool) {
 	v := s.Current() // want `refs.Version reference acquired here is not released on every path`
 	if done {
 		v.Unref()
+	}
+}
+
+// Pooled vlog reader leaked on the error path: the pool shrinks by one for
+// every miss.
+func leakVlogReaderOnError(l *vlog.Log, fail bool) error {
+	r := l.GetReader() // want `vlog.Reader reference acquired here is not released on every path`
+	if fail {
+		return errFail{}
+	}
+	r.Release()
+	return nil
+}
+
+// Released in one branch arm but not the other.
+func leakVlogReaderOneArm(l *vlog.Log, done bool) {
+	r := l.GetReader() // want `vlog.Reader reference acquired here is not released on every path`
+	if done {
+		r.Release()
 	}
 }

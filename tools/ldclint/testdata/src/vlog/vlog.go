@@ -1,0 +1,31 @@
+// Package vlog is a hermetic stand-in for repro/internal/vlog; errclose
+// matches it by the "/vlog"-suffix package-path rule, and refpair tracks
+// GetReader's pooled result (Release returns it to the pool).
+package vlog
+
+type Pointer struct {
+	Segment uint64
+	Offset  uint64
+	Length  uint32
+}
+
+type Log struct{ r Reader }
+
+func (l *Log) GetReader() *Reader { return &l.r }
+func (l *Log) Close() error       { return nil }
+
+type Reader struct{ held bool }
+
+func (r *Reader) Read(p Pointer) (key, value []byte, err error) { return nil, nil, nil }
+func (r *Reader) Release()                                      {}
+
+type Writer struct{ n int }
+
+func (w *Writer) Append(key, value []byte) (Pointer, error) { return Pointer{}, nil }
+func (w *Writer) Sync() error                               { return nil }
+func (w *Writer) Close() error                              { return nil }
+
+type Segment struct{ size int64 }
+
+func (s *Segment) Scan(fn func(Pointer, []byte, []byte) error) error { return nil }
+func (s *Segment) Close() error                                      { return nil }
