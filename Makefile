@@ -16,13 +16,14 @@ TESTFLAGS := $(TAGFLAGS) $(GOFLAGS)
 unexport GOFLAGS
 unexport TAGS
 
-# ldclint is the repo's custom vettool (tools/ldclint): four analyzers that
+# ldclint is the repo's custom vettool (tools/ldclint): five analyzers that
 # machine-check the engine's concurrency invariants (I/O under mutex,
 # unbalanced refcounts, mixed atomic/plain field access, dropped errors from
-# durability-critical Close/Sync). Built from source on demand.
+# durability-critical Close/Sync, and whole-program lock acquisition order
+# against the //ldclint:lockrank catalog). Built from source on demand.
 LDCLINT := bin/ldclint
 
-.PHONY: all build test vet lint invariants race bench bench-smoke bench-read bench-format bench-shards bench-tail bench-blob run-server server-smoke ci
+.PHONY: all build test vet lint invariants race fuzz-smoke bench bench-smoke bench-read bench-format bench-shards bench-tail bench-blob run-server server-smoke ci
 
 # run-server knobs (make run-server DB=/path PORT=6380)
 DB ?= /tmp/ldcserver-db
@@ -43,7 +44,9 @@ $(LDCLINT): tools/ldclint/*.go
 	$(GO) build -o $(LDCLINT) ./tools/ldclint
 
 # Run the repo-specific analyzers over every package, plus their own
-# regression suite (fixture packages under tools/ldclint/testdata).
+# regression suite (fixture packages under tools/ldclint/testdata). go vet
+# analyzes _test.go files as part of each package's test variants, so the
+# analyzers cover test code too — no extra invocation needed.
 lint: $(LDCLINT)
 	$(GO) test $(GOFLAGS) ./tools/ldclint
 	$(GO) vet -vettool=$(LDCLINT) $(TESTFLAGS) ./...
@@ -58,6 +61,16 @@ invariants:
 # multi-minute stress runs but still covers the pool, claims, and cache.
 race:
 	$(GO) test -race -short $(TESTFLAGS) ./...
+
+# Ten seconds of each decoder-facing fuzzer: enough to shake out shallow
+# regressions in the block, compression, codec, and vlog record parsers on
+# every CI run; long campaigns stay manual (go test -fuzz=... -fuzztime=10m).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzBlockRoundTrip -fuzztime $(FUZZTIME) $(TESTFLAGS) ./internal/sstable
+	$(GO) test -run XXX -fuzz FuzzLZ4Decode -fuzztime $(FUZZTIME) $(TESTFLAGS) ./internal/compress
+	$(GO) test -run XXX -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) $(TESTFLAGS) ./internal/compress
+	$(GO) test -run XXX -fuzz FuzzVlogRecordDecode -fuzztime $(FUZZTIME) $(TESTFLAGS) ./internal/vlog
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x $(TESTFLAGS) .
@@ -118,4 +131,4 @@ run-server: build
 server-smoke:
 	$(GO) test -count 1 -run TestServerBinarySmoke $(TESTFLAGS) ./cmd/ldcserver
 
-ci: vet lint race invariants bench-smoke bench-read bench-format bench-shards bench-tail bench-blob server-smoke
+ci: vet lint race invariants fuzz-smoke bench-smoke bench-read bench-format bench-shards bench-tail bench-blob server-smoke

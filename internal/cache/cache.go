@@ -13,7 +13,6 @@ package cache
 import (
 	"container/list"
 	"runtime"
-	"sync"
 
 	"repro/internal/invariants"
 )
@@ -34,7 +33,8 @@ type Cache struct {
 
 // shard is one lock stripe: the original single-mutex LRU.
 type shard struct {
-	mu       sync.Mutex
+	//ldclint:lockrank cache.shard.mu 70
+	mu       invariants.Mutex
 	capacity int64
 	used     int64
 	ll       *list.List // front = most recent
@@ -125,6 +125,7 @@ func NewSharded(capacity int64, n int) *Cache {
 	extra := capacity % int64(n)
 	for i := range c.shards {
 		s := &c.shards[i]
+		s.mu.Rank("cache.shard.mu", 70)
 		s.capacity = per
 		if int64(i) < extra {
 			s.capacity++

@@ -24,6 +24,7 @@ var ErrNil = errors.New("client: nil reply")
 
 // Client is one connection to the server.
 type Client struct {
+	//ldclint:lockrank client.client.mu 12
 	mu sync.Mutex
 	nc net.Conn
 	r  *resp.Reader

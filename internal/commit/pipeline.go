@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/batch"
+	"repro/internal/invariants"
 )
 
 // ErrPipelineClosed is the default error returned by Commit after Close;
@@ -63,7 +64,8 @@ type Pipeline struct {
 	maxBytes  int
 	closedErr error
 
-	mu      sync.Mutex
+	//ldclint:lockrank commit.pipeline.mu 35
+	mu      invariants.Mutex
 	cond    *sync.Cond
 	queue   []*writer // waiting committers; queue[0] is the next leader
 	leading bool      // a leader is building or committing a group
@@ -83,6 +85,7 @@ func NewPipeline(env Env, opts Options) *Pipeline {
 		opts.ClosedError = ErrPipelineClosed
 	}
 	p := &Pipeline{env: env, maxBytes: opts.MaxGroupBytes, closedErr: opts.ClosedError}
+	p.mu.Rank("commit.pipeline.mu", 35)
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }

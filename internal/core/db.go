@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/commit"
 	"repro/internal/compaction"
+	"repro/internal/invariants"
 	"repro/internal/iosched"
 	"repro/internal/keys"
 	"repro/internal/memtable"
@@ -98,7 +99,8 @@ type store struct {
 	// readstate.go). nil once the store is closed.
 	readState atomic.Pointer[readState]
 
-	mu      sync.Mutex
+	//ldclint:lockrank core.store.mu 30
+	mu      invariants.Mutex
 	mem     *memtable.MemTable
 	imm     *memtable.MemTable
 	logw    *wal.Writer
@@ -185,6 +187,8 @@ func openStore(cfg storeConfig, opts Options, tables *tableCache) (*store, error
 		db.vlogw = cfg.vlog.NewWriter(cfg.shardID)
 		db.blockCache = cfg.blockCache
 	}
+	db.mu.Rank("core.store.mu", 30)
+	db.snapshots.mu.Rank("core.snapshots.mu", 50)
 	db.flushCond = sync.NewCond(&db.mu)
 	db.workCond = sync.NewCond(&db.mu)
 	db.bgCond = sync.NewCond(&db.mu)
@@ -843,7 +847,8 @@ func (db *store) tableProbe(num uint64, sk keys.InternalKey) (val []byte, kind k
 // Snapshots
 
 type snapshotList struct {
-	mu   sync.Mutex
+	//ldclint:lockrank core.snapshots.mu 50
+	mu   invariants.Mutex
 	seqs map[keys.Seq]int
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/histogram"
+	"repro/internal/invariants"
 	"repro/internal/iosched"
 	"repro/internal/keys"
 	"repro/internal/ssdsim"
@@ -70,8 +71,9 @@ type DB struct {
 	// nil when Options.BlobThreshold is 0 and no segments exist on disk.
 	// The background GC worker (startValueGC) and the manual RunValueGC /
 	// CompactValueLog entry points serialize passes through gcMu.
-	vlog   *vlog.Log
-	gcMu   sync.Mutex
+	vlog *vlog.Log
+	//ldclint:lockrank core.db.gcMu 20
+	gcMu   invariants.Mutex
 	gcStop chan struct{}
 	gcWG   sync.WaitGroup
 
@@ -113,6 +115,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		dir:  dir,
 		mask: uint64(n - 1),
 	}
+	db.gcMu.Rank("core.db.gcMu", 20)
 	db.blockCache = opts.newBlockCache()
 	db.tables = newTableCache(userFS(opts.FS), icmp, db.blockCache, *opts.VerifyChecksums)
 	if opts.CompactionRateBytesPerSec > 0 {

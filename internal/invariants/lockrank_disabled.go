@@ -1,0 +1,44 @@
+//go:build !invariants
+
+package invariants
+
+import "sync"
+
+// Mutex is a sync.Mutex that participates in the lock-rank validator when
+// built with -tags invariants. Without the tag it is exactly a sync.Mutex:
+// the embedded methods are promoted untouched, Rank is an empty method the
+// compiler deletes, and the struct adds no fields, so ranked call sites
+// cost nothing in production builds.
+//
+// The static half of the same discipline is tools/ldclint's lockorder
+// analyzer, driven by //ldclint:lockrank annotations on the fields.
+type Mutex struct {
+	sync.Mutex
+}
+
+// Rank declares the lock's name and rank for the runtime validator. No-op
+// without -tags invariants. The name and rank must match the field's
+// //ldclint:lockrank annotation; the lockorder analyzer checks they agree.
+func (m *Mutex) Rank(name string, rank int) {}
+
+// RWMutex is the read-write counterpart of Mutex.
+type RWMutex struct {
+	sync.RWMutex
+}
+
+// Rank declares the lock's name and rank for the runtime validator. No-op
+// without -tags invariants.
+func (m *RWMutex) Rank(name string, rank int) {}
+
+// LockAcquired records that the calling goroutine acquired the named lock.
+// No-op without -tags invariants. Ranked Mutex/RWMutex call it themselves;
+// it is exported for locks that cannot use the wrapper types.
+func LockAcquired(name string, rank int) {}
+
+// LockReleased records that the calling goroutine released the named lock.
+// No-op without -tags invariants.
+func LockReleased(name string) {}
+
+// HeldLocks reports the calling goroutine's held ranked locks, outermost
+// first. Always nil without -tags invariants.
+func HeldLocks() []string { return nil }

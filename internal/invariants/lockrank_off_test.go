@@ -1,0 +1,31 @@
+//go:build !invariants
+
+package invariants
+
+import "testing"
+
+// Without the tag the wrappers are plain mutexes: inverted acquisition
+// orders are silently permitted (the validator compiles away) and the
+// tracker API is inert.
+func TestLockRankDisabledIsInert(t *testing.T) {
+	var low, high Mutex
+	low.Rank("off.low", 1)
+	high.Rank("off.high", 2)
+	high.Lock()
+	low.Lock() // inverted on purpose: must NOT panic without the tag
+	low.Unlock()
+	high.Unlock()
+
+	LockAcquired("off.low", 1)
+	LockReleased("off.low")
+	if held := HeldLocks(); held != nil {
+		t.Fatalf("HeldLocks = %v, want nil without -tags invariants", held)
+	}
+
+	var rw RWMutex
+	rw.Rank("off.rw", 3)
+	rw.RLock()
+	rw.RUnlock()
+	rw.Lock()
+	rw.Unlock()
+}

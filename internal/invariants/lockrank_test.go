@@ -1,0 +1,163 @@
+//go:build invariants
+
+package invariants
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// An intentionally inverted acquisition must panic via the runtime
+// lock-rank tracker — this is the acceptance gate for the dynamic half.
+func TestLockRankInversionPanics(t *testing.T) {
+	var low, high Mutex
+	low.Rank("test.low", 1)
+	high.Rank("test.high", 2)
+	mustPanic(t, "lock-rank inversion: acquiring test.low (rank 1) while holding test.high (rank 2)", func() {
+		high.Lock()
+		defer high.Unlock()
+		low.Lock() // inverted: rank 1 under rank 2
+		defer low.Unlock()
+	})
+	// The tracker must not be poisoned for this goroutine afterwards.
+	LockReleased("test.low")
+	LockReleased("test.high")
+	if held := HeldLocks(); len(held) != 0 {
+		t.Fatalf("held stack not empty after cleanup: %v", held)
+	}
+}
+
+func TestLockRankEqualRankPanics(t *testing.T) {
+	var a, b Mutex
+	a.Rank("test.eq.a", 7)
+	b.Rank("test.eq.b", 7)
+	mustPanic(t, "lock-rank inversion", func() {
+		a.Lock()
+		defer a.Unlock()
+		b.Lock()
+		defer b.Unlock()
+	})
+	LockReleased("test.eq.b")
+	LockReleased("test.eq.a")
+}
+
+func TestLockRankOrderedNestingOK(t *testing.T) {
+	var outer, mid, inner Mutex
+	outer.Rank("test.outer", 10)
+	mid.Rank("test.mid", 20)
+	inner.Rank("test.inner", 30)
+	outer.Lock()
+	mid.Lock()
+	inner.Lock()
+	if held := HeldLocks(); len(held) != 3 || held[0] != "test.outer" || held[2] != "test.inner" {
+		t.Fatalf("held stack = %v", held)
+	}
+	// Out-of-order release is legal: deadlock order is about acquisition.
+	mid.Unlock()
+	inner.Unlock()
+	outer.Unlock()
+	if held := HeldLocks(); len(held) != 0 {
+		t.Fatalf("held stack not empty: %v", held)
+	}
+}
+
+// Re-acquiring after a full release is not nesting.
+func TestLockRankSequentialReacquireOK(t *testing.T) {
+	var high, low Mutex
+	high.Rank("test.seq.high", 2)
+	low.Rank("test.seq.low", 1)
+	high.Lock()
+	high.Unlock()
+	low.Lock()
+	low.Unlock()
+	high.Lock()
+	high.Unlock()
+}
+
+// Zero-value wrappers (Rank never called) stay usable and untracked, so
+// struct literals in tests keep working.
+func TestLockRankZeroValueUntracked(t *testing.T) {
+	var a, b Mutex
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	if held := HeldLocks(); len(held) != 0 {
+		t.Fatalf("zero-value mutexes were tracked: %v", held)
+	}
+}
+
+// RWMutex read acquisitions share the lock's rank.
+func TestLockRankRWMutex(t *testing.T) {
+	var rw RWMutex
+	var m Mutex
+	rw.Rank("test.rw", 1)
+	m.Rank("test.rw.inner", 2)
+	rw.RLock()
+	m.Lock()
+	m.Unlock()
+	rw.RUnlock()
+	mustPanic(t, "lock-rank inversion", func() {
+		m.Lock()
+		defer m.Unlock()
+		rw.RLock() // rank 1 under rank 2
+		defer rw.RUnlock()
+	})
+	LockReleased("test.rw")
+	LockReleased("test.rw.inner")
+}
+
+// Stacks are per-goroutine: the same ranks held concurrently on two
+// goroutines never interact.
+func TestLockRankPerGoroutine(t *testing.T) {
+	var a, b Mutex
+	a.Rank("test.g.a", 1)
+	b.Rank("test.g.b", 2)
+	a.Lock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Lock() // holding nothing on this goroutine: no inversion
+		b.Unlock()
+	}()
+	wg.Wait()
+	a.Unlock()
+}
+
+// A ranked mutex works as a sync.Cond locker: Wait's unlock/relock passes
+// through the wrapper, so the tracker stays balanced.
+func TestLockRankCondWait(t *testing.T) {
+	var mu Mutex
+	mu.Rank("test.cond", 5)
+	cond := sync.NewCond(&mu)
+	done := make(chan struct{})
+	mu.Lock()
+	go func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+		close(done)
+	}()
+	cond.Wait()
+	mu.Unlock()
+	<-done
+	if held := HeldLocks(); len(held) != 0 {
+		t.Fatalf("held stack not empty after cond wait: %v", held)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/invariants"
 )
 
 // Tier orders background I/O classes by priority; lower value = served
@@ -110,7 +112,8 @@ type Limiter struct {
 	aging [NumTiers]time.Duration
 	now   func() time.Time
 
-	mu     sync.Mutex
+	//ldclint:lockrank iosched.limiter.mu 75
+	mu     invariants.Mutex
 	cond   *sync.Cond
 	tokens float64
 	last   time.Time // last refill instant
@@ -162,6 +165,7 @@ func New(opts Options) *Limiter {
 	if l.aging[TierMerge] <= 0 {
 		l.aging[TierMerge] = 2 * time.Second
 	}
+	l.mu.Rank("iosched.limiter.mu", 75)
 	l.cond = sync.NewCond(&l.mu)
 	l.tokens = l.burst // start full: no throttling until the budget is spent
 	l.last = l.now()

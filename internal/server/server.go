@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/invariants"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown completes.
@@ -117,7 +118,8 @@ type Server struct {
 	sem  chan struct{} // connection slots; acquired before Accept
 	quit chan struct{} // closed by Shutdown: stop accepting, start draining
 
-	mu    sync.Mutex
+	//ldclint:lockrank server.server.mu 10
+	mu    invariants.Mutex
 	ln    net.Listener
 	conns map[*conn]struct{}
 	wg    sync.WaitGroup // live connection goroutines
@@ -152,6 +154,7 @@ func New(db *core.DB, cfg Config) (*Server, error) {
 		shutdownDone: make(chan struct{}),
 		started:      time.Now(),
 	}
+	s.mu.Rank("server.server.mu", 10)
 	s.stats.init()
 	return s, nil
 }

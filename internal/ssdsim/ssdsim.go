@@ -135,6 +135,7 @@ func (s Stats) FlushWrite() int64      { return s.ByCategory[CatFlush].WriteByte
 type Device struct {
 	prof Profile
 
+	//ldclint:lockrank ssdsim.device.mu 85
 	mu   sync.Mutex
 	cats [numCategories]CatStats
 

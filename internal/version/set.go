@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/invariants"
 	"repro/internal/keys"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -30,9 +30,11 @@ type Set struct {
 	// the same order versions are installed, and each edit must build on the
 	// version produced by the previous one. Held across I/O, so it is separate
 	// from mu (which protects in-memory state and is never held across I/O).
-	logMu sync.Mutex
+	//ldclint:lockrank version.set.logMu 40
+	logMu invariants.Mutex
 
-	mu       sync.Mutex
+	//ldclint:lockrank version.set.mu 45
+	mu       invariants.Mutex
 	current  *Version
 	fileRefs map[uint64]int
 	obsolete []uint64
@@ -56,7 +58,7 @@ type Set struct {
 // NewSet creates a Set rooted at dir. Call Create for a fresh database or
 // Recover for an existing one before any other method.
 func NewSet(fs vfs.FS, dir string, icmp keys.InternalComparer) *Set {
-	return &Set{
+	s := &Set{
 		fs:          fs,
 		dir:         dir,
 		icmp:        icmp,
@@ -64,6 +66,9 @@ func NewSet(fs vfs.FS, dir string, icmp keys.InternalComparer) *Set {
 		nextFileNum: 2,
 		nextLinkSeq: 1,
 	}
+	s.logMu.Rank("version.set.logMu", 40)
+	s.mu.Rank("version.set.mu", 45)
+	return s
 }
 
 // Current returns the current version with a reference held; callers must

@@ -23,6 +23,7 @@ type ErrFS struct {
 	// FailErr is the injected error (required when arming).
 	FailErr error
 
+	//ldclint:lockrank vfs.errfs.mu 78
 	mu        sync.Mutex
 	writeOps  int64
 	syncHook  func(name string) // invoked at the top of every File.Sync

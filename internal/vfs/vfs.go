@@ -133,12 +133,14 @@ func (f osFile) Size() (int64, error) {
 func Mem() FS { return &memFS{files: map[string]*memData{}} }
 
 type memFS struct {
+	//ldclint:lockrank vfs.memfs.mu 80
 	mu    sync.Mutex
 	files map[string]*memData
 	dirs  sync.Map // set of created directories
 }
 
 type memData struct {
+	//ldclint:lockrank vfs.memdata.mu 82
 	mu   sync.RWMutex
 	data []byte
 }

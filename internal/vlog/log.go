@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/invariants"
 	"repro/internal/vfs"
 )
 
@@ -69,8 +70,18 @@ type segment struct {
 
 	active atomic.Bool // owned by a Writer; ineligible for GC
 
-	mu sync.Mutex
+	//ldclint:lockrank vlog.segment.mu 65
+	mu invariants.Mutex
 	rf vfs.File // shared lazy read handle for pointer resolution
+}
+
+// newSegment builds segment num owned by shard; both segment-creation
+// sites (recovery and writer rotation) go through it so the mutex rank is
+// declared exactly once.
+func newSegment(num uint64, shard int) *segment {
+	s := &segment{num: num, shard: shard}
+	s.mu.Rank("vlog.segment.mu", 65)
+	return s
 }
 
 // Log is the database-wide value log.
@@ -81,7 +92,8 @@ type Log struct {
 	dir     string
 	segSize int64
 
-	mu      sync.Mutex
+	//ldclint:lockrank vlog.log.mu 60
+	mu      invariants.Mutex
 	segs    map[uint64]*segment
 	nextSeg uint64
 
@@ -146,6 +158,7 @@ func Open(fs vfs.FS, dir string, opts Options) (*Log, error) {
 		segs:    map[uint64]*segment{},
 		nextSeg: 1,
 	}
+	l.mu.Rank("vlog.log.mu", 60)
 	if l.readFS == nil {
 		l.readFS = fs
 	}
@@ -167,7 +180,7 @@ func Open(fs vfs.FS, dir string, opts Options) (*Log, error) {
 		if err != nil {
 			return nil, fmt.Errorf("vlog: recover %s: %w", name, err)
 		}
-		seg := &segment{num: num, shard: shard}
+		seg := newSegment(num, shard)
 		seg.size.Store(valid)
 		l.segs[num] = seg
 		if num >= l.nextSeg {

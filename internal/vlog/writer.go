@@ -3,8 +3,8 @@ package vlog
 import (
 	"errors"
 	"fmt"
-	"sync"
 
+	"repro/internal/invariants"
 	"repro/internal/vfs"
 )
 
@@ -20,7 +20,8 @@ type Writer struct {
 	log   *Log
 	shard int
 
-	mu     sync.Mutex
+	//ldclint:lockrank vlog.writer.mu 55
+	mu     invariants.Mutex
 	closed bool
 	seg    *segment
 	f      vfs.File
@@ -33,7 +34,9 @@ type Writer struct {
 // first Append, so a database that never separates a value never creates
 // vlog files.
 func (l *Log) NewWriter(shard int) *Writer {
-	return &Writer{log: l, shard: shard}
+	w := &Writer{log: l, shard: shard}
+	w.mu.Rank("vlog.writer.mu", 55)
+	return w
 }
 
 // Append writes one record and returns its pointer. The record is written
@@ -84,7 +87,7 @@ func (w *Writer) rotateLocked() error {
 	l.mu.Lock()
 	num := l.nextSeg
 	l.nextSeg++
-	seg := &segment{num: num, shard: w.shard}
+	seg := newSegment(num, w.shard)
 	seg.active.Store(true)
 	l.segs[num] = seg
 	l.mu.Unlock()

@@ -1,7 +1,8 @@
 package main
 
 // A miniature analysis framework (the shape of golang.org/x/tools/go/analysis,
-// reduced to what four intraprocedural, factless analyzers need), plus the
+// reduced to what five analyzers need — four intraprocedural and factless,
+// plus lockorder, whose cross-package facts ride in Pass.locks), and the
 // //ldclint:ignore directive machinery shared by all of them.
 
 import (
@@ -26,6 +27,7 @@ var Analyzers = []*Analyzer{
 	refpairAnalyzer,
 	atomicfieldAnalyzer,
 	errcloseAnalyzer,
+	lockorderAnalyzer,
 }
 
 // Pass carries one package's worth of inputs to an analyzer and collects
@@ -36,6 +38,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// locks is the merged whole-program lock environment (this package's
+	// summaries plus its dependencies' facts); nil when the caller has no
+	// facts channel, in which case lockorder stands down.
+	locks *lockEnv
 
 	diags   *[]Diagnostic
 	ignores ignoreIndex
@@ -65,8 +72,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // runAnalyzers applies every analyzer to the package and returns the merged,
 // position-sorted diagnostics. Malformed ignore directives are reported as
-// findings in their own right so they cannot silently rot.
-func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+// findings in their own right so they cannot silently rot — and so is a
+// well-formed directive that suppressed nothing: a stale ignore is a lie
+// about which invariants the code still violates.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, locks *lockEnv) []Diagnostic {
 	var diags []Diagnostic
 	ignores, bad := buildIgnoreIndex(fset, files)
 	for _, d := range bad {
@@ -79,10 +88,22 @@ func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			locks:    locks,
 			diags:    &diags,
 			ignores:  ignores,
 		}
 		a.Run(pass)
+	}
+	for _, ds := range ignores {
+		for _, d := range ds {
+			if !d.used {
+				diags = append(diags, Diagnostic{
+					Position: d.position,
+					Message:  fmt.Sprintf("ldclint:ignore for %q suppresses nothing (stale directive)", d.name),
+					pos:      d.pos,
+				})
+			}
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Position, diags[j].Position
@@ -115,17 +136,30 @@ type ignoreKey struct {
 	line int
 }
 
-type ignoreIndex map[ignoreKey][]string // analyzer names ("all" matches any)
+// ignoreDirective is one indexed directive; used flips when it suppresses a
+// finding, so unused directives can be reported as stale afterwards.
+type ignoreDirective struct {
+	name     string // analyzer name ("all" matches any)
+	pos      token.Pos
+	position token.Position
+	used     bool
+}
 
+type ignoreIndex map[ignoreKey][]*ignoreDirective
+
+// covers reports whether a directive suppresses the finding, marking every
+// matching directive as used.
 func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	covered := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range ix[ignoreKey{pos.Filename, line}] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, d := range ix[ignoreKey{pos.Filename, line}] {
+			if d.name == analyzer || d.name == "all" {
+				d.used = true
+				covered = true
 			}
 		}
 	}
-	return false
+	return covered
 }
 
 // buildIgnoreIndex scans every comment for directives. A directive missing
@@ -165,7 +199,11 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Di
 					continue
 				}
 				key := ignoreKey{position.Filename, position.Line}
-				ix[key] = append(ix[key], fields[0])
+				ix[key] = append(ix[key], &ignoreDirective{
+					name:     fields[0],
+					pos:      c.Pos(),
+					position: position,
+				})
 			}
 		}
 	}

@@ -1,0 +1,92 @@
+package main
+
+// Tests for the `// want` fixture harness itself. The harness is the oracle
+// every fixture truth-claim rests on, so its parsing corners — several
+// patterns on one line, double-quoted vs backquoted arguments, the (+N)/(−N)
+// offset form — get direct coverage instead of being trusted by induction
+// from passing fixtures.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// wantsOf runs collectWants over a single source string and flattens the
+// result to line → patterns.
+func wantsOf(t *testing.T, src string) map[int][]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "h_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, fset, []*ast.File{f})
+	out := map[int][]string{}
+	for k, res := range wants {
+		for _, re := range res {
+			out[k.line] = append(out[k.line], re.String())
+		}
+	}
+	return out
+}
+
+func TestCollectWantsMultipleArgsOneLine(t *testing.T) {
+	src := "package p\n\nvar x = 1 // want `first pattern` `second pattern`\n"
+	wants := wantsOf(t, src)
+	if got := wants[3]; len(got) != 2 || got[0] != "first pattern" || got[1] != "second pattern" {
+		t.Errorf("line 3 wants = %v, want two backquoted patterns", got)
+	}
+}
+
+func TestCollectWantsMixedQuoting(t *testing.T) {
+	// A double-quoted argument is unquoted (so \" and \\ resolve) before
+	// regexp compilation; a backquoted one is taken verbatim.
+	src := "package p\n\nvar x = 1 // want \"escaped \\\"quote\\\"\" `raw (pattern)`\n"
+	wants := wantsOf(t, src)
+	got := wants[3]
+	if len(got) != 2 {
+		t.Fatalf("line 3 wants = %v, want 2 patterns", got)
+	}
+	if got[0] != `escaped "quote"` {
+		t.Errorf("double-quoted arg = %q, want unquoted form", got[0])
+	}
+	if got[1] != "raw (pattern)" {
+		t.Errorf("backquoted arg = %q, want verbatim form", got[1])
+	}
+}
+
+func TestCollectWantsOffsets(t *testing.T) {
+	src := `package p
+
+// want(+2) ` + "`lands two lines down`" + `
+var a = 1
+var b = 2 // want(-1) ` + "`lands one line up`" + `
+`
+	wants := wantsOf(t, src)
+	if got := wants[5]; len(got) != 1 || got[0] != "lands two lines down" {
+		t.Errorf("want(+2) landed at %v; line 5 = %v", wants, got)
+	}
+	if got := wants[4]; len(got) != 1 || got[0] != "lands one line up" {
+		t.Errorf("want(-1) landed at %v; line 4 = %v", wants, got)
+	}
+}
+
+func TestCollectWantsIgnoresNonWantComments(t *testing.T) {
+	src := `package p
+
+// wanton destruction is not a want comment
+var a = 1 // neither is this, nor is "want" in prose
+`
+	if wants := wantsOf(t, src); len(wants) != 0 {
+		t.Errorf("collected wants from non-want comments: %v", wants)
+	}
+}
+
+func TestRunFixtureUnknownAnalyzerSelfDiagnostic(t *testing.T) {
+	// The ignores fixture carries the self-diagnostic cases (missing reason,
+	// unknown analyzer, stale directive); this pins that its wants stay
+	// matched — the harness run is the assertion.
+	runFixture(t, "ignores")
+}

@@ -31,9 +31,13 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	pkgs := []string{
 		"mutexio_fire", "mutexio_clean",
 		"mutexio_iosched_fire", "mutexio_iosched_clean",
+		"mutexio_wrapped_fire", "mutexio_wrapped_clean",
 		"refpair_fire", "refpair_clean",
 		"atomicfield_fire", "atomicfield_clean",
 		"errclose_fire", "errclose_clean",
+		"lockorder_fire", "lockorder_clean",
+		"lockorder_xdep", "lockorder_xfire",
+		"internal/lockrank_fire",
 		"ignores",
 	}
 	for _, pkg := range pkgs {
@@ -48,9 +52,12 @@ func TestFirePackagesActuallyFire(t *testing.T) {
 	for _, tc := range []struct{ pkg, analyzer string }{
 		{"mutexio_fire", "mutexio"},
 		{"mutexio_iosched_fire", "mutexio"},
+		{"mutexio_wrapped_fire", "mutexio"},
 		{"refpair_fire", "refpair"},
 		{"atomicfield_fire", "atomicfield"},
 		{"errclose_fire", "errclose"},
+		{"lockorder_fire", "lockorder"},
+		{"internal/lockrank_fire", "lockorder"},
 	} {
 		diags := analyzeFixture(t, tc.pkg)
 		n := 0
@@ -68,7 +75,11 @@ func TestFirePackagesActuallyFire(t *testing.T) {
 // TestCleanPackagesStaySilent asserts the clean fixtures produce nothing at
 // all — the false-positive budget for sanctioned shapes is zero.
 func TestCleanPackagesStaySilent(t *testing.T) {
-	for _, pkg := range []string{"mutexio_clean", "mutexio_iosched_clean", "refpair_clean", "atomicfield_clean", "errclose_clean"} {
+	for _, pkg := range []string{
+		"mutexio_clean", "mutexio_iosched_clean", "mutexio_wrapped_clean",
+		"refpair_clean", "atomicfield_clean", "errclose_clean",
+		"lockorder_clean", "lockorder_xdep",
+	} {
 		if diags := analyzeFixture(t, pkg); len(diags) != 0 {
 			for _, d := range diags {
 				t.Errorf("%s: unexpected %s: %s", pkg, d.Position, d.Message)
@@ -92,6 +103,7 @@ type fixturePkg struct {
 	files []*ast.File
 	pkg   *types.Package
 	info  *types.Info
+	env   *lockEnv
 }
 
 func newFixtureLoader(t *testing.T) *fixtureLoader {
@@ -140,7 +152,17 @@ func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
 	}
+	// Mirror the vet facts protocol in-memory: each package's lock
+	// environment merges the facts of its direct imports, which already
+	// carry their own dependencies transitively.
+	var deps []*lockFacts
+	for _, imp := range pkg.Imports() {
+		if d := l.pkgs[imp.Path()]; d != nil && d.env != nil {
+			deps = append(deps, d.env.facts())
+		}
+	}
 	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	p.env = buildLockEnv(l.fset, files, pkg, info, deps)
 	l.pkgs[path] = p
 	return p, nil
 }
@@ -152,7 +174,7 @@ func analyzeFixture(t *testing.T, path string) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return runAnalyzers(Analyzers, l.fset, p.files, p.pkg, p.info)
+	return runAnalyzers(Analyzers, l.fset, p.files, p.pkg, p.info, p.env)
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +240,7 @@ func runFixture(t *testing.T, path string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := runAnalyzers(Analyzers, l.fset, p.files, p.pkg, p.info)
+	diags := runAnalyzers(Analyzers, l.fset, p.files, p.pkg, p.info, p.env)
 	wants := collectWants(t, l.fset, p.files)
 
 	matched := map[wantKey][]bool{}

@@ -1,0 +1,1027 @@
+package main
+
+// lockorder is the whole-program half of the lock discipline (the runtime
+// half is internal/invariants' -tags invariants lock-rank tracker). Per
+// package it summarizes every function — which lock classes it acquires,
+// which locks are held at each call site, which functions it calls — and
+// serializes the summaries as "facts" through the vet protocol (see
+// unit.go). Analyzing a package, it merges the facts of its dependencies,
+// propagates acquisitions over the call graph to a fixpoint, and reports:
+//
+//   - lock-order cycles (potential deadlocks), once per strongly connected
+//     component, with the full witness chain of file:line acquisition sites
+//   - acquisitions contradicting the declared ranking: a lock acquired
+//     while a lock of equal or higher rank is held
+//   - mutex fields in internal/ packages with no declared rank
+//   - invariants.Mutex Rank() calls that disagree with the field annotation
+//   - direct re-acquisition of a held mutex (self-deadlock)
+//
+// Ranks are declared on the mutex field:
+//
+//	//ldclint:lockrank <name> <rank>
+//
+// and must strictly increase inward (outermost lock = lowest rank); the
+// full catalog lives in DESIGN.md's "Lock order" section.
+//
+// Deliberate blind spots, shared with any static lockdep: calls through
+// interfaces and function values are unresolvable (the stall controller's
+// and commit pipeline's callbacks are invisible — the runtime tracker
+// covers those paths); goroutine bodies and function literals start with an
+// empty held set (they run on their own schedule); deferred calls are
+// propagated but contribute no held-at-call edge (the lock set at defer
+// execution is unknowable); and a function that unlocks its caller's mutex
+// and re-locks it (the *Locked pattern) produces a same-class edge, which
+// is skipped.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var lockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the whole-program lock acquisition graph and reports order cycles and rank violations",
+	Run:  runLockorder,
+}
+
+// lockrankPrefix is the annotation declaring a mutex field's class name and
+// rank: //ldclint:lockrank <name> <rank>
+const lockrankPrefix = "//ldclint:lockrank"
+
+// ---------------------------------------------------------------------------
+// Facts: the serialized per-package summaries flowing through the vet
+// protocol. Positions are "file:line" strings so they survive JSON and read
+// well in diagnostics. Each package writes the merged facts of itself and
+// its dependencies, so transitive summaries reach dependents through direct
+// imports alone.
+
+type lockFacts struct {
+	Classes map[string]*lockClass   `json:"classes,omitempty"`
+	Funcs   map[string]*funcSummary `json:"funcs,omitempty"`
+}
+
+// lockClass is one mutex class: a struct field (keyed "pkgpath.Type.field")
+// or a package-level var (keyed "pkgpath.name").
+type lockClass struct {
+	Key     string `json:"key"`
+	Name    string `json:"name,omitempty"` // annotation name; "" = unranked
+	Rank    int    `json:"rank,omitempty"`
+	Ranked  bool   `json:"ranked,omitempty"`
+	DeclPos string `json:"declPos,omitempty"`
+}
+
+// heldRef is one lock held at an acquisition or call site.
+type heldRef struct {
+	Class string `json:"class"`
+	Pos   string `json:"pos"` // file:line of its Lock
+}
+
+type acqRec struct {
+	Class string    `json:"class"`
+	Pos   string    `json:"pos"`
+	Held  []heldRef `json:"held,omitempty"`
+
+	tok token.Pos // valid only for the package being analyzed
+}
+
+type callRec struct {
+	Callee string    `json:"callee"`
+	Pos    string    `json:"pos"`
+	Held   []heldRef `json:"held,omitempty"`
+
+	tok token.Pos
+}
+
+type funcSummary struct {
+	ID       string    `json:"id"`
+	Acquires []acqRec  `json:"acquires,omitempty"`
+	Calls    []callRec `json:"calls,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// lockEnv: the merged environment one unit analyzes against.
+
+type lockEnv struct {
+	fset    *token.FileSet
+	classes map[string]*lockClass
+	funcs   map[string]*funcSummary
+	ownIDs  map[string]bool // summaries of the package being analyzed
+
+	// Findings collected during the scan, reported by runLockorder so the
+	// ignore machinery applies.
+	malformed  []token.Pos
+	undeclared []undeclRec
+	mismatches []rankMismatch
+	selfLocks  []selfLockRec
+}
+
+type undeclRec struct {
+	pos token.Pos
+	key string
+}
+
+type rankMismatch struct {
+	pos   token.Pos
+	name  string
+	rank  int
+	class *lockClass
+}
+
+type selfLockRec struct {
+	pos      token.Pos
+	class    string
+	firstPos string
+}
+
+// facts returns the environment's serializable form: the merged classes and
+// summaries of this package and everything below it.
+func (env *lockEnv) facts() *lockFacts {
+	return &lockFacts{Classes: env.classes, Funcs: env.funcs}
+}
+
+// display names a class: the annotation name when ranked, the key otherwise.
+func (env *lockEnv) display(key string) string {
+	if c := env.classes[key]; c != nil && c.Name != "" {
+		return c.Name
+	}
+	return key
+}
+
+// buildLockEnv summarizes one package against its dependencies' facts. The
+// invariants package itself is exempt: its wrapper types and tracker state
+// are the mechanism, not subjects of the discipline.
+func buildLockEnv(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps []*lockFacts) *lockEnv {
+	env := &lockEnv{
+		fset:    fset,
+		classes: map[string]*lockClass{},
+		funcs:   map[string]*funcSummary{},
+		ownIDs:  map[string]bool{},
+	}
+	for _, d := range deps {
+		for k, c := range d.Classes {
+			env.classes[k] = c
+		}
+		for k, f := range d.Funcs {
+			env.funcs[k] = f
+		}
+	}
+	if pkg == nil || pkgPathMatches(pkg.Path(), "invariants") {
+		return env
+	}
+	env.scanClasses(files, pkg, info)
+	env.scanRankCalls(files, info)
+	for _, fn := range funcsOf(files) {
+		id := funcID(fset, pkg, info, fn)
+		if id == "" {
+			continue
+		}
+		w := &loWalker{env: env, fset: fset, info: info, sum: &funcSummary{ID: id}}
+		w.walk(fn.body.List, map[string]loHeld{})
+		env.funcs[id] = w.sum
+		env.ownIDs[id] = true
+	}
+	return env
+}
+
+// funcID names a function for the call graph: types.Func.FullName for
+// declarations, a position-qualified synthetic name for literals (they are
+// summarized as roots but are never callees).
+func funcID(fset *token.FileSet, pkg *types.Package, info *types.Info, fn funcBody) string {
+	if fn.decl != nil {
+		if obj, ok := info.Defs[fn.decl.Name].(*types.Func); ok {
+			return obj.FullName()
+		}
+		return ""
+	}
+	return pkg.Path() + "." + fn.name + "@" + shortPos(fset, fn.body.Pos())
+}
+
+// shortPos renders a position as "file.go:line" — stable across build
+// directories and compact in diagnostics.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// ---------------------------------------------------------------------------
+// Class discovery and annotation parsing
+
+// scanClasses registers a lock class for every mutex-typed struct field and
+// parses its //ldclint:lockrank annotation. Unannotated mutex fields in
+// internal/ packages (outside test files) are recorded as undeclared: every
+// production lock must state where it sits in the order.
+func (env *lockEnv) scanClasses(files []*ast.File, pkg *types.Package, info *types.Info) {
+	internal := strings.Contains(pkg.Path(), "internal/")
+	for _, f := range files {
+		fname := env.fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(fname, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				env.scanField(pkg, info, ts.Name.Name, field, internal && !isTest)
+			}
+			return true
+		})
+	}
+}
+
+func (env *lockEnv) scanField(pkg *types.Package, info *types.Info, typeName string, field *ast.Field, wantRank bool) {
+	mutexField := isMutex(info.TypeOf(field.Type))
+	var names []string
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	if len(names) == 0 {
+		if n := embeddedName(field.Type); n != "" {
+			names = []string{n}
+		} else {
+			return
+		}
+	}
+
+	// Parse the annotation from the field's doc or trailing comment.
+	var annName string
+	var annRank int
+	annotated, ranked := false, false
+	var groups []*ast.CommentGroup
+	if field.Doc != nil {
+		groups = append(groups, field.Doc)
+	}
+	if field.Comment != nil {
+		groups = append(groups, field.Comment)
+	}
+	for _, cg := range groups {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, lockrankPrefix) {
+				continue
+			}
+			annotated = true
+			parts := strings.Fields(strings.TrimPrefix(c.Text, lockrankPrefix))
+			rank, err := 0, error(nil)
+			if len(parts) == 2 {
+				rank, err = strconv.Atoi(parts[1])
+			}
+			if len(parts) != 2 || err != nil {
+				env.malformed = append(env.malformed, c.Pos())
+				continue
+			}
+			annName, annRank, ranked = parts[0], rank, true
+		}
+	}
+
+	for _, name := range names {
+		key := pkg.Path() + "." + typeName + "." + name
+		c := &lockClass{Key: key, DeclPos: shortPos(env.fset, field.Pos())}
+		if ranked {
+			c.Name, c.Rank, c.Ranked = annName, annRank, true
+		}
+		env.classes[key] = c
+		if mutexField && !annotated && wantRank {
+			env.undeclared = append(env.undeclared, undeclRec{pos: field.Pos(), key: key})
+		}
+	}
+}
+
+// embeddedName returns the field name of an embedded type.
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// scanRankCalls cross-checks invariants.Mutex Rank() constructor calls
+// against the field annotations: the runtime tracker and the static
+// analyzer must be validating the same order.
+func (env *lockEnv) scanRankCalls(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "Rank" || len(call.Args) != 2 {
+				return true
+			}
+			recv := recvType(info, call)
+			if recv == nil || !isInvariantsMutex(recv) {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			class := env.classes[classOfExpr(info, sel.X)]
+			if class == nil || !class.Ranked {
+				return true
+			}
+			nameVal := info.Types[call.Args[0]].Value
+			rankVal := info.Types[call.Args[1]].Value
+			if nameVal == nil || rankVal == nil ||
+				nameVal.Kind() != constant.String || rankVal.Kind() != constant.Int {
+				return true
+			}
+			name := constant.StringVal(nameVal)
+			rank64, _ := constant.Int64Val(rankVal)
+			if name != class.Name || int(rank64) != class.Rank {
+				env.mismatches = append(env.mismatches, rankMismatch{
+					pos: call.Pos(), name: name, rank: int(rank64), class: class,
+				})
+			}
+			return true
+		})
+	}
+}
+
+func isInvariantsMutex(t types.Type) bool {
+	return typeFromPkg(t, "invariants", "Mutex") || typeFromPkg(t, "invariants", "RWMutex")
+}
+
+// classOfExpr resolves a mutex expression ("db.mu", "s.shards[i].mu", a
+// package-level var) to its class key, or "" for locals and anything too
+// dynamic to name.
+func classOfExpr(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return classOfExpr(info, e.X)
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			return classOfSelection(s)
+		}
+		// Qualified reference to another package's var: pkg.Mu.
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func isPkgLevel(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// classOfSelection names the struct that declares the selected field —
+// walking the embedding path so a field promoted through an embedded struct
+// is attributed to its true owner.
+func classOfSelection(s *types.Selection) string {
+	obj, ok := s.Obj().(*types.Var)
+	if !ok || !obj.IsField() {
+		return ""
+	}
+	cur := s.Recv()
+	idx := s.Index()
+	for i := 0; i < len(idx)-1; i++ {
+		st, ok := deref(cur).Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		cur = st.Field(idx[i]).Type()
+	}
+	n := namedOf(cur)
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + obj.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Per-function summarization: the same conservative branch-merging walk as
+// mutexio, but recording class-resolved acquisitions and call sites instead
+// of checking I/O.
+
+type loHeld struct {
+	class string
+	pos   string // shortPos of the acquisition
+}
+
+type loWalker struct {
+	env  *lockEnv
+	fset *token.FileSet
+	info *types.Info
+	sum  *funcSummary
+}
+
+func (w *loWalker) heldRefs(held map[string]loHeld) []heldRef {
+	var out []heldRef
+	for _, h := range held {
+		if h.class != "" {
+			out = append(out, heldRef{Class: h.class, Pos: h.pos})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+func (w *loWalker) walk(stmts []ast.Stmt, held map[string]loHeld) map[string]loHeld {
+	for _, s := range stmts {
+		held = w.walkStmt(s, held)
+	}
+	return held
+}
+
+func (w *loWalker) walkStmt(s ast.Stmt, held map[string]loHeld) map[string]loHeld {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, recv, delta, ok := classifyLockCall(w.info, w.fset, call); ok {
+				if delta > 0 {
+					w.acquire(key, recv, call, held)
+				} else {
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		w.recordCalls(s, held)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() pins the region to function exit. Any other
+		// deferred call runs with an unknowable lock set, so it is recorded
+		// with no held context — its acquisitions still propagate to
+		// callers — while its argument expressions (evaluated now) are
+		// recorded against the current set.
+		if _, _, delta, ok := classifyLockCall(w.info, w.fset, s.Call); ok && delta < 0 {
+			return held
+		}
+		w.recordCall(s.Call, map[string]loHeld{})
+		for _, arg := range s.Call.Args {
+			w.recordCalls(arg, held)
+		}
+
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine with nothing held;
+		// only its argument evaluation happens here. No call record: the
+		// caller's locks impose no order on the goroutine's acquisitions.
+		for _, arg := range s.Call.Args {
+			w.recordCalls(arg, held)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.recordCalls(s.Cond, held)
+		bodyHeld := w.walk(s.Body.List, cloneHeld(held))
+		elseHeld := held
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseHeld = w.walk(e.List, cloneHeld(held))
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseHeld = w.walkStmt(e, cloneHeld(held))
+		}
+		bodyTerm := terminates(s.Body.List)
+		switch {
+		case bodyTerm && elseTerm:
+			return map[string]loHeld{}
+		case bodyTerm:
+			return elseHeld
+		case elseTerm:
+			return bodyHeld
+		default:
+			return intersectHeld(bodyHeld, elseHeld)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.recordCalls(s.Cond, held)
+		}
+		body := w.walk(s.Body.List, cloneHeld(held))
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		return intersectHeld(held, body)
+
+	case *ast.RangeStmt:
+		w.recordCalls(s.X, held)
+		body := w.walk(s.Body.List, cloneHeld(held))
+		return intersectHeld(held, body)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, held)
+
+	case *ast.BlockStmt:
+		return w.walk(s.List, held)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+
+	default:
+		w.recordCalls(s, held)
+	}
+	return held
+}
+
+func (w *loWalker) walkCases(s ast.Stmt, held map[string]loHeld) map[string]loHeld {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.recordCalls(s.Tag, held)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.recordCalls(s.Assign, held)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var exits []map[string]loHeld
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.recordCalls(e, held)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, cloneHeld(held))
+			} else {
+				hasDefault = true
+			}
+			list = c.Body
+		}
+		if terminates(list) {
+			w.walk(list, cloneHeld(held))
+			continue
+		}
+		exits = append(exits, w.walk(list, cloneHeld(held)))
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	if len(exits) == 0 {
+		return map[string]loHeld{}
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersectHeld(out, e)
+	}
+	return out
+}
+
+// acquire handles a Lock/RLock call: a direct re-lock of a held expression
+// is a self-deadlock; otherwise the lock joins the held set and, when its
+// class is known, an acquisition record is emitted with the current set.
+func (w *loWalker) acquire(key string, recv ast.Expr, call *ast.CallExpr, held map[string]loHeld) {
+	class := classOfExpr(w.info, recv)
+	if prev, ok := held[key]; ok {
+		w.env.selfLocks = append(w.env.selfLocks, selfLockRec{
+			pos:      call.Pos(),
+			class:    classOrKey(class, key),
+			firstPos: prev.pos,
+		})
+		return
+	}
+	pos := shortPos(w.fset, call.Pos())
+	if class != "" {
+		w.sum.Acquires = append(w.sum.Acquires, acqRec{
+			Class: class,
+			Pos:   pos,
+			Held:  w.heldRefs(held),
+			tok:   call.Pos(),
+		})
+	}
+	held[key] = loHeld{class: class, pos: pos}
+}
+
+func classOrKey(class, key string) string {
+	if class != "" {
+		return class
+	}
+	return key
+}
+
+// recordCalls records every statically resolvable call syntactically inside
+// n against the current held set.
+func (w *loWalker) recordCalls(n ast.Node, held map[string]loHeld) {
+	callsIn(n, func(call *ast.CallExpr) {
+		w.recordCall(call, held)
+	})
+}
+
+func (w *loWalker) recordCall(call *ast.CallExpr, held map[string]loHeld) {
+	if _, _, _, ok := classifyLockCall(w.info, w.fset, call); ok {
+		return // mutex bookkeeping, recorded by the walker itself
+	}
+	f := calleeFunc(w.info, call)
+	if f == nil {
+		return
+	}
+	if f.Name() == "Rank" && isInvariantsMutex(recvType(w.info, call)) {
+		return // constructor bookkeeping, checked by scanRankCalls
+	}
+	w.sum.Calls = append(w.sum.Calls, callRec{
+		Callee: f.FullName(),
+		Pos:    shortPos(w.fset, call.Pos()),
+		Held:   w.heldRefs(held),
+		tok:    call.Pos(),
+	})
+}
+
+// calleeFunc resolves a call to its static target: a package function, a
+// qualified function, or a method on a concrete type. Interface methods,
+// function values, builtins, and conversions return nil — the analyzer is
+// honestly blind there.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		p, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = p.X
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal {
+				return nil
+			}
+			f, ok := s.Obj().(*types.Func)
+			if !ok || isInterfaceMethod(f) {
+				return nil
+			}
+			return f
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+func cloneHeld(m map[string]loHeld) map[string]loHeld {
+	out := make(map[string]loHeld, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectHeld(a, b map[string]loHeld) map[string]loHeld {
+	out := map[string]loHeld{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The global analysis: fixpoint propagation, edges, cycles, ranks.
+
+// lockEdge is one "From is held while To is acquired" observation. local
+// edges originate in the package being analyzed and carry a reportable
+// position; dep-derived edges participate in cycle detection but are
+// reported by their own package.
+type lockEdge struct {
+	From, To string
+	desc     string
+	tok      token.Pos
+	local    bool
+}
+
+func runLockorder(pass *Pass) {
+	env := pass.locks
+	if env == nil {
+		return
+	}
+	for _, pos := range env.malformed {
+		pass.Reportf(pos, "malformed //ldclint:lockrank directive: want //ldclint:lockrank <name> <rank>")
+	}
+	for _, u := range env.undeclared {
+		pass.Reportf(u.pos, "mutex field %s has no //ldclint:lockrank annotation; rank it in DESIGN.md's lock-order catalog", u.key)
+	}
+	for _, m := range env.mismatches {
+		pass.Reportf(m.pos, "Rank(%q, %d) disagrees with the field's //ldclint:lockrank %s %d",
+			m.name, m.rank, m.class.Name, m.class.Rank)
+	}
+	for _, s := range env.selfLocks {
+		pass.Reportf(s.pos, "%s locked again while already held (first Lock at %s): self-deadlock",
+			env.display(s.class), s.firstPos)
+	}
+	edges := env.buildEdges()
+	reportRankViolations(pass, env, edges)
+	reportCycles(pass, env, edges)
+}
+
+// buildEdges propagates acquisitions over the call graph to a fixpoint and
+// materializes the acquisition-order edges. Same-class edges are skipped:
+// the *Locked unlock-and-relock pattern makes them routine, and the direct
+// re-lock case is reported separately as a self-deadlock.
+func (env *lockEnv) buildEdges() []lockEdge {
+	ids := make([]string, 0, len(env.funcs))
+	for id := range env.funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// may[f][class] = a representative witness chain by which f (possibly
+	// transitively) acquires class. Chains are built once per (f, class), so
+	// the fixpoint terminates, and the sorted iteration keeps them
+	// deterministic.
+	may := map[string]map[string][]string{}
+	for _, id := range ids {
+		m := map[string][]string{}
+		for _, a := range env.funcs[id].Acquires {
+			if _, ok := m[a.Class]; !ok {
+				m[a.Class] = []string{fmt.Sprintf("%s acquired at %s", env.display(a.Class), a.Pos)}
+			}
+		}
+		may[id] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			for _, c := range env.funcs[id].Calls {
+				callee := may[c.Callee]
+				if callee == nil {
+					continue
+				}
+				for _, class := range sortedKeys(callee) {
+					if _, ok := may[id][class]; ok {
+						continue
+					}
+					step := fmt.Sprintf("%s calls %s", c.Pos, c.Callee)
+					may[id][class] = append([]string{step}, callee[class]...)
+					changed = true
+				}
+			}
+		}
+	}
+
+	var edges []lockEdge
+	for _, id := range ids {
+		f := env.funcs[id]
+		local := env.ownIDs[id]
+		for _, a := range f.Acquires {
+			for _, h := range a.Held {
+				if h.Class == a.Class {
+					continue
+				}
+				edges = append(edges, lockEdge{
+					From: h.Class, To: a.Class,
+					desc: fmt.Sprintf("%s acquired at %s while %s held (since %s) in %s",
+						env.display(a.Class), a.Pos, env.display(h.Class), h.Pos, id),
+					tok:   a.tok,
+					local: local,
+				})
+			}
+		}
+		for _, c := range f.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			callee := may[c.Callee]
+			for _, class := range sortedKeys(callee) {
+				for _, h := range c.Held {
+					if h.Class == class {
+						continue
+					}
+					edges = append(edges, lockEdge{
+						From: h.Class, To: class,
+						desc: fmt.Sprintf("%s held (since %s) when %s calls %s: %s",
+							env.display(h.Class), h.Pos, id, c.Callee, strings.Join(callee[class], ", ")),
+						tok:   c.tok,
+						local: local,
+					})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportRankViolations flags every locally witnessed edge whose destination
+// rank does not strictly exceed its source rank, once per class pair at the
+// earliest witness.
+func reportRankViolations(pass *Pass, env *lockEnv, edges []lockEdge) {
+	type pair struct{ from, to string }
+	best := map[pair]*lockEdge{}
+	var order []pair
+	for i := range edges {
+		e := &edges[i]
+		if !e.local {
+			continue
+		}
+		cf, ct := env.classes[e.From], env.classes[e.To]
+		if cf == nil || ct == nil || !cf.Ranked || !ct.Ranked || ct.Rank > cf.Rank {
+			continue
+		}
+		p := pair{e.From, e.To}
+		if b, ok := best[p]; !ok || posLess(pass.Fset, e.tok, b.tok) {
+			if !ok {
+				order = append(order, p)
+			}
+			best[p] = e
+		}
+	}
+	for _, p := range order {
+		e := best[p]
+		cf, ct := env.classes[e.From], env.classes[e.To]
+		pass.Reportf(e.tok, "acquires %s (rank %d) while holding %s (rank %d); lock ranks must strictly increase inward: %s",
+			ct.Name, ct.Rank, cf.Name, cf.Rank, e.desc)
+	}
+}
+
+// reportCycles finds strongly connected components of the acquisition graph
+// and reports each once — at the earliest local edge, with a witness chain
+// walking the full cycle. Components with no local edge are left to the
+// package that witnesses them.
+func reportCycles(pass *Pass, env *lockEnv, edges []lockEdge) {
+	adj := map[string][]*lockEdge{}
+	nodes := map[string]bool{}
+	for i := range edges {
+		e := &edges[i]
+		adj[e.From] = append(adj[e.From], e)
+		nodes[e.From], nodes[e.To] = true, true
+	}
+	for _, scc := range stronglyConnected(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		var anchor *lockEdge
+		for i := range edges {
+			e := &edges[i]
+			if e.local && in[e.From] && in[e.To] &&
+				(anchor == nil || posLess(pass.Fset, e.tok, anchor.tok)) {
+				anchor = e
+			}
+		}
+		if anchor == nil {
+			continue
+		}
+		path := cyclePath(adj, in, anchor.To, anchor.From)
+		names := []string{env.display(anchor.From), env.display(anchor.To)}
+		descs := []string{anchor.desc}
+		for _, e := range path {
+			names = append(names, env.display(e.To))
+			descs = append(descs, e.desc)
+		}
+		pass.Reportf(anchor.tok, "lock-order cycle: %s: %s",
+			strings.Join(names, " -> "), strings.Join(descs, "; "))
+	}
+}
+
+// cyclePath finds a path from -> to within the component by BFS; inside a
+// strongly connected component one always exists.
+func cyclePath(adj map[string][]*lockEdge, in map[string]bool, from, to string) []*lockEdge {
+	type state struct {
+		node string
+		path []*lockEdge
+	}
+	seen := map[string]bool{from: true}
+	queue := []state{{node: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node == to {
+			return cur.path
+		}
+		for _, e := range adj[cur.node] {
+			if !in[e.To] || seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			next := append(append([]*lockEdge{}, cur.path...), e)
+			queue = append(queue, state{node: e.To, path: next})
+		}
+	}
+	return nil
+}
+
+// stronglyConnected is Tarjan's algorithm; components are returned with
+// sorted members, in deterministic order.
+func stronglyConnected(nodes map[string]bool, adj map[string][]*lockEdge) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.To
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range sorted {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}

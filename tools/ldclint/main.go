@@ -9,19 +9,31 @@
 //	go build -o bin/ldclint ./tools/ldclint
 //	go vet -vettool=bin/ldclint ./...
 //
-// Four analyzers are registered (see their files for the precise rules):
+// Five analyzers are registered (see their files for the precise rules):
 //
 //	mutexio     — fsync/network I/O performed while a mutex is held
 //	refpair     — Ref/Acquire without a dominating Unref/Release on every path
 //	atomicfield — plain access to fields published via sync/atomic
 //	errclose    — dropped errors from Close/Sync/Flush on WAL/SSTable/net/vfs types
+//	lockorder   — whole-program lock acquisition order: cycles (potential
+//	              deadlocks) with full witness chains, violations of the
+//	              //ldclint:lockrank ranking, unranked mutex fields in
+//	              internal/ packages, and Rank() calls disagreeing with
+//	              their field's annotation
+//
+// lockorder is interprocedural: each package's per-function lock summaries
+// travel as vet "facts" (unit.go), so a cycle spanning packages is reported
+// in the package that completes it. Its runtime counterpart is
+// internal/invariants' -tags invariants lock-rank tracker, which validates
+// the same declared order on real executions.
 //
 // A finding can be suppressed with a directive comment on the flagged line
 // or the line above it:
 //
 //	//ldclint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; directives without one are themselves reported.
+// The reason is mandatory; directives without one are themselves reported,
+// as are stale directives that no longer suppress anything.
 //
 // The command speaks the cmd/go vettool protocol (the same one
 // golang.org/x/tools' unitchecker implements) using only the standard

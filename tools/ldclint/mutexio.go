@@ -55,25 +55,38 @@ type mutexWalker struct {
 
 // lockMethod classifies a call as mutex bookkeeping: +1 Lock, -1 Unlock.
 func (m *mutexWalker) lockMethod(call *ast.CallExpr) (key string, delta int, ok bool) {
+	key, _, delta, ok = classifyLockCall(m.pass.Info, m.pass.Fset, call)
+	return key, delta, ok
+}
+
+// classifyLockCall reports whether call is mutex bookkeeping: delta is +1
+// for Lock/RLock and -1 for Unlock/RUnlock; key is the receiver's
+// expression key and recv the receiver expression itself. Shared by mutexio
+// (I/O-under-lock regions) and lockorder (acquisition summaries).
+func classifyLockCall(info *types.Info, fset *token.FileSet, call *ast.CallExpr) (key string, recv ast.Expr, delta int, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", 0, false
+		return "", nil, 0, false
 	}
-	recv := recvType(m.pass.Info, call)
-	if recv == nil || !isMutex(recv) {
-		return "", 0, false
+	rt := recvType(info, call)
+	if rt == nil || !isMutex(rt) {
+		return "", nil, 0, false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock":
-		return exprKey(m.pass.Fset, sel.X), +1, true
+		return exprKey(fset, sel.X), sel.X, +1, true
 	case "Unlock", "RUnlock":
-		return exprKey(m.pass.Fset, sel.X), -1, true
+		return exprKey(fset, sel.X), sel.X, -1, true
 	}
-	return "", 0, false
+	return "", nil, 0, false
 }
 
+// isMutex covers the raw sync types and the invariants wrappers that
+// replaced them on ranked locks — the wrappers must stay in the model or
+// converting a field would silently disable both analyzers on it.
 func isMutex(t types.Type) bool {
-	return typeFromPkg(t, "sync", "Mutex") || typeFromPkg(t, "sync", "RWMutex")
+	return typeFromPkg(t, "sync", "Mutex") || typeFromPkg(t, "sync", "RWMutex") ||
+		typeFromPkg(t, "invariants", "Mutex") || typeFromPkg(t, "invariants", "RWMutex")
 }
 
 // ioCall describes why a call is I/O, or returns "" if it is not.

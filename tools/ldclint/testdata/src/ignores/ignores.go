@@ -46,3 +46,13 @@ func unknownAnalyzer(f *vfs.File) {
 	//ldclint:ignore bogus some perfectly fine reason
 	f.Close() // want `error from \(vfs.File\).Close is dropped`
 }
+
+// Well-formed, real analyzer, but nothing on its line or the next produces
+// a finding: the suppression is dead weight and is itself reported.
+// want(+2) `ldclint:ignore for "mutexio" suppresses nothing \(stale directive\)`
+func staleDirective(s *store) {
+	//ldclint:ignore mutexio formerly held across this call
+	s.noop()
+}
+
+func (s *store) noop() {}

@@ -1,0 +1,30 @@
+// Package lockrank_fire seeds the annotation-discipline findings: an
+// unranked mutex field in an internal/ package, a malformed lockrank
+// directive, and a Rank() constructor call that disagrees with its field's
+// annotation.
+package lockrank_fire
+
+import (
+	"invariants"
+	"sync"
+)
+
+type R struct {
+	bare sync.Mutex // want `mutex field internal/lockrank_fire.R.bare has no //ldclint:lockrank annotation`
+
+	// want(+1) `malformed //ldclint:lockrank directive: want //ldclint:lockrank <name> <rank>`
+	//ldclint:lockrank broken
+	bad sync.Mutex
+
+	//ldclint:lockrank rankfire.good 10
+	good sync.Mutex
+
+	//ldclint:lockrank rankfire.r 30
+	mu invariants.Mutex
+}
+
+func newR() *R {
+	r := &R{}
+	r.mu.Rank("rankfire.r", 31) // want `Rank\("rankfire.r", 31\) disagrees with the field's //ldclint:lockrank rankfire.r 30`
+	return r
+}

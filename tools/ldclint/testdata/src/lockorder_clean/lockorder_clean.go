@@ -1,0 +1,76 @@
+// Package lockorder_clean exercises every sanctioned nesting shape: ranks
+// strictly increasing inward (directly and through calls), sequential
+// non-nested acquisition, early-unlock branches, goroutine bodies, and
+// deferred calls. The lockorder analyzer must stay silent on all of it.
+package lockorder_clean
+
+import "sync"
+
+type C struct {
+	//ldclint:lockrank clean.outer 10
+	outer sync.Mutex
+	//ldclint:lockrank clean.inner 20
+	inner sync.Mutex
+	//ldclint:lockrank clean.leaf 30
+	leaf sync.Mutex
+}
+
+// Ranks increase inward: 10 -> 20 directly, 20 -> 30 through a call.
+func orderedNesting(c *C) {
+	c.outer.Lock()
+	defer c.outer.Unlock()
+	c.inner.Lock()
+	defer c.inner.Unlock()
+	lockLeaf(c)
+}
+
+func lockLeaf(c *C) {
+	c.leaf.Lock()
+	c.leaf.Unlock()
+}
+
+// Sequential acquisition never holds two locks at once; no edges at all,
+// whatever the order of the regions.
+func sequential(c *C) {
+	c.leaf.Lock()
+	c.leaf.Unlock()
+	c.outer.Lock()
+	c.outer.Unlock()
+}
+
+// The early-return path drops outer before the error exit; the main path
+// nests correctly.
+func earlyUnlock(c *C, fail bool) {
+	c.outer.Lock()
+	if fail {
+		c.outer.Unlock()
+		return
+	}
+	c.inner.Lock()
+	c.inner.Unlock()
+	c.outer.Unlock()
+}
+
+// The goroutine body runs on its own schedule: it may take outer while the
+// spawner still holds inner, and that is not an inner -> outer edge.
+func spawns(c *C) {
+	c.inner.Lock()
+	defer c.inner.Unlock()
+	go func() {
+		c.outer.Lock()
+		c.outer.Unlock()
+	}()
+}
+
+// A deferred call executes with an unknowable lock set; grabOuter's
+// acquisition must not be charged to the leaf-held region.
+func deferred(c *C) {
+	c.leaf.Lock()
+	defer c.leaf.Unlock()
+	defer grabOuter(c)
+}
+
+func grabOuter(c *C) {
+	c.outer.Lock()
+	c.outer.Unlock()
+}

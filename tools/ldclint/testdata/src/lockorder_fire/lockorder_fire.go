@@ -1,0 +1,72 @@
+// Package lockorder_fire seeds every class of lockorder finding that rides
+// on the acquisition graph: a direct rank inversion, the same inversion one
+// call deep (reported at the call site), a cross-function cycle on unranked
+// locks, and a direct re-lock self-deadlock.
+package lockorder_fire
+
+import "sync"
+
+type S struct {
+	//ldclint:lockrank fire.low 10
+	low sync.Mutex
+	//ldclint:lockrank fire.high 20
+	high sync.Mutex
+
+	//ldclint:lockrank fire.low2 11
+	low2 sync.Mutex
+	//ldclint:lockrank fire.high2 21
+	high2 sync.Mutex
+
+	// Unranked: only the cycle check applies to these.
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Direct inversion: rank 10 acquired inside rank 20.
+func direct(s *S) {
+	s.high.Lock()
+	defer s.high.Unlock()
+	s.low.Lock() // want `acquires fire.low \(rank 10\) while holding fire.high \(rank 20\)`
+	s.low.Unlock()
+}
+
+// The same inversion one call deep: the witness is the call site, and the
+// chain names the acquisition inside the callee.
+func viaCall(s *S) {
+	s.high2.Lock()
+	defer s.high2.Unlock()
+	lockLow2(s) // want `acquires fire.low2 \(rank 11\) while holding fire.high2 \(rank 21\).*calls lockorder_fire.lockLow2.*fire.low2 acquired at`
+}
+
+func lockLow2(s *S) {
+	s.low2.Lock()
+	s.low2.Unlock()
+}
+
+// a -> b here, b -> a below (through a call): a cross-function cycle with
+// no consistent order. Reported once, at the earliest witnessing edge.
+func lockBUnderA(s *S) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-order cycle: lockorder_fire.S.a -> lockorder_fire.S.b -> lockorder_fire.S.a.*calls lockorder_fire.grabA.*lockorder_fire.S.a acquired at`
+	s.b.Unlock()
+}
+
+func lockAUnderB(s *S) {
+	s.b.Lock()
+	defer s.b.Unlock()
+	grabA(s)
+}
+
+func grabA(s *S) {
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// Re-locking a mutex this function already holds can never make progress.
+func relock(s *S) {
+	s.low.Lock()
+	s.low.Lock() // want `fire.low locked again while already held.*self-deadlock`
+	s.low.Unlock()
+	s.low.Unlock()
+}

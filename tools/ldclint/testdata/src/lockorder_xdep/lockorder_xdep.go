@@ -1,0 +1,20 @@
+// Package lockorder_xdep is the dependency half of the cross-package cycle
+// fixture: on its own it establishes only the Gate -> Mu ordering, which is
+// perfectly consistent, so this package must be silent. lockorder_xfire
+// imports it and adds the opposite ordering; the cycle is reported there,
+// proving summaries flow through the facts protocol.
+package lockorder_xdep
+
+import "sync"
+
+type D struct {
+	Mu   sync.Mutex
+	Gate sync.Mutex
+}
+
+func GateThenMu(d *D) {
+	d.Gate.Lock()
+	defer d.Gate.Unlock()
+	d.Mu.Lock()
+	d.Mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package lockorder_xfire closes the cycle lockorder_xdep half-built: the
+// dependency orders Gate before Mu, this package orders Mu before Gate
+// (through a local call), and the analyzer must stitch the two together from
+// the dependency's facts and report the cycle here — the package that
+// witnesses the contradiction.
+package lockorder_xfire
+
+import "lockorder_xdep"
+
+func MuThenGate(d *lockorder_xdep.D) {
+	d.Mu.Lock()
+	defer d.Mu.Unlock()
+	lockGate(d) // want `lock-order cycle: lockorder_xdep.D.Mu -> lockorder_xdep.D.Gate -> lockorder_xdep.D.Mu.*in lockorder_xdep.GateThenMu`
+}
+
+func lockGate(d *lockorder_xdep.D) {
+	d.Gate.Lock()
+	d.Gate.Unlock()
+}

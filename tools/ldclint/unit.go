@@ -5,10 +5,13 @@ package main
 // For every package in the build graph, `go vet -vettool=ldclint` invokes
 // the tool with one argument: a JSON config file naming the package's Go
 // files and mapping each import path to the compiler export data of the
-// dependency. Dependency packages are visited first with VetxOnly set (they
-// exist only to produce analysis "facts"); ldclint's analyzers are all
-// intraprocedural and factless, so those invocations just write an empty
-// facts file and exit.
+// dependency. Dependency packages are visited first with VetxOnly set: they
+// exist to produce analysis "facts", which for ldclint are the lockorder
+// analyzer's per-function lock summaries (lockorder.go). Each unit merges
+// the facts of its direct imports with its own summaries and writes the
+// union, so transitive summaries reach dependents without a global pass.
+// Standard-library packages are skipped (empty facts): they carry no
+// lockrank annotations and parsing GOROOT would only cost time.
 
 import (
 	"encoding/json"
@@ -21,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 )
 
 // vetConfig mirrors the fields of cmd/go's vet config (the same JSON
@@ -40,8 +44,9 @@ type vetConfig struct {
 	PackageFile map[string]string // canonical package path → export data file
 	Standard    map[string]bool   // canonical package path → is stdlib
 
-	VetxOnly   bool   // just produce facts for dependents; don't report diagnostics
-	VetxOutput string // where to write facts
+	VetxOnly    bool              // just produce facts for dependents; don't report diagnostics
+	VetxOutput  string            // where to write facts
+	PackageVetx map[string]string // canonical package path → facts file of direct dependency
 
 	SucceedOnTypecheckFailure bool
 }
@@ -58,15 +63,11 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
 	}
 
-	// Facts protocol: cmd/go expects the facts file to exist afterwards,
-	// even though ldclint produces none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts: %w", err)
-		}
-	}
-	if cfg.VetxOnly {
-		return nil, nil
+	// Standard-library units produce empty facts without being parsed: std
+	// declares no lockrank classes, and a missing or empty facts entry is
+	// tolerated on the consuming side.
+	if cfg.Standard[cfg.ImportPath] || cfg.ImportPath == "unsafe" {
+		return nil, writeFacts(cfg.VetxOutput, []byte{})
 	}
 
 	fset := token.NewFileSet()
@@ -75,7 +76,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, writeFacts(cfg.VetxOutput, []byte{})
 			}
 			return nil, err
 		}
@@ -110,12 +111,63 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeFacts(cfg.VetxOutput, []byte{})
 		}
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	return runAnalyzers(analyzers, fset, files, pkg, info), nil
+	deps, err := loadDepFacts(cfg.PackageVetx)
+	if err != nil {
+		return nil, err
+	}
+	env := buildLockEnv(fset, files, pkg, info, deps)
+	facts, err := json.Marshal(env.facts())
+	if err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	if err := writeFacts(cfg.VetxOutput, facts); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	return runAnalyzers(analyzers, fset, files, pkg, info, env), nil
+}
+
+// writeFacts satisfies the facts half of the protocol: cmd/go expects the
+// file to exist after every invocation that names one.
+func writeFacts(path string, data []byte) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("writing facts: %w", err)
+	}
+	return nil
+}
+
+// loadDepFacts reads the lock summaries of every direct dependency. Empty
+// files (std units, typecheck-failure fallbacks) contribute nothing.
+func loadDepFacts(vetx map[string]string) ([]*lockFacts, error) {
+	paths := make([]string, 0, len(vetx))
+	for p := range vetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var deps []*lockFacts
+	for _, p := range paths {
+		data, err := os.ReadFile(vetx[p])
+		if err != nil || len(data) == 0 {
+			continue // tolerated: std or facts-less dependency
+		}
+		var f lockFacts
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("parsing facts of %s: %w", p, err)
+		}
+		deps = append(deps, &f)
+	}
+	return deps, nil
 }
 
 // importerFunc adapts a function to types.Importer.
